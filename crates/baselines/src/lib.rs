@@ -1,0 +1,73 @@
+//! # l2r-baselines
+//!
+//! The routing baselines the paper compares learn-to-route against
+//! (Section VII-C / VII-D):
+//!
+//! * [`simple`] — **Shortest** and **Fastest** (plain Dijkstra on distance /
+//!   travel time);
+//! * [`dom`] — **Dom** [26], personalized multi-cost routing: per-driver
+//!   weights over distance / travel time / fuel learned from the driver's
+//!   trajectories, applied through an expensive skyline (Pareto) search at
+//!   query time;
+//! * [`trip`] — **TRIP** [27], personalized travel times: per-driver,
+//!   per-road-type travel-time ratios learned from trajectories and applied
+//!   as edge-weight multipliers;
+//! * [`external`] — a stand-in for the Google Directions API used in
+//!   Figures 13/14: an "online routing service" without access to local
+//!   trajectories, returning sparse way-points.
+//!
+//! All baselines implement the common [`BaselineRouter`] trait so the
+//! evaluation harness can treat them uniformly.
+
+#![warn(missing_docs)]
+
+pub mod dom;
+pub mod external;
+pub mod simple;
+pub mod trip;
+
+use l2r_road_network::{Path, RoadNetwork, VertexId};
+use l2r_trajectory::DriverId;
+
+pub use dom::Dom;
+pub use external::{ExternalRouter, ExternalRouterConfig};
+pub use simple::{FastestRouter, ShortestRouter};
+pub use trip::Trip;
+
+/// A routing baseline: produces a road-network path for a query, possibly
+/// personalized to a driver.
+pub trait BaselineRouter {
+    /// Short display name used in reports ("Shortest", "Dom", …).
+    fn name(&self) -> &'static str;
+
+    /// Routes from `source` to `destination` for `driver` (non-personalized
+    /// baselines ignore the driver).
+    fn route(
+        &self,
+        net: &RoadNetwork,
+        source: VertexId,
+        destination: VertexId,
+        driver: DriverId,
+    ) -> Option<Path>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use l2r_datagen::{generate_network, SyntheticNetworkConfig};
+
+    #[test]
+    fn trait_objects_can_be_collected() {
+        let routers: Vec<Box<dyn BaselineRouter>> =
+            vec![Box::new(ShortestRouter), Box::new(FastestRouter)];
+        let syn = generate_network(&SyntheticNetworkConfig::tiny());
+        let s = syn.districts[0].center;
+        let d = syn.districts.last().unwrap().center;
+        for r in &routers {
+            let p = r.route(&syn.net, s, d, DriverId(0)).unwrap();
+            assert_eq!(p.source(), s);
+            assert_eq!(p.destination(), d);
+            assert!(!r.name().is_empty());
+        }
+    }
+}

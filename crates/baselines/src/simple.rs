@@ -1,0 +1,73 @@
+//! The cost-centric baselines: **Shortest** and **Fastest** paths.
+
+use l2r_road_network::{fastest_path, shortest_path, Path, RoadNetwork, VertexId};
+use l2r_trajectory::DriverId;
+
+use crate::BaselineRouter;
+
+/// Minimum-distance routing (Dijkstra on `wDI`).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ShortestRouter;
+
+impl BaselineRouter for ShortestRouter {
+    fn name(&self) -> &'static str {
+        "Shortest"
+    }
+
+    fn route(
+        &self,
+        net: &RoadNetwork,
+        source: VertexId,
+        destination: VertexId,
+        _driver: DriverId,
+    ) -> Option<Path> {
+        shortest_path(net, source, destination)
+    }
+}
+
+/// Minimum-travel-time routing (Dijkstra on `wTT`).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FastestRouter;
+
+impl BaselineRouter for FastestRouter {
+    fn name(&self) -> &'static str {
+        "Fastest"
+    }
+
+    fn route(
+        &self,
+        net: &RoadNetwork,
+        source: VertexId,
+        destination: VertexId,
+        _driver: DriverId,
+    ) -> Option<Path> {
+        fastest_path(net, source, destination)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use l2r_datagen::{generate_network, SyntheticNetworkConfig};
+    use l2r_road_network::CostType;
+
+    #[test]
+    fn shortest_is_never_longer_than_fastest() {
+        let syn = generate_network(&SyntheticNetworkConfig::tiny());
+        let s = syn.districts[0].center;
+        let d = syn.districts.last().unwrap().center;
+        let short = ShortestRouter.route(&syn.net, s, d, DriverId(0)).unwrap();
+        let fast = FastestRouter.route(&syn.net, s, d, DriverId(0)).unwrap();
+        assert!(short.length_m(&syn.net).unwrap() <= fast.length_m(&syn.net).unwrap() + 1e-6);
+        assert!(
+            fast.cost(&syn.net, CostType::TravelTime).unwrap()
+                <= short.cost(&syn.net, CostType::TravelTime).unwrap() + 1e-6
+        );
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(ShortestRouter.name(), "Shortest");
+        assert_eq!(FastestRouter.name(), "Fastest");
+    }
+}

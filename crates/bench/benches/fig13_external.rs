@@ -1,0 +1,68 @@
+//! Figure 13/14 bench: the external reference router and the 10 m band
+//! matching of its way-point polylines against ground-truth paths.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use l2r_baselines::ExternalRouter;
+use l2r_bench::{bench_scale, datasets, DatasetChoice};
+use l2r_eval::{build_test_queries, compare_with_external};
+use l2r_road_network::band_match_similarity_10m;
+
+fn bench_fig13(c: &mut Criterion) {
+    let scale = bench_scale();
+    let sets = datasets(DatasetChoice::Both, scale);
+    let mut group = c.benchmark_group("fig13_external");
+    group.sample_size(10);
+    for ds in &sets {
+        let net = &ds.synthetic.net;
+        let ext = ExternalRouter::with_defaults(net);
+        let queries = build_test_queries(net, &ds.model, &ds.test, ds.spec.max_test_queries.min(60));
+        if queries.is_empty() {
+            continue;
+        }
+        // Way-point generation throughput of the external service.
+        group.bench_with_input(
+            BenchmarkId::new("external_waypoints", ds.spec.name),
+            &queries,
+            |b, qs| {
+                b.iter(|| {
+                    for q in qs {
+                        let _ = ext.route_waypoints(net, q.source, q.destination);
+                    }
+                });
+            },
+        );
+        // Band matching (the Figure 14 geometry) on pre-computed way-points.
+        let prepared: Vec<_> = queries
+            .iter()
+            .filter_map(|q| {
+                ext.route_waypoints(net, q.source, q.destination)
+                    .map(|w| (q.ground_truth.clone(), w))
+            })
+            .collect();
+        group.bench_with_input(
+            BenchmarkId::new("band_matching", ds.spec.name),
+            &prepared,
+            |b, prepared| {
+                b.iter(|| {
+                    prepared
+                        .iter()
+                        .map(|(gt, wps)| band_match_similarity_10m(net, gt, wps))
+                        .sum::<f64>()
+                });
+            },
+        );
+        // The full comparison, printed once.
+        let cmp = compare_with_external(net, &ds.model, &ext, &queries, &ds.spec.distance_bounds_km);
+        for (label, l2r, external) in &cmp.by_distance {
+            println!(
+                "[fig13/{}] {:<10} L2R={:.1}% External={:.1}%",
+                ds.spec.name, label, l2r, external
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig13);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Figure 6 bench: learning routing preferences for T-edges (6a) and the
+//! pairwise region-edge similarity analysis (6b).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use l2r_bench::{bench_scale, datasets, DatasetChoice};
+use l2r_eval::{fig6a, fig6b};
+use l2r_preference::{learn_edge_preference, LearnConfig};
+
+fn bench_fig6(c: &mut Criterion) {
+    let scale = bench_scale();
+    let sets = datasets(DatasetChoice::Both, scale);
+    let mut group = c.benchmark_group("fig6_preference_learning");
+    group.sample_size(10);
+    for ds in &sets {
+        // Learning a single T-edge preference (the inner loop of Step 1).
+        let rg = ds.model.region_graph();
+        if let Some(edge) = rg.t_edges().max_by_key(|e| e.paths.len()) {
+            group.bench_with_input(
+                BenchmarkId::new("learn_edge_preference", ds.spec.name),
+                &edge.paths,
+                |b, paths| {
+                    b.iter(|| learn_edge_preference(ds.model.network(), paths, &LearnConfig::default()));
+                },
+            );
+        }
+        // The full Figure 6(a) experiment.
+        group.bench_with_input(BenchmarkId::new("fig6a", ds.spec.name), ds, |b, ds| {
+            b.iter(|| fig6a(&ds.model, &ds.model.config().learn.clone()));
+        });
+        // The Figure 6(b) pairwise similarity analysis (bounded pair count).
+        group.bench_with_input(BenchmarkId::new("fig6b", ds.spec.name), ds, |b, ds| {
+            b.iter(|| fig6b(&ds.model, 10_000));
+        });
+        let r = fig6a(&ds.model, &ds.model.config().learn.clone());
+        println!(
+            "[fig6a/{}] {} T-edges, {:.1}% single preference, masters DI/TT/FC = {:?}",
+            ds.spec.name, r.num_t_edges, r.pct_single_preference, r.master_distribution
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig6);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Figure 9 bench: preference transfer — accuracy vs. the number of labelled
+//! T-edge partitions (9a) and the amr parameter sweep (9b).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use l2r_bench::{bench_scale, datasets, DatasetChoice};
+use l2r_eval::{fig9a, fig9b};
+
+fn bench_fig9(c: &mut Criterion) {
+    let scale = bench_scale();
+    let sets = datasets(DatasetChoice::Both, scale);
+    let mut group = c.benchmark_group("fig9_transfer");
+    group.sample_size(10);
+    for ds in &sets {
+        group.bench_with_input(BenchmarkId::new("fig9a_partitions", ds.spec.name), ds, |b, ds| {
+            b.iter(|| fig9a(&ds.model, &ds.model.config().transfer));
+        });
+        for amr in [0.5, 0.7, 0.9] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("fig9b_amr_{amr}"), ds.spec.name),
+                ds,
+                |b, ds| {
+                    b.iter(|| fig9b(&ds.model, &ds.model.config().transfer, &[amr]));
+                },
+            );
+        }
+        let points = fig9b(&ds.model, &ds.model.config().transfer, &[0.5, 0.7, 0.9]);
+        for p in points {
+            println!(
+                "[fig9b/{}] amr={:.1} accuracy={:.1}% null-rate={:.1}% time={:.1}ms",
+                ds.spec.name, p.amr, p.accuracy, p.null_rate, p.runtime_ms
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig9);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Offline processing bench (Section VII-C): the full `L2r::fit` pipeline and
+//! its individual stages.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use l2r_bench::bench_scale;
+use l2r_core::L2r;
+use l2r_datagen::{generate_network, generate_workload};
+use l2r_eval::{offline_times, DatasetSpec};
+
+fn bench_offline(c: &mut Criterion) {
+    let scale = bench_scale();
+    let mut group = c.benchmark_group("offline_pipeline");
+    group.sample_size(10);
+    for spec in [DatasetSpec::d1(scale), DatasetSpec::d2(scale)] {
+        let syn = generate_network(&spec.network);
+        let workload = generate_workload(&syn, &spec.workload);
+        let (train, _) = workload.temporal_split(spec.train_fraction);
+        group.bench_with_input(
+            BenchmarkId::new("l2r_fit", spec.name),
+            &train,
+            |b, train| {
+                b.iter(|| L2r::fit(&syn.net, train, spec.l2r.clone()).expect("fit"));
+            },
+        );
+        // Print the per-stage breakdown once (the Section VII-C numbers).
+        let model = L2r::fit(&syn.net, &train, spec.l2r.clone()).expect("fit");
+        for row in offline_times(&model) {
+            println!("[offline/{}] {:<20} {:.1} ms", spec.name, row.stage, row.time_ms);
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_offline);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Table II bench: workload generation and the trajectory distance
+//! distribution for the D1-like and D2-like data sets.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use l2r_bench::bench_scale;
+use l2r_datagen::{generate_network, generate_workload};
+use l2r_eval::{table2, DatasetSpec};
+use l2r_trajectory::DistanceDistribution;
+
+fn bench_table2(c: &mut Criterion) {
+    let scale = bench_scale();
+    let mut group = c.benchmark_group("table2_workload");
+    group.sample_size(10);
+    for spec in [DatasetSpec::d1(scale), DatasetSpec::d2(scale)] {
+        let syn = generate_network(&spec.network);
+        group.bench_with_input(
+            BenchmarkId::new("generate_workload", spec.name),
+            &spec,
+            |b, spec| {
+                b.iter(|| generate_workload(&syn, &spec.workload));
+            },
+        );
+        let workload = generate_workload(&syn, &spec.workload);
+        group.bench_with_input(
+            BenchmarkId::new("distance_distribution", spec.name),
+            &spec,
+            |b, spec| {
+                b.iter(|| {
+                    table2(
+                        &syn.net,
+                        &workload.trajectories,
+                        spec.distance_bounds_km.clone(),
+                    )
+                });
+            },
+        );
+        // Print the distribution once so the bench output doubles as the
+        // Table II report.
+        let dist: DistanceDistribution = table2(
+            &syn.net,
+            &workload.trajectories,
+            spec.distance_bounds_km.clone(),
+        );
+        println!(
+            "[table2/{}] counts = {:?}, percentages = {:?}",
+            spec.name,
+            dist.counts,
+            dist.percentages()
+                .iter()
+                .map(|p| (p * 10.0).round() / 10.0)
+                .collect::<Vec<_>>()
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table2);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Table IV bench: modularity-based clustering, region-graph construction and
+//! the region-size distribution.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use l2r_bench::bench_scale;
+use l2r_datagen::{generate_network, generate_workload};
+use l2r_eval::DatasetSpec;
+use l2r_region_graph::{
+    bottom_up_clustering, region_size_distribution, RegionGraph, TrajectoryGraph,
+};
+
+fn bench_table4(c: &mut Criterion) {
+    let scale = bench_scale();
+    let mut group = c.benchmark_group("table4_clustering");
+    group.sample_size(10);
+    for spec in [DatasetSpec::d1(scale), DatasetSpec::d2(scale)] {
+        let syn = generate_network(&spec.network);
+        let workload = generate_workload(&syn, &spec.workload);
+        let tg = TrajectoryGraph::build(&syn.net, &workload.trajectories);
+        group.bench_with_input(
+            BenchmarkId::new("bottom_up_clustering", spec.name),
+            &tg,
+            |b, tg| {
+                b.iter(|| bottom_up_clustering(tg));
+            },
+        );
+        let clusters = bottom_up_clustering(&tg);
+        group.bench_with_input(
+            BenchmarkId::new("region_graph_build", spec.name),
+            &clusters,
+            |b, clusters| {
+                b.iter(|| RegionGraph::build(&syn.net, clusters, &workload.trajectories, 2));
+            },
+        );
+        let rg = RegionGraph::build(&syn.net, &clusters, &workload.trajectories, 2);
+        let buckets = region_size_distribution(rg.regions(), &spec.area_bounds_km2);
+        println!(
+            "[table4/{}] regions = {}, counts per area bucket = {:?}",
+            spec.name,
+            rg.num_regions(),
+            buckets.iter().map(|b| b.count).collect::<Vec<_>>()
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table4);
+criterion_main!(benches);

@@ -1,0 +1,203 @@
+//! Regenerates every table and figure of the paper's evaluation section.
+//!
+//! ```sh
+//! # quick run (small datasets, seconds):
+//! cargo run --release -p l2r-bench --bin reproduce
+//! # benchmark-scale run (the numbers recorded in EXPERIMENTS.md):
+//! cargo run --release -p l2r-bench --bin reproduce -- --full
+//! # a single experiment:
+//! cargo run --release -p l2r-bench --bin reproduce -- fig10
+//! ```
+
+use l2r_baselines::{Dom, ExternalRouter, FastestRouter, ShortestRouter, Trip};
+use l2r_bench::{datasets, DatasetChoice};
+use l2r_eval::{
+    build_test_queries, compare_methods, compare_with_external, fig6a, fig6b, fig9a, fig9b,
+    offline_times, preference_recovery, report_accuracy, report_fig13, report_fig6a,
+    report_fig6b, report_fig9a, report_fig9b, report_offline, report_runtime, report_table2,
+    report_table4, table2, table4, Dataset, Method, Scale,
+};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let full = args.iter().any(|a| a == "--full");
+    let scale = if full { Scale::Full } else { Scale::Quick };
+    let wanted: Vec<&str> = args.iter().filter(|a| !a.starts_with("--")).map(|s| s.as_str()).collect();
+    let run_all = wanted.is_empty() || wanted.contains(&"all");
+    let run = |name: &str| run_all || wanted.contains(&name);
+
+    println!(
+        "learn-to-route reproduction — scale: {}\n",
+        if full { "full" } else { "quick" }
+    );
+
+    let sets = datasets(DatasetChoice::Both, scale);
+    for ds in &sets {
+        println!(
+            "=== dataset {} — {} vertices, {} edges, {} trajectories ({} train / {} test), {} regions ===\n",
+            ds.spec.name,
+            ds.synthetic.net.num_vertices(),
+            ds.synthetic.net.num_edges(),
+            ds.workload.trajectories.len(),
+            ds.train.len(),
+            ds.test.len(),
+            ds.model.stats().num_regions
+        );
+        if run("table2") {
+            run_table2(ds);
+        }
+        if run("table4") {
+            run_table4(ds);
+        }
+        if run("fig6a") {
+            run_fig6a(ds);
+        }
+        if run("fig6b") {
+            run_fig6b(ds);
+        }
+        if run("fig9a") {
+            run_fig9a(ds);
+        }
+        if run("fig9b") {
+            run_fig9b(ds);
+        }
+        if run("fig10") || run("fig11") || run("fig12") {
+            run_fig10_11_12(ds);
+        }
+        if run("fig13") {
+            run_fig13(ds);
+        }
+        if run("offline") {
+            run_offline(ds);
+        }
+        if run("recovery") {
+            run_recovery(ds);
+        }
+    }
+}
+
+fn run_table2(ds: &Dataset) {
+    let dist = table2(
+        &ds.synthetic.net,
+        &ds.workload.trajectories,
+        ds.spec.distance_bounds_km.clone(),
+    );
+    print!("{}", report_table2(ds.spec.name, &dist));
+}
+
+fn run_table4(ds: &Dataset) {
+    let buckets = table4(&ds.model, &ds.spec.area_bounds_km2);
+    print!("{}", report_table4(ds.spec.name, &buckets));
+}
+
+fn run_fig6a(ds: &Dataset) {
+    let r = fig6a(&ds.model, &ds.model.config().learn.clone());
+    print!("{}", report_fig6a(ds.spec.name, &r));
+}
+
+fn run_fig6b(ds: &Dataset) {
+    let buckets = fig6b(&ds.model, 50_000);
+    print!("{}", report_fig6b(ds.spec.name, &buckets));
+}
+
+fn run_fig9a(ds: &Dataset) {
+    let points = fig9a(&ds.model, &ds.model.config().transfer);
+    print!("{}", report_fig9a(ds.spec.name, &points));
+}
+
+fn run_fig9b(ds: &Dataset) {
+    let points = fig9b(
+        &ds.model,
+        &ds.model.config().transfer,
+        &[0.5, 0.6, 0.7, 0.8, 0.9],
+    );
+    print!("{}", report_fig9b(ds.spec.name, &points));
+}
+
+fn run_fig10_11_12(ds: &Dataset) {
+    let net = &ds.synthetic.net;
+    let queries = build_test_queries(net, &ds.model, &ds.test, ds.spec.max_test_queries);
+    let dom = Dom::train(net, &ds.train);
+    let trip = Trip::train(net, &ds.train);
+    let methods = vec![
+        Method::L2r(&ds.model),
+        Method::Baseline(&ShortestRouter),
+        Method::Baseline(&FastestRouter),
+        Method::Baseline(&dom),
+        Method::Baseline(&trip),
+    ];
+    let results = compare_methods(net, &methods, &queries, &ds.spec.distance_bounds_km);
+    print!(
+        "{}",
+        report_accuracy(
+            &format!("Figure 10 — accuracy (Eq. 1) by distance ({})", ds.spec.name),
+            &results,
+            false,
+            false
+        )
+    );
+    print!(
+        "{}",
+        report_accuracy(
+            &format!("Figure 10 — accuracy (Eq. 1) by region ({})", ds.spec.name),
+            &results,
+            true,
+            false
+        )
+    );
+    print!(
+        "{}",
+        report_accuracy(
+            &format!("Figure 11 — accuracy (Eq. 4) by distance ({})", ds.spec.name),
+            &results,
+            false,
+            true
+        )
+    );
+    print!(
+        "{}",
+        report_accuracy(
+            &format!("Figure 11 — accuracy (Eq. 4) by region ({})", ds.spec.name),
+            &results,
+            true,
+            true
+        )
+    );
+    print!(
+        "{}",
+        report_runtime(
+            &format!("Figure 12 — mean running time (µs) by distance ({})", ds.spec.name),
+            &results,
+            false
+        )
+    );
+    print!(
+        "{}",
+        report_runtime(
+            &format!("Figure 12 — mean running time (µs) by region ({})", ds.spec.name),
+            &results,
+            true
+        )
+    );
+}
+
+fn run_fig13(ds: &Dataset) {
+    let net = &ds.synthetic.net;
+    let queries = build_test_queries(net, &ds.model, &ds.test, ds.spec.max_test_queries);
+    let ext = ExternalRouter::with_defaults(net);
+    let cmp = compare_with_external(net, &ds.model, &ext, &queries, &ds.spec.distance_bounds_km);
+    print!("{}", report_fig13(ds.spec.name, &cmp));
+}
+
+fn run_offline(ds: &Dataset) {
+    let rows = offline_times(&ds.model);
+    print!("{}", report_offline(ds.spec.name, &rows));
+}
+
+fn run_recovery(ds: &Dataset) {
+    let r = preference_recovery(ds);
+    println!(
+        "## Latent preference recovery ({})\n{} covered district pairs evaluated, mean similarity to latent behaviour {:.1}%, ≥0.9-similar {:.1}%\n",
+        ds.spec.name, r.evaluated, r.mean_similarity, r.pct_high_similarity
+    );
+}

@@ -1,0 +1,66 @@
+//! # l2r-bench
+//!
+//! Benchmark harness of the learn-to-route reproduction.
+//!
+//! * `src/bin/reproduce.rs` — regenerates every table and figure of the
+//!   paper's evaluation section and prints them as plain-text tables
+//!   (`cargo run --release -p l2r-bench --bin reproduce -- --full` for the
+//!   benchmark-scale datasets, omit `--full` for a quick run).
+//! * `benches/` — one Criterion bench per table/figure measuring the cost of
+//!   the corresponding pipeline stage or query workload.
+//!
+//! This library part only hosts shared helpers for those targets.
+
+#![warn(missing_docs)]
+
+use l2r_eval::{build_dataset, Dataset, DatasetSpec, Scale};
+
+/// Which datasets an experiment runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DatasetChoice {
+    /// Only the Denmark-like data set.
+    D1,
+    /// Only the Chengdu-like data set.
+    D2,
+    /// Both data sets.
+    Both,
+}
+
+/// Builds the datasets selected by `choice` at the given scale.
+pub fn datasets(choice: DatasetChoice, scale: Scale) -> Vec<Dataset> {
+    let mut specs = Vec::new();
+    if matches!(choice, DatasetChoice::D1 | DatasetChoice::Both) {
+        specs.push(DatasetSpec::d1(scale));
+    }
+    if matches!(choice, DatasetChoice::D2 | DatasetChoice::Both) {
+        specs.push(DatasetSpec::d2(scale));
+    }
+    specs.into_iter().map(build_dataset).collect()
+}
+
+/// Scale used by the Criterion benches: quick by default, full when the
+/// `L2R_BENCH_FULL` environment variable is set (non-empty).
+pub fn bench_scale() -> Scale {
+    match std::env::var("L2R_BENCH_FULL") {
+        Ok(v) if !v.is_empty() && v != "0" => Scale::Full,
+        _ => Scale::Quick,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dataset_choice_builds_the_requested_sets() {
+        let only_d1 = datasets(DatasetChoice::D1, Scale::Quick);
+        assert_eq!(only_d1.len(), 1);
+        assert_eq!(only_d1[0].spec.name, "D1");
+    }
+
+    #[test]
+    fn bench_scale_defaults_to_quick() {
+        std::env::remove_var("L2R_BENCH_FULL");
+        assert_eq!(bench_scale(), Scale::Quick);
+    }
+}

@@ -1,0 +1,163 @@
+//! Step 3 of Section V: applying transferred preferences to B-edges.
+//!
+//! Every B-edge receives concrete road-network paths: for (a capped number
+//! of) pairs of transfer centers of its two endpoint regions, a path is
+//! computed with the preference-constrained search of Algorithm 2 under the
+//! edge's transferred preference.  Edges whose transferred preference is null
+//! fall back to fastest paths, exactly as the paper does (Section VII-B).
+
+use std::collections::HashMap;
+
+use l2r_preference::Preference;
+use l2r_region_graph::{RegionEdgeId, RegionGraph, SupportedPath};
+use l2r_road_network::{
+    fastest_path, preference_constrained_path, Path, RoadNetwork, VertexId,
+};
+
+/// Computes a path between two concrete vertices under an optional
+/// preference (`None` = fastest path).
+pub fn path_under_preference(
+    net: &RoadNetwork,
+    source: VertexId,
+    destination: VertexId,
+    preference: Option<&Preference>,
+) -> Option<Path> {
+    match preference {
+        Some(p) => preference_constrained_path(net, source, destination, p.master, p.slave),
+        None => fastest_path(net, source, destination),
+    }
+}
+
+/// Statistics of the apply step.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ApplyStats {
+    /// Number of B-edges that received at least one path.
+    pub edges_with_paths: usize,
+    /// Number of B-edges for which no path could be found at all.
+    pub edges_without_paths: usize,
+    /// Total number of paths materialised.
+    pub total_paths: usize,
+}
+
+/// Attaches preference-based paths to every B-edge of `rg`.
+///
+/// `preferences` maps B-edge ids to their transferred preference (possibly
+/// `None` for a null preference); edges missing from the map are treated as
+/// null.  `max_center_pairs` caps the number of transfer-center pairs per
+/// edge for which a path is materialised.
+pub fn apply_preferences_to_b_edges(
+    net: &RoadNetwork,
+    rg: &mut RegionGraph,
+    preferences: &HashMap<RegionEdgeId, Option<Preference>>,
+    max_center_pairs: usize,
+) -> ApplyStats {
+    let mut stats = ApplyStats::default();
+    let b_edges: Vec<RegionEdgeId> = rg.b_edges().map(|e| e.id).collect();
+    for eid in b_edges {
+        let (ra, rb) = {
+            let e = rg.edge(eid);
+            (e.a, e.b)
+        };
+        let pref = preferences.get(&eid).and_then(|p| p.as_ref()).copied();
+        let centers_a = rg.transfer_centers_or_default(net, ra);
+        let centers_b = rg.transfer_centers_or_default(net, rb);
+        let mut paths: Vec<SupportedPath> = Vec::new();
+        'outer: for ca in &centers_a {
+            for cb in &centers_b {
+                if paths.len() >= max_center_pairs.max(1) {
+                    break 'outer;
+                }
+                if ca == cb {
+                    continue;
+                }
+                if let Some(p) = path_under_preference(net, *ca, *cb, pref.as_ref()) {
+                    if !p.is_trivial() && !paths.iter().any(|sp| sp.path == p) {
+                        paths.push(SupportedPath { path: p, support: 1 });
+                    }
+                }
+            }
+        }
+        stats.total_paths += paths.len();
+        if paths.is_empty() {
+            stats.edges_without_paths += 1;
+        } else {
+            stats.edges_with_paths += 1;
+            rg.set_edge_paths(eid, paths);
+        }
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use l2r_datagen::{generate_network, generate_workload, SyntheticNetworkConfig, WorkloadConfig};
+    use l2r_region_graph::{bottom_up_clustering, TrajectoryGraph};
+    use l2r_road_network::{CostType, RoadType, RoadTypeSet};
+
+    fn build() -> (l2r_road_network::RoadNetwork, RegionGraph) {
+        let syn = generate_network(&SyntheticNetworkConfig::tiny());
+        let wl = generate_workload(&syn, &WorkloadConfig::tiny(200));
+        let tg = TrajectoryGraph::build(&syn.net, &wl.trajectories);
+        let clusters = bottom_up_clustering(&tg);
+        let rg = RegionGraph::build(&syn.net, &clusters, &wl.trajectories, 2);
+        (syn.net.clone(), rg)
+    }
+
+    #[test]
+    fn b_edges_receive_paths() {
+        let (net, mut rg) = build();
+        let num_b = rg.b_edges().count();
+        assert!(num_b > 0, "need B-edges for this test");
+        let prefs: HashMap<RegionEdgeId, Option<Preference>> = rg
+            .b_edges()
+            .map(|e| {
+                (
+                    e.id,
+                    Some(Preference {
+                        master: CostType::TravelTime,
+                        slave: Some(RoadTypeSet::single(RoadType::Primary)),
+                    }),
+                )
+            })
+            .collect();
+        let stats = apply_preferences_to_b_edges(&net, &mut rg, &prefs, 3);
+        assert_eq!(stats.edges_with_paths + stats.edges_without_paths, num_b);
+        assert!(stats.edges_with_paths > 0);
+        assert!(stats.total_paths >= stats.edges_with_paths);
+        // The attached paths are valid and non-trivial.
+        for e in rg.b_edges() {
+            for sp in &e.paths {
+                assert!(sp.path.validate(&net).is_ok());
+                assert!(!sp.path.is_trivial());
+            }
+        }
+    }
+
+    #[test]
+    fn null_preferences_fall_back_to_fastest_paths() {
+        let (net, mut rg) = build();
+        let prefs: HashMap<RegionEdgeId, Option<Preference>> =
+            rg.b_edges().map(|e| (e.id, None)).collect();
+        let stats = apply_preferences_to_b_edges(&net, &mut rg, &prefs, 1);
+        assert!(stats.edges_with_paths > 0);
+        // With max 1 pair, each edge has at most one path.
+        for e in rg.b_edges() {
+            assert!(e.paths.len() <= 1);
+        }
+    }
+
+    #[test]
+    fn path_under_preference_respects_master_feature() {
+        let (net, _) = build();
+        let a = l2r_road_network::VertexId(0);
+        let b = l2r_road_network::VertexId((net.num_vertices() - 1) as u32);
+        let fastest = path_under_preference(&net, a, b, None).unwrap();
+        let shortest_pref = Preference::cost_only(CostType::Distance);
+        let shortest = path_under_preference(&net, a, b, Some(&shortest_pref)).unwrap();
+        assert!(
+            shortest.length_m(&net).unwrap() <= fastest.length_m(&net).unwrap() + 1e-6,
+            "the distance-preferring path is never longer than the fastest path"
+        );
+    }
+}

@@ -1,0 +1,62 @@
+//! Configuration of the learn-to-route pipeline.
+
+use l2r_preference::{LearnConfig, TransferConfig};
+
+/// Configuration of [`crate::pipeline::L2r::fit`].
+#[derive(Debug, Clone)]
+pub struct L2rConfig {
+    /// Preference-learning configuration (Step 1 of Section V).
+    pub learn: LearnConfig,
+    /// Preference-transfer configuration (Step 2 of Section V).
+    pub transfer: TransferConfig,
+    /// Number of road types kept in each region's functionality descriptor.
+    pub function_top_k: usize,
+    /// Cap on the number of (transfer-center, transfer-center) pairs for
+    /// which Step 3 materialises a path per B-edge.
+    pub max_transfer_center_pairs: usize,
+}
+
+impl Default for L2rConfig {
+    fn default() -> Self {
+        L2rConfig {
+            learn: LearnConfig::default(),
+            transfer: TransferConfig::default(),
+            function_top_k: 2,
+            max_transfer_center_pairs: 4,
+        }
+    }
+}
+
+impl L2rConfig {
+    /// A configuration tuned for the small networks used in unit tests:
+    /// a denser similarity graph and fewer materialised paths.
+    pub fn fast() -> Self {
+        L2rConfig {
+            transfer: TransferConfig {
+                amr: 0.5,
+                ..TransferConfig::default()
+            },
+            max_transfer_center_pairs: 2,
+            ..L2rConfig::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_matches_paper_defaults() {
+        let c = L2rConfig::default();
+        assert!((c.transfer.amr - 0.7).abs() < 1e-12, "amr default is 0.7 (Section VII-B)");
+        assert_eq!(c.function_top_k, 2);
+        assert!(c.max_transfer_center_pairs >= 1);
+    }
+
+    #[test]
+    fn fast_config_loosens_the_similarity_threshold() {
+        let c = L2rConfig::fast();
+        assert!(c.transfer.amr < L2rConfig::default().transfer.amr);
+    }
+}

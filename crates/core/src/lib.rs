@@ -1,0 +1,45 @@
+//! # l2r-core
+//!
+//! **learn-to-route (L2R)** — the primary contribution of *"Learning to Route
+//! with Sparse Trajectory Sets"* (ICDE 2018), assembled behind one public
+//! API.
+//!
+//! ```no_run
+//! use l2r_core::{L2r, L2rConfig};
+//! use l2r_datagen::{generate_network, generate_workload, SyntheticNetworkConfig, WorkloadConfig};
+//!
+//! // 1. A road network and a sparse set of (map-matched) trajectories.
+//! let city = generate_network(&SyntheticNetworkConfig::tiny());
+//! let workload = generate_workload(&city, &WorkloadConfig::tiny(300));
+//! let (train, test) = workload.temporal_split(0.8);
+//!
+//! // 2. Fit: clustering -> region graph -> preference learning -> transfer
+//! //    -> path assignment for B-edges.
+//! let model = L2r::fit(&city.net, &train, L2rConfig::default()).unwrap();
+//!
+//! // 3. Route arbitrary (source, destination) pairs.
+//! let query = &test[0];
+//! let route = model.route(query.source(), query.destination()).unwrap();
+//! println!("recommended path: {}", route.path);
+//! ```
+//!
+//! The pipeline modules mirror the three steps of the paper:
+//! [`pipeline`] (orchestration and offline statistics), [`apply`] (Step 3),
+//! [`region_routing`] and [`router`] (Section VI), with Step 1 and Step 2
+//! living in the `l2r-region-graph` and `l2r-preference` crates.
+
+#![warn(missing_docs)]
+
+pub mod apply;
+pub mod config;
+pub mod error;
+pub mod pipeline;
+pub mod region_routing;
+pub mod router;
+
+pub use apply::{apply_preferences_to_b_edges, path_under_preference, ApplyStats};
+pub use config::L2rConfig;
+pub use error::L2rError;
+pub use pipeline::{L2r, OfflineStats};
+pub use region_routing::{find_region_path, RegionPath};
+pub use router::{region_coverage, route, RegionCoverage, RouteResult, RouteStrategy};

@@ -1,0 +1,214 @@
+//! Path finding on the region graph (Section VI, Case 1).
+//!
+//! The paper's routing on the region graph prefers region paths with few
+//! region edges and always moves towards regions that are geometrically close
+//! to the destination: a direct region edge is used when it exists; otherwise
+//! neighbouring regions closer to the destination are explored first.  We
+//! realise this as a best-first search whose priority is the Euclidean
+//! distance between a region's centroid and the destination region's
+//! centroid, with the number of hops as a tie breaker.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use l2r_region_graph::{RegionEdgeId, RegionGraph, RegionId};
+
+/// An entry of the best-first frontier.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Frontier {
+    /// Euclidean distance from this region to the destination region.
+    distance_to_dest: f64,
+    /// Number of region edges used so far.
+    hops: usize,
+    region: RegionId,
+}
+
+impl Eq for Frontier {}
+
+impl Ord for Frontier {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Min-heap on (distance, hops).
+        other
+            .distance_to_dest
+            .partial_cmp(&self.distance_to_dest)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.hops.cmp(&self.hops))
+            .then_with(|| other.region.0.cmp(&self.region.0))
+    }
+}
+
+impl PartialOrd for Frontier {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A path on the region graph: the region sequence and the region edges
+/// connecting consecutive regions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegionPath {
+    /// Visited regions from source to destination (inclusive).
+    pub regions: Vec<RegionId>,
+    /// The region edges between consecutive regions (`regions.len() - 1`
+    /// entries).
+    pub edges: Vec<RegionEdgeId>,
+}
+
+impl RegionPath {
+    /// Number of region edges.
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// True when source and destination are the same region.
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+}
+
+/// Finds a region path from `source` to `destination`.
+///
+/// Returns `None` when the two regions are not connected in the region graph
+/// (cannot happen after the BFS connectivity pass unless the road network
+/// itself is disconnected).
+pub fn find_region_path(
+    rg: &RegionGraph,
+    source: RegionId,
+    destination: RegionId,
+) -> Option<RegionPath> {
+    if source == destination {
+        return Some(RegionPath {
+            regions: vec![source],
+            edges: Vec::new(),
+        });
+    }
+    // Direct edge: always preferred (Section VI).
+    if let Some(e) = rg.edge_between(source, destination) {
+        return Some(RegionPath {
+            regions: vec![source, destination],
+            edges: vec![e],
+        });
+    }
+
+    let n = rg.num_regions();
+    let mut visited = vec![false; n];
+    let mut parent: Vec<Option<(RegionId, RegionEdgeId)>> = vec![None; n];
+    let mut heap = BinaryHeap::new();
+    visited[source.idx()] = true;
+    heap.push(Frontier {
+        distance_to_dest: rg.region_distance_m(source, destination),
+        hops: 0,
+        region: source,
+    });
+
+    while let Some(Frontier { hops, region, .. }) = heap.pop() {
+        if region == destination {
+            break;
+        }
+        // If a direct edge to the destination exists, take it immediately.
+        if let Some(e) = rg.edge_between(region, destination) {
+            if !visited[destination.idx()] {
+                visited[destination.idx()] = true;
+                parent[destination.idx()] = Some((region, e));
+                break;
+            }
+        }
+        for eid in rg.adjacent_edges(region) {
+            let next = rg.edge(*eid).other(region);
+            if visited[next.idx()] {
+                continue;
+            }
+            visited[next.idx()] = true;
+            parent[next.idx()] = Some((region, *eid));
+            heap.push(Frontier {
+                distance_to_dest: rg.region_distance_m(next, destination),
+                hops: hops + 1,
+                region: next,
+            });
+        }
+    }
+
+    if !visited[destination.idx()] {
+        return None;
+    }
+    // Reconstruct.
+    let mut regions = vec![destination];
+    let mut edges = Vec::new();
+    let mut cur = destination;
+    while let Some((prev, e)) = parent[cur.idx()] {
+        edges.push(e);
+        regions.push(prev);
+        cur = prev;
+    }
+    regions.reverse();
+    edges.reverse();
+    debug_assert_eq!(regions[0], source);
+    Some(RegionPath { regions, edges })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use l2r_datagen::{generate_network, generate_workload, SyntheticNetworkConfig, WorkloadConfig};
+    use l2r_region_graph::{bottom_up_clustering, TrajectoryGraph};
+
+    fn build() -> RegionGraph {
+        let syn = generate_network(&SyntheticNetworkConfig::tiny());
+        let wl = generate_workload(&syn, &WorkloadConfig::tiny(250));
+        let tg = TrajectoryGraph::build(&syn.net, &wl.trajectories);
+        let clusters = bottom_up_clustering(&tg);
+        RegionGraph::build(&syn.net, &clusters, &wl.trajectories, 2)
+    }
+
+    #[test]
+    fn same_region_is_a_trivial_region_path() {
+        let rg = build();
+        let r = rg.regions()[0].id;
+        let p = find_region_path(&rg, r, r).unwrap();
+        assert!(p.is_empty());
+        assert_eq!(p.regions, vec![r]);
+    }
+
+    #[test]
+    fn direct_edge_is_used_when_present() {
+        let rg = build();
+        let e = &rg.edges()[0];
+        let p = find_region_path(&rg, e.a, e.b).unwrap();
+        assert_eq!(p.len(), 1);
+        assert_eq!(p.edges[0], e.id);
+    }
+
+    #[test]
+    fn all_region_pairs_are_reachable_in_a_connected_region_graph() {
+        let rg = build();
+        assert!(rg.is_connected());
+        let regions = rg.regions();
+        let a = regions.first().unwrap().id;
+        for r in regions.iter().skip(1).take(20) {
+            let p = find_region_path(&rg, a, r.id).expect("connected region graph");
+            assert_eq!(*p.regions.first().unwrap(), a);
+            assert_eq!(*p.regions.last().unwrap(), r.id);
+            assert_eq!(p.regions.len(), p.edges.len() + 1);
+            // Consecutive regions are joined by the reported edges.
+            for (i, e) in p.edges.iter().enumerate() {
+                let edge = rg.edge(*e);
+                let (x, y) = (p.regions[i], p.regions[i + 1]);
+                assert!(
+                    (edge.a == x && edge.b == y) || (edge.a == y && edge.b == x),
+                    "edge endpoints must match the region sequence"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn region_path_has_no_repeated_regions() {
+        let rg = build();
+        let regions = rg.regions();
+        let a = regions.first().unwrap().id;
+        let b = regions.last().unwrap().id;
+        let p = find_region_path(&rg, a, b).unwrap();
+        let unique: std::collections::HashSet<_> = p.regions.iter().collect();
+        assert_eq!(unique.len(), p.regions.len());
+    }
+}

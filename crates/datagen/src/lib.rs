@@ -1,0 +1,28 @@
+//! # l2r-datagen
+//!
+//! Synthetic data generation for the learn-to-route (L2R) reproduction.
+//!
+//! The paper evaluates on proprietary GPS data over OpenStreetMap extracts of
+//! Denmark (N1/D1) and Chengdu (N2/D2).  This crate substitutes both with
+//! deterministic generators (see `DESIGN.md` for the substitution argument):
+//!
+//! * [`network`] builds hierarchical city-like road networks (motorway ring,
+//!   trunk axes, arterials, residential blocks) with functional districts;
+//! * [`drivers`] defines the latent, context-dependent routing preferences of
+//!   the synthetic driver population — the ground truth that L2R should
+//!   recover;
+//! * [`workload`] generates sparse, skewed trajectory workloads whose
+//!   distance distributions follow Table II of the paper, plus the temporal
+//!   train/test split used by the evaluation.
+
+#![warn(missing_docs)]
+
+pub mod drivers;
+pub mod network;
+pub mod workload;
+
+pub use drivers::{latent_preference, DriverPopulation, DriverProfile, LatentPreference, TripLength};
+pub use network::{generate_network, District, DistrictKind, SyntheticNetwork, SyntheticNetworkConfig};
+pub use workload::{
+    generate_workload, route_with_preference, DistanceBand, Workload, WorkloadConfig,
+};

@@ -1,0 +1,435 @@
+//! Synthetic hierarchical road-network generation.
+//!
+//! The paper evaluates on two OpenStreetMap extracts (Denmark and Chengdu)
+//! that we cannot redistribute.  This module generates city-shaped networks
+//! with the same *structural* ingredients the L2R pipeline depends on:
+//!
+//! * a hierarchy of road types (motorway ring, trunk axes, primary/secondary
+//!   arterials, tertiary collectors, residential blocks);
+//! * districts with different functions (business core, residential suburbs,
+//!   industrial fringe) so that region pairs have distinguishable
+//!   functionality descriptors;
+//! * realistic distance/travel-time/fuel trade-offs (highways are longer but
+//!   faster), so learned routing preferences are meaningful.
+//!
+//! The generator is deterministic given its configuration and seed.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use l2r_road_network::{Point, RoadNetwork, RoadNetworkBuilder, RoadType, VertexId};
+
+/// The function of a district, used to derive latent routing preferences and
+/// to skew the origin-destination distribution of workloads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DistrictKind {
+    /// Central business district: many trips start or end here.
+    Business,
+    /// Residential neighbourhood.
+    Residential,
+    /// Industrial / logistics area at the city fringe.
+    Industrial,
+}
+
+/// A district of the synthetic city.
+#[derive(Debug, Clone)]
+pub struct District {
+    /// Index of the district in [`SyntheticNetwork::districts`].
+    pub index: usize,
+    /// Grid position of the district (column, row).
+    pub grid_pos: (usize, usize),
+    /// The vertex at the district centre (connected to the arterial grid).
+    pub center: VertexId,
+    /// All vertices belonging to the district (centre + local grid).
+    pub vertices: Vec<VertexId>,
+    /// The district's function.
+    pub kind: DistrictKind,
+}
+
+impl District {
+    /// Geometric centre of the district.
+    pub fn center_point(&self, net: &RoadNetwork) -> Point {
+        net.vertex(self.center).point
+    }
+}
+
+/// Configuration of the synthetic network generator.
+#[derive(Debug, Clone, Copy)]
+pub struct SyntheticNetworkConfig {
+    /// Number of districts along the x axis.
+    pub districts_x: usize,
+    /// Number of districts along the y axis.
+    pub districts_y: usize,
+    /// Distance between adjacent district centres, in metres.
+    pub district_spacing_m: f64,
+    /// Side length of the residential block grid inside each district
+    /// (`blocks_per_district x blocks_per_district` local vertices).
+    pub blocks_per_district: usize,
+    /// Spacing of the residential block grid, in metres.
+    pub block_spacing_m: f64,
+    /// Whether to add a motorway ring connecting the outer districts.
+    pub motorway_ring: bool,
+    /// Random jitter applied to vertex positions, in metres.
+    pub position_jitter_m: f64,
+    /// Seed for the jitter.
+    pub seed: u64,
+}
+
+impl SyntheticNetworkConfig {
+    /// A small network for unit tests: 4x3 districts, ~200 vertices.
+    pub fn tiny() -> Self {
+        SyntheticNetworkConfig {
+            districts_x: 4,
+            districts_y: 3,
+            district_spacing_m: 3000.0,
+            blocks_per_district: 3,
+            block_spacing_m: 200.0,
+            motorway_ring: true,
+            position_jitter_m: 20.0,
+            seed: 0xC0FFEE,
+        }
+    }
+
+    /// A Denmark-like (N1) network at laptop scale: a wide area, long
+    /// motorway distances, sparse rural districts.
+    pub fn denmark_like() -> Self {
+        SyntheticNetworkConfig {
+            districts_x: 12,
+            districts_y: 9,
+            district_spacing_m: 9000.0,
+            blocks_per_district: 4,
+            block_spacing_m: 350.0,
+            motorway_ring: true,
+            position_jitter_m: 120.0,
+            seed: 0xD1,
+        }
+    }
+
+    /// A Chengdu-like (N2) network: a compact, dense urban grid.
+    pub fn chengdu_like() -> Self {
+        SyntheticNetworkConfig {
+            districts_x: 9,
+            districts_y: 7,
+            district_spacing_m: 3200.0,
+            blocks_per_district: 5,
+            block_spacing_m: 220.0,
+            motorway_ring: true,
+            position_jitter_m: 60.0,
+            seed: 0xD2,
+        }
+    }
+}
+
+/// A generated road network together with its district metadata.
+#[derive(Debug, Clone)]
+pub struct SyntheticNetwork {
+    /// The road network itself.
+    pub net: RoadNetwork,
+    /// The districts of the city.
+    pub districts: Vec<District>,
+    /// The configuration used to generate the network.
+    pub config: SyntheticNetworkConfig,
+}
+
+impl SyntheticNetwork {
+    /// The district that contains `v`, if any.
+    pub fn district_of(&self, v: VertexId) -> Option<usize> {
+        self.districts
+            .iter()
+            .position(|d| d.vertices.contains(&v))
+    }
+
+    /// Straight-line distance between two district centres, in metres.
+    pub fn district_distance_m(&self, a: usize, b: usize) -> f64 {
+        self.net
+            .vertex(self.districts[a].center)
+            .point
+            .distance(&self.net.vertex(self.districts[b].center).point)
+    }
+}
+
+/// Decides the function of the district at grid position `(x, y)`:
+/// the city core is business, the fringe corners are industrial, the rest is
+/// residential.
+fn district_kind(x: usize, y: usize, nx: usize, ny: usize) -> DistrictKind {
+    let cx = (nx as f64 - 1.0) / 2.0;
+    let cy = (ny as f64 - 1.0) / 2.0;
+    let dx = (x as f64 - cx).abs() / nx.max(1) as f64;
+    let dy = (y as f64 - cy).abs() / ny.max(1) as f64;
+    let r = (dx * dx + dy * dy).sqrt();
+    if r < 0.22 {
+        DistrictKind::Business
+    } else if (x == 0 || x == nx - 1) && (y == 0 || y == ny - 1) {
+        DistrictKind::Industrial
+    } else {
+        DistrictKind::Residential
+    }
+}
+
+/// Road type of the arterial between two adjacent district centres.
+fn arterial_type(a: DistrictKind, b: DistrictKind) -> RoadType {
+    match (a, b) {
+        (DistrictKind::Business, DistrictKind::Business) => RoadType::Primary,
+        (DistrictKind::Business, _) | (_, DistrictKind::Business) => RoadType::Primary,
+        (DistrictKind::Industrial, _) | (_, DistrictKind::Industrial) => RoadType::Trunk,
+        _ => RoadType::Secondary,
+    }
+}
+
+/// Generates a synthetic network from a configuration.
+pub fn generate_network(config: &SyntheticNetworkConfig) -> SyntheticNetwork {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let nx = config.districts_x.max(2);
+    let ny = config.districts_y.max(2);
+    let blocks = config.blocks_per_district.max(2);
+
+    let mut builder = RoadNetworkBuilder::with_capacity(
+        nx * ny * (blocks * blocks + 1),
+        nx * ny * (blocks * blocks * 2 + 8),
+    );
+    let jitter = |rng: &mut StdRng| -> f64 {
+        (rng.gen::<f64>() * 2.0 - 1.0) * config.position_jitter_m
+    };
+
+    // District centres laid out on a grid.
+    let mut centers: Vec<Vec<VertexId>> = Vec::with_capacity(ny);
+    let mut districts: Vec<District> = Vec::with_capacity(nx * ny);
+    for y in 0..ny {
+        let mut row = Vec::with_capacity(nx);
+        for x in 0..nx {
+            let px = x as f64 * config.district_spacing_m + jitter(&mut rng);
+            let py = y as f64 * config.district_spacing_m + jitter(&mut rng);
+            let center = builder.add_vertex(Point::new(px, py));
+            row.push(center);
+            districts.push(District {
+                index: y * nx + x,
+                grid_pos: (x, y),
+                center,
+                vertices: vec![center],
+                kind: district_kind(x, y, nx, ny),
+            });
+        }
+        centers.push(row);
+    }
+
+    // Arterial grid between adjacent district centres.
+    for y in 0..ny {
+        for x in 0..nx {
+            let here = centers[y][x];
+            let kind_here = districts[y * nx + x].kind;
+            if x + 1 < nx {
+                let right = centers[y][x + 1];
+                let rt = arterial_type(kind_here, districts[y * nx + x + 1].kind);
+                builder.add_two_way(here, right, rt).expect("valid arterial");
+            }
+            if y + 1 < ny {
+                let up = centers[y + 1][x];
+                let rt = arterial_type(kind_here, districts[(y + 1) * nx + x].kind);
+                builder.add_two_way(here, up, rt).expect("valid arterial");
+            }
+        }
+    }
+
+    // Trunk axes through the middle row and column (faster cross-city travel).
+    let mid_y = ny / 2;
+    for x in 0..nx - 1 {
+        builder
+            .add_two_way(centers[mid_y][x], centers[mid_y][x + 1], RoadType::Trunk)
+            .expect("valid trunk");
+    }
+    let mid_x = nx / 2;
+    for y in 0..ny - 1 {
+        builder
+            .add_two_way(centers[y][mid_x], centers[y + 1][mid_x], RoadType::Trunk)
+            .expect("valid trunk");
+    }
+
+    // Motorway ring around the city (outer district centres), giving a
+    // longer-but-faster alternative for cross-city and long-distance trips.
+    if config.motorway_ring {
+        let mut ring: Vec<VertexId> = Vec::new();
+        for x in 0..nx {
+            ring.push(centers[0][x]);
+        }
+        for y in 1..ny {
+            ring.push(centers[y][nx - 1]);
+        }
+        for x in (0..nx - 1).rev() {
+            ring.push(centers[ny - 1][x]);
+        }
+        for y in (1..ny - 1).rev() {
+            ring.push(centers[y][0]);
+        }
+        for i in 0..ring.len() {
+            let a = ring[i];
+            let b = ring[(i + 1) % ring.len()];
+            builder.add_two_way(a, b, RoadType::Motorway).expect("valid motorway");
+        }
+    }
+
+    // Local street grid inside each district.
+    let local_offset = -((blocks as f64 - 1.0) / 2.0) * config.block_spacing_m;
+    for d in districts.iter_mut() {
+        let center_point = {
+            // Builder vertices are appended in order; district centres were
+            // created first, so their ids are still valid indices.
+            let (x, y) = d.grid_pos;
+            Point::new(
+                x as f64 * config.district_spacing_m,
+                y as f64 * config.district_spacing_m,
+            )
+        };
+        let mut grid_ids: Vec<Vec<VertexId>> = Vec::with_capacity(blocks);
+        for by in 0..blocks {
+            let mut row = Vec::with_capacity(blocks);
+            for bx in 0..blocks {
+                let px = center_point.x + local_offset + bx as f64 * config.block_spacing_m
+                    + jitter(&mut rng) * 0.2;
+                let py = center_point.y + local_offset + by as f64 * config.block_spacing_m
+                    + jitter(&mut rng) * 0.2;
+                let v = builder.add_vertex(Point::new(px, py));
+                d.vertices.push(v);
+                row.push(v);
+            }
+            grid_ids.push(row);
+        }
+        // Residential block edges; business districts use tertiary streets so
+        // that their functionality descriptor differs from suburbs.
+        let street_type = match d.kind {
+            DistrictKind::Business => RoadType::Tertiary,
+            DistrictKind::Residential => RoadType::Residential,
+            DistrictKind::Industrial => RoadType::Tertiary,
+        };
+        for by in 0..blocks {
+            for bx in 0..blocks {
+                if bx + 1 < blocks {
+                    builder
+                        .add_two_way(grid_ids[by][bx], grid_ids[by][bx + 1], street_type)
+                        .expect("valid street");
+                }
+                if by + 1 < blocks {
+                    builder
+                        .add_two_way(grid_ids[by][bx], grid_ids[by + 1][bx], street_type)
+                        .expect("valid street");
+                }
+            }
+        }
+        // Connect the local grid to the district centre with collector roads.
+        let mid = blocks / 2;
+        builder
+            .add_two_way(d.center, grid_ids[mid][mid], RoadType::Tertiary)
+            .expect("valid collector");
+        builder
+            .add_two_way(d.center, grid_ids[0][0], RoadType::Tertiary)
+            .expect("valid collector");
+        builder
+            .add_two_way(d.center, grid_ids[blocks - 1][blocks - 1], RoadType::Tertiary)
+            .expect("valid collector");
+    }
+
+    SyntheticNetwork {
+        net: builder.build(),
+        districts,
+        config: *config,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use l2r_road_network::{fastest_path, shortest_path, CostType};
+
+    #[test]
+    fn tiny_network_has_expected_shape() {
+        let syn = generate_network(&SyntheticNetworkConfig::tiny());
+        let nx = 4;
+        let ny = 3;
+        let blocks = 3;
+        assert_eq!(syn.districts.len(), nx * ny);
+        assert_eq!(syn.net.num_vertices(), nx * ny * (1 + blocks * blocks));
+        assert!(syn.net.num_edges() > 0);
+        // Every district holds its centre plus the local grid.
+        for d in &syn.districts {
+            assert_eq!(d.vertices.len(), 1 + blocks * blocks);
+        }
+    }
+
+    #[test]
+    fn network_contains_the_full_road_hierarchy() {
+        let syn = generate_network(&SyntheticNetworkConfig::tiny());
+        let mut seen = std::collections::HashSet::new();
+        for e in syn.net.edges() {
+            seen.insert(e.road_type);
+        }
+        assert!(seen.contains(&RoadType::Motorway));
+        assert!(seen.contains(&RoadType::Trunk));
+        assert!(seen.contains(&RoadType::Primary));
+        assert!(seen.contains(&RoadType::Residential));
+        assert!(seen.contains(&RoadType::Tertiary));
+    }
+
+    #[test]
+    fn network_is_strongly_connected_enough_for_routing() {
+        let syn = generate_network(&SyntheticNetworkConfig::tiny());
+        // Route between the first vertex of the first district and the last
+        // vertex of the last district.
+        let s = syn.districts.first().unwrap().vertices[1];
+        let d = *syn.districts.last().unwrap().vertices.last().unwrap();
+        let p = fastest_path(&syn.net, s, d).expect("city must be connected");
+        assert!(p.length_m(&syn.net).unwrap() > 0.0);
+        let back = fastest_path(&syn.net, d, s).expect("reverse direction works too");
+        assert!(back.length_m(&syn.net).unwrap() > 0.0);
+    }
+
+    #[test]
+    fn fastest_and_shortest_paths_differ_across_the_city() {
+        let syn = generate_network(&SyntheticNetworkConfig::tiny());
+        // Opposite corners of the city: the fastest path should use the
+        // motorway ring / trunk axes and hence be longer than the shortest.
+        let a = syn.districts.first().unwrap().center;
+        let b = syn.districts.last().unwrap().center;
+        let fast = fastest_path(&syn.net, a, b).unwrap();
+        let short = shortest_path(&syn.net, a, b).unwrap();
+        let fast_time = fast.cost(&syn.net, CostType::TravelTime).unwrap();
+        let short_time = short.cost(&syn.net, CostType::TravelTime).unwrap();
+        assert!(fast_time <= short_time + 1e-6);
+        assert!(fast.length_m(&syn.net).unwrap() >= short.length_m(&syn.net).unwrap() - 1e-6);
+    }
+
+    #[test]
+    fn district_kinds_cover_core_and_fringe() {
+        let syn = generate_network(&SyntheticNetworkConfig::tiny());
+        let kinds: std::collections::HashSet<_> =
+            syn.districts.iter().map(|d| d.kind).collect();
+        assert!(kinds.contains(&DistrictKind::Business));
+        assert!(kinds.contains(&DistrictKind::Residential));
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate_network(&SyntheticNetworkConfig::tiny());
+        let b = generate_network(&SyntheticNetworkConfig::tiny());
+        assert_eq!(a.net.num_vertices(), b.net.num_vertices());
+        assert_eq!(a.net.num_edges(), b.net.num_edges());
+        for (va, vb) in a.net.vertices().iter().zip(b.net.vertices()) {
+            assert_eq!(va.point, vb.point);
+        }
+    }
+
+    #[test]
+    fn district_lookup() {
+        let syn = generate_network(&SyntheticNetworkConfig::tiny());
+        let d0 = &syn.districts[0];
+        assert_eq!(syn.district_of(d0.center), Some(0));
+        assert_eq!(syn.district_of(d0.vertices[1]), Some(0));
+        assert!(syn.district_distance_m(0, syn.districts.len() - 1) > 0.0);
+    }
+
+    #[test]
+    fn presets_scale_sensibly() {
+        let dk = SyntheticNetworkConfig::denmark_like();
+        let cd = SyntheticNetworkConfig::chengdu_like();
+        assert!(dk.district_spacing_m > cd.district_spacing_m);
+        assert!(dk.districts_x * dk.districts_y > 50);
+    }
+}

@@ -1,0 +1,139 @@
+//! Test queries: held-out trajectories turned into routing queries with their
+//! ground-truth (driver-chosen) paths, bucketed by distance and region
+//! coverage as in Section VII-A.
+
+use l2r_core::{L2r, RegionCoverage};
+use l2r_road_network::{Path, RoadNetwork, VertexId};
+use l2r_trajectory::{DriverId, MatchedTrajectory};
+
+/// One evaluation query derived from a held-out trajectory.
+#[derive(Debug, Clone)]
+pub struct TestQuery {
+    /// Query source.
+    pub source: VertexId,
+    /// Query destination.
+    pub destination: VertexId,
+    /// The driver who produced the ground-truth trajectory.
+    pub driver: DriverId,
+    /// Departure time of the trajectory.
+    pub departure_time_s: f64,
+    /// The path the driver actually took (the ground truth of Section VII-A).
+    pub ground_truth: Path,
+    /// Ground-truth travel distance in km (used for distance bucketing).
+    pub distance_km: f64,
+    /// Whether the endpoints are covered by regions of the fitted model.
+    pub coverage: RegionCoverage,
+}
+
+/// Builds evaluation queries from held-out trajectories.
+///
+/// Trivial trajectories and trajectories whose endpoints coincide are
+/// dropped; at most `max_queries` queries are returned (in departure-time
+/// order).
+pub fn build_test_queries(
+    net: &RoadNetwork,
+    model: &L2r,
+    test: &[MatchedTrajectory],
+    max_queries: usize,
+) -> Vec<TestQuery> {
+    let mut queries = Vec::new();
+    for t in test {
+        if queries.len() >= max_queries {
+            break;
+        }
+        let s = t.source();
+        let d = t.destination();
+        if s == d || t.path.is_trivial() {
+            continue;
+        }
+        let Ok(distance_m) = t.path.length_m(net) else { continue };
+        queries.push(TestQuery {
+            source: s,
+            destination: d,
+            driver: t.driver,
+            departure_time_s: t.departure_time_s,
+            ground_truth: t.path.clone(),
+            distance_km: distance_m / 1000.0,
+            coverage: model.coverage(s, d),
+        });
+    }
+    queries
+}
+
+/// Index of the distance bucket a query falls into, given ascending bucket
+/// bounds in km (queries beyond the last bound fall into the final bucket).
+pub fn distance_bucket(distance_km: f64, bounds_km: &[f64]) -> usize {
+    bounds_km
+        .iter()
+        .position(|b| distance_km <= *b)
+        .unwrap_or(bounds_km.len().saturating_sub(1))
+}
+
+/// Human-readable labels of the distance buckets, e.g. `(0,10]`.
+pub fn distance_bucket_labels(bounds_km: &[f64]) -> Vec<String> {
+    let mut labels = Vec::with_capacity(bounds_km.len());
+    let mut lo = 0.0;
+    for b in bounds_km {
+        labels.push(format!("({:.0},{:.0}]", lo, b));
+        lo = *b;
+    }
+    labels
+}
+
+/// Display label of a coverage category.
+pub fn coverage_label(c: RegionCoverage) -> &'static str {
+    match c {
+        RegionCoverage::InRegion => "InRegion",
+        RegionCoverage::InOutRegion => "InOutRegion",
+        RegionCoverage::OutRegion => "OutRegion",
+    }
+}
+
+/// All coverage categories in report order.
+pub const COVERAGE_CATEGORIES: [RegionCoverage; 3] = [
+    RegionCoverage::InRegion,
+    RegionCoverage::InOutRegion,
+    RegionCoverage::OutRegion,
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::{build_dataset, DatasetSpec, Scale};
+
+    #[test]
+    fn queries_are_built_from_held_out_trajectories() {
+        let ds = build_dataset(DatasetSpec::d1(Scale::Quick));
+        let queries = build_test_queries(&ds.synthetic.net, &ds.model, &ds.test, 40);
+        assert!(!queries.is_empty());
+        assert!(queries.len() <= 40);
+        for q in &queries {
+            assert_ne!(q.source, q.destination);
+            assert!(q.distance_km > 0.0);
+            assert_eq!(q.ground_truth.source(), q.source);
+            assert_eq!(q.ground_truth.destination(), q.destination);
+        }
+    }
+
+    #[test]
+    fn distance_bucketing() {
+        let bounds = vec![10.0, 50.0, 100.0, 500.0];
+        assert_eq!(distance_bucket(3.0, &bounds), 0);
+        assert_eq!(distance_bucket(10.0, &bounds), 0);
+        assert_eq!(distance_bucket(30.0, &bounds), 1);
+        assert_eq!(distance_bucket(99.0, &bounds), 2);
+        assert_eq!(distance_bucket(400.0, &bounds), 3);
+        // Beyond the last bound: final bucket.
+        assert_eq!(distance_bucket(900.0, &bounds), 3);
+        let labels = distance_bucket_labels(&bounds);
+        assert_eq!(labels[0], "(0,10]");
+        assert_eq!(labels[3], "(100,500]");
+    }
+
+    #[test]
+    fn coverage_labels_are_stable() {
+        assert_eq!(coverage_label(RegionCoverage::InRegion), "InRegion");
+        assert_eq!(coverage_label(RegionCoverage::OutRegion), "OutRegion");
+        assert_eq!(COVERAGE_CATEGORIES.len(), 3);
+    }
+}

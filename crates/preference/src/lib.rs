@@ -1,0 +1,34 @@
+//! # l2r-preference
+//!
+//! Step 2 of the learn-to-route pipeline (Section V of the paper): the
+//! routing-preference model, learning preferences for T-edges, and
+//! transferring them to B-edges with graph-based transduction learning.
+//!
+//! * [`model`] — the `⟨master, slave⟩` preference vector and its feature
+//!   embedding;
+//! * [`learning`] — the coordinate-descent preference learner for T-edges;
+//! * [`re_sim`] — region-edge descriptors and the `reSim` similarity;
+//! * [`sparse`] / [`solver`] — the sparse matrix and the Jacobi /
+//!   conjugate-gradient solvers behind Equation 3 (substituting the Junto
+//!   library used by the paper);
+//! * [`transfer`] — the transduction step that assigns preferences to
+//!   B-edges (or to held-out T-edges for the Figure 9 accuracy experiments).
+
+#![warn(missing_docs)]
+
+pub mod learning;
+pub mod model;
+pub mod re_sim;
+pub mod solver;
+pub mod sparse;
+pub mod transfer;
+
+pub use learning::{
+    default_candidate_slaves, learn_edge_preference, learn_per_path_preferences, LearnConfig,
+    LearnedPreference,
+};
+pub use model::{Preference, NUM_FEATURES};
+pub use re_sim::{build_descriptors, RegionEdgeDescriptor};
+pub use solver::{conjugate_gradient, jacobi, solve, SolveResult, SolverKind};
+pub use sparse::SparseMatrix;
+pub use transfer::{transfer_preferences, TransferConfig, TransferResult};

@@ -1,0 +1,155 @@
+//! Region-edge descriptors and the region-edge similarity function `reSim`
+//! (Section V-B of the paper).
+//!
+//! A region edge is described by
+//! * `dis` — the Euclidean distance between the centroids of the two regions
+//!   it connects, and
+//! * `F` — the Cartesian product of the two regions' top-k road-type sets
+//!   (their "functionality").
+//!
+//! The similarity of two region edges is
+//! `min(dis)/max(dis) + Jaccard(F_a, F_b)`, i.e. a value in `[0, 2]`.  The
+//! adjacency-matrix threshold `amr` of the paper is expressed on the
+//! normalised value (`reSim / 2 ∈ [0, 1]`), which matches the 0.5–0.9 range
+//! explored in Figure 9(b).
+
+use std::collections::HashSet;
+
+use l2r_road_network::RoadType;
+use l2r_region_graph::{RegionEdge, RegionGraph};
+
+/// Descriptor of a region edge.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegionEdgeDescriptor {
+    /// Euclidean distance between the two region centroids, metres.
+    pub dis_m: f64,
+    /// Functionality: unordered set of road-type pairs (one from each
+    /// region's top-k set).
+    pub function_pairs: HashSet<(RoadType, RoadType)>,
+}
+
+impl RegionEdgeDescriptor {
+    /// Builds the descriptor of `edge` within `rg`.
+    pub fn build(rg: &RegionGraph, edge: &RegionEdge) -> Self {
+        let ra = rg.region(edge.a);
+        let rb = rg.region(edge.b);
+        let dis_m = rg.region_distance_m(edge.a, edge.b);
+        let mut function_pairs = HashSet::new();
+        for ta in ra.function.iter() {
+            for tb in rb.function.iter() {
+                // Unordered pair: normalise so (x, y) == (y, x).
+                let pair = if ta.index() <= tb.index() { (ta, tb) } else { (tb, ta) };
+                function_pairs.insert(pair);
+            }
+        }
+        RegionEdgeDescriptor {
+            dis_m,
+            function_pairs,
+        }
+    }
+
+    /// Raw `reSim` in `[0, 2]`: distance-ratio similarity plus Jaccard of the
+    /// functionality sets.
+    pub fn similarity(&self, other: &RegionEdgeDescriptor) -> f64 {
+        let (lo, hi) = if self.dis_m <= other.dis_m {
+            (self.dis_m, other.dis_m)
+        } else {
+            (other.dis_m, self.dis_m)
+        };
+        let dist_sim = if hi <= 0.0 { 1.0 } else { (lo / hi).clamp(0.0, 1.0) };
+        let inter = self.function_pairs.intersection(&other.function_pairs).count();
+        let union = self.function_pairs.union(&other.function_pairs).count();
+        let func_sim = if union == 0 { 1.0 } else { inter as f64 / union as f64 };
+        dist_sim + func_sim
+    }
+
+    /// Normalised similarity in `[0, 1]` (used with the `amr` threshold).
+    pub fn normalized_similarity(&self, other: &RegionEdgeDescriptor) -> f64 {
+        self.similarity(other) / 2.0
+    }
+}
+
+/// Builds descriptors for a list of region edges, in the same order.
+pub fn build_descriptors(rg: &RegionGraph, edges: &[&RegionEdge]) -> Vec<RegionEdgeDescriptor> {
+    edges.iter().map(|e| RegionEdgeDescriptor::build(rg, e)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn descr(dis_m: f64, pairs: &[(RoadType, RoadType)]) -> RegionEdgeDescriptor {
+        RegionEdgeDescriptor {
+            dis_m,
+            function_pairs: pairs.iter().copied().collect(),
+        }
+    }
+
+    #[test]
+    fn identical_descriptors_have_maximum_similarity() {
+        let a = descr(5000.0, &[(RoadType::Primary, RoadType::Residential)]);
+        assert!((a.similarity(&a) - 2.0).abs() < 1e-12);
+        assert!((a.normalized_similarity(&a) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn distance_ratio_component() {
+        let a = descr(2000.0, &[(RoadType::Primary, RoadType::Primary)]);
+        let b = descr(4000.0, &[(RoadType::Primary, RoadType::Primary)]);
+        // dist sim = 0.5, func sim = 1 -> 1.5 raw, 0.75 normalised.
+        assert!((a.similarity(&b) - 1.5).abs() < 1e-12);
+        assert!((a.normalized_similarity(&b) - 0.75).abs() < 1e-12);
+        // Symmetry.
+        assert!((a.similarity(&b) - b.similarity(&a)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn function_jaccard_component() {
+        let a = descr(
+            3000.0,
+            &[
+                (RoadType::Primary, RoadType::Residential),
+                (RoadType::Primary, RoadType::Primary),
+            ],
+        );
+        let b = descr(3000.0, &[(RoadType::Primary, RoadType::Residential)]);
+        // dist sim = 1, Jaccard = 1/2 -> 1.5.
+        assert!((a.similarity(&b) - 1.5).abs() < 1e-12);
+        let c = descr(3000.0, &[(RoadType::Motorway, RoadType::Motorway)]);
+        // Disjoint functionality: 1 + 0.
+        assert!((a.similarity(&c) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_distances() {
+        let a = descr(0.0, &[]);
+        let b = descr(0.0, &[]);
+        // Both zero distance and both empty functionality: fully similar.
+        assert!((a.similarity(&b) - 2.0).abs() < 1e-12);
+        let c = descr(100.0, &[]);
+        // lo/hi with lo = 0 gives 0 distance similarity.
+        assert!((a.similarity(&c) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn descriptor_from_region_graph_is_consistent() {
+        use l2r_datagen::{generate_network, generate_workload, SyntheticNetworkConfig, WorkloadConfig};
+        use l2r_region_graph::{bottom_up_clustering, RegionGraph, TrajectoryGraph};
+
+        let syn = generate_network(&SyntheticNetworkConfig::tiny());
+        let wl = generate_workload(&syn, &WorkloadConfig::tiny(150));
+        let tg = TrajectoryGraph::build(&syn.net, &wl.trajectories);
+        let clusters = bottom_up_clustering(&tg);
+        let rg = RegionGraph::build(&syn.net, &clusters, &wl.trajectories, 2);
+        let edges: Vec<&RegionEdge> = rg.edges().iter().collect();
+        assert!(!edges.is_empty());
+        let descriptors = build_descriptors(&rg, &edges);
+        assert_eq!(descriptors.len(), edges.len());
+        for (d, e) in descriptors.iter().zip(&edges) {
+            assert!(d.dis_m >= 0.0);
+            assert!((d.dis_m - rg.region_distance_m(e.a, e.b)).abs() < 1e-9);
+            // Self-similarity is always maximal.
+            assert!((d.normalized_similarity(d) - 1.0).abs() < 1e-12);
+        }
+    }
+}

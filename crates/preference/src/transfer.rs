@@ -1,0 +1,349 @@
+//! Transferring routing preferences from T-edges to B-edges with graph-based
+//! transduction learning (Section V-B, Step 2).
+//!
+//! A similarity graph is built over region edges (labelled T-edges plus the
+//! target edges whose preference is unknown); similarities below the
+//! adjacency-matrix-reduction threshold `amr` are dropped.  The transferred
+//! preference matrix `Ŷ` minimises the objective of Equation 2, obtained by
+//! solving `(S + μ₁L + μ₂I)·Ŷ_x = S·Y_x` per feature column (Equation 3).
+//! Target edges whose row of `Ŷ` stays (numerically) zero — typically because
+//! the similarity graph left them disconnected from every labelled edge —
+//! receive a *null* preference; the caller falls back to fastest paths for
+//! them, as the paper does.
+
+use std::collections::HashMap;
+
+use l2r_region_graph::{RegionEdgeId, RegionGraph};
+
+use crate::model::{Preference, NUM_FEATURES};
+use crate::re_sim::RegionEdgeDescriptor;
+use crate::solver::{solve, SolverKind};
+use crate::sparse::SparseMatrix;
+
+/// Configuration of the transfer step.
+#[derive(Debug, Clone, Copy)]
+pub struct TransferConfig {
+    /// Adjacency-matrix reduction threshold on the *normalised* region-edge
+    /// similarity (`reSim/2 ∈ [0, 1]`); pairs below it are not connected.
+    pub amr: f64,
+    /// Weight of the Laplacian (smoothness) term.
+    pub mu1: f64,
+    /// Weight of the L2 regularisation term.
+    pub mu2: f64,
+    /// Which linear solver to use.
+    pub solver: SolverKind,
+    /// Relative residual tolerance of the solver.
+    pub tolerance: f64,
+    /// Iteration budget of the solver.
+    pub max_iterations: usize,
+    /// Minimum probability mass required on the best road-type column for a
+    /// slave feature to be adopted during decoding.
+    pub slave_threshold: f64,
+}
+
+impl Default for TransferConfig {
+    fn default() -> Self {
+        TransferConfig {
+            amr: 0.7,
+            mu1: 1.0,
+            mu2: 0.01,
+            solver: SolverKind::ConjugateGradient,
+            tolerance: 1e-8,
+            max_iterations: 500,
+            slave_threshold: 0.05,
+        }
+    }
+}
+
+/// Result of a transfer run.
+#[derive(Debug, Clone)]
+pub struct TransferResult {
+    /// Transferred preference per target edge (`None` = null preference).
+    pub preferences: HashMap<RegionEdgeId, Option<Preference>>,
+    /// Fraction of target edges that received a null preference.
+    pub null_rate: f64,
+    /// Number of edges (labelled + target) in the similarity graph.
+    pub graph_size: usize,
+    /// Number of non-zero similarity entries kept after applying `amr`.
+    pub similarity_edges: usize,
+    /// Total solver iterations summed over the feature columns.
+    pub solver_iterations: usize,
+}
+
+/// Transfers preferences from labelled edges to `targets`.
+///
+/// * `labeled` — learned preferences of T-edges (the training data).
+/// * `targets` — region edges to infer preferences for (B-edges during the
+///   normal pipeline; held-out T-edges in the Figure 9 experiments).
+pub fn transfer_preferences(
+    rg: &RegionGraph,
+    labeled: &HashMap<RegionEdgeId, Preference>,
+    targets: &[RegionEdgeId],
+    config: &TransferConfig,
+) -> TransferResult {
+    // Order: labelled edges first, then targets (mirrors the paper's S
+    // construction); an edge that is both labelled and a target is treated as
+    // a target so that the experiments can hold out known labels.
+    let mut ids: Vec<RegionEdgeId> = Vec::new();
+    let target_set: std::collections::HashSet<RegionEdgeId> = targets.iter().copied().collect();
+    for id in labeled.keys() {
+        if !target_set.contains(id) {
+            ids.push(*id);
+        }
+    }
+    let num_labeled = ids.len();
+    ids[..num_labeled].sort();
+    let mut target_ids: Vec<RegionEdgeId> = targets.to_vec();
+    target_ids.sort();
+    target_ids.dedup();
+    ids.extend(target_ids.iter().copied());
+    let n = ids.len();
+
+    if n == 0 || num_labeled == 0 {
+        // Nothing to learn from: every target gets a null preference.
+        let preferences: HashMap<RegionEdgeId, Option<Preference>> =
+            target_ids.iter().map(|id| (*id, None)).collect();
+        let null_rate = if target_ids.is_empty() { 0.0 } else { 1.0 };
+        return TransferResult {
+            preferences,
+            null_rate,
+            graph_size: n,
+            similarity_edges: 0,
+            solver_iterations: 0,
+        };
+    }
+
+    // Descriptors and the thresholded similarity (adjacency) matrix M.
+    let descriptors: Vec<RegionEdgeDescriptor> = ids
+        .iter()
+        .map(|id| RegionEdgeDescriptor::build(rg, rg.edge(*id)))
+        .collect();
+    let mut m = SparseMatrix::zeros(n);
+    let mut similarity_edges = 0usize;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let s = descriptors[i].normalized_similarity(&descriptors[j]);
+            if s >= config.amr {
+                m.add(i, j, s);
+                m.add(j, i, s);
+                similarity_edges += 1;
+            }
+        }
+    }
+
+    // A = S + mu1 * L + mu2 * I, with L = D - M.
+    let mut a = SparseMatrix::zeros(n);
+    for i in 0..n {
+        let degree = m.row_sum(i);
+        let s_ii = if i < num_labeled { 1.0 } else { 0.0 };
+        a.add(i, i, s_ii + config.mu1 * degree + config.mu2);
+        for (j, v) in m.row(i) {
+            if *j != i {
+                a.add(i, *j, -config.mu1 * v);
+            }
+        }
+    }
+
+    // Solve one system per feature column.
+    let mut y_hat = vec![[0.0f64; NUM_FEATURES]; n];
+    let mut solver_iterations = 0usize;
+    for x in 0..NUM_FEATURES {
+        let mut b = vec![0.0; n];
+        let mut any = false;
+        for (i, id) in ids.iter().take(num_labeled).enumerate() {
+            let row = labeled[id].to_feature_row();
+            if row[x] != 0.0 {
+                b[i] = row[x]; // S·Y has ones only on labelled rows
+                any = true;
+            }
+        }
+        if !any {
+            continue;
+        }
+        let res = solve(config.solver, &a, &b, config.tolerance, config.max_iterations);
+        solver_iterations += res.iterations;
+        for i in 0..n {
+            y_hat[i][x] = res.x[i];
+        }
+    }
+
+    // Decode the target rows.
+    let mut preferences = HashMap::with_capacity(target_ids.len());
+    let mut nulls = 0usize;
+    for id in &target_ids {
+        let idx = ids.iter().position(|x| x == id).expect("target is in the id list");
+        let pref = Preference::from_feature_row(&y_hat[idx], config.slave_threshold);
+        if pref.is_none() {
+            nulls += 1;
+        }
+        preferences.insert(*id, pref);
+    }
+    let null_rate = if target_ids.is_empty() {
+        0.0
+    } else {
+        nulls as f64 / target_ids.len() as f64
+    };
+
+    TransferResult {
+        preferences,
+        null_rate,
+        graph_size: n,
+        similarity_edges,
+        solver_iterations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use l2r_datagen::{generate_network, generate_workload, SyntheticNetworkConfig, WorkloadConfig};
+    use l2r_region_graph::{bottom_up_clustering, RegionGraph, TrajectoryGraph};
+    use l2r_road_network::{CostType, RoadType, RoadTypeSet};
+
+    fn build_region_graph() -> RegionGraph {
+        let syn = generate_network(&SyntheticNetworkConfig::tiny());
+        let wl = generate_workload(&syn, &WorkloadConfig::tiny(250));
+        let tg = TrajectoryGraph::build(&syn.net, &wl.trajectories);
+        let clusters = bottom_up_clustering(&tg);
+        RegionGraph::build(&syn.net, &clusters, &wl.trajectories, 2)
+    }
+
+    fn label_all_t_edges(rg: &RegionGraph) -> HashMap<RegionEdgeId, Preference> {
+        // Synthetic labels: alternate between two preferences so the transfer
+        // has signal to propagate.
+        rg.t_edges()
+            .enumerate()
+            .map(|(i, e)| {
+                let pref = if i % 2 == 0 {
+                    Preference {
+                        master: CostType::TravelTime,
+                        slave: Some(RoadTypeSet::single(RoadType::Motorway)),
+                    }
+                } else {
+                    Preference {
+                        master: CostType::Distance,
+                        slave: Some(RoadTypeSet::single(RoadType::Residential)),
+                    }
+                };
+                (e.id, pref)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn transfer_assigns_preferences_to_b_edges() {
+        let rg = build_region_graph();
+        let labeled = label_all_t_edges(&rg);
+        let targets: Vec<RegionEdgeId> = rg.b_edges().map(|e| e.id).collect();
+        assert!(!labeled.is_empty());
+        assert!(!targets.is_empty(), "the tiny workload must produce some B-edges");
+        let result = transfer_preferences(&rg, &labeled, &targets, &TransferConfig::default());
+        assert_eq!(result.preferences.len(), targets.len());
+        assert!(result.null_rate < 1.0, "at least some B-edges must receive a preference");
+        // Every decoded preference uses a valid master feature.
+        for p in result.preferences.values().flatten() {
+            assert!(CostType::ALL.contains(&p.master));
+        }
+        assert!(result.graph_size >= targets.len());
+    }
+
+    #[test]
+    fn holding_out_labels_recovers_similar_preferences() {
+        // Label all T-edges with the *same* preference, hold a fifth of them
+        // out, and check that the transferred preferences match the held-out
+        // ground truth (the Figure 9(a) accuracy methodology).
+        let rg = build_region_graph();
+        let uniform = Preference {
+            master: CostType::TravelTime,
+            slave: Some(RoadTypeSet::single(RoadType::Motorway)),
+        };
+        let all: Vec<RegionEdgeId> = rg.t_edges().map(|e| e.id).collect();
+        assert!(all.len() >= 5);
+        let held_out: Vec<RegionEdgeId> = all.iter().step_by(5).copied().collect();
+        let labeled: HashMap<RegionEdgeId, Preference> = all
+            .iter()
+            .filter(|id| !held_out.contains(id))
+            .map(|id| (*id, uniform))
+            .collect();
+        let mut config = TransferConfig::default();
+        config.amr = 0.5; // denser graph so every held-out edge is reachable
+        let result = transfer_preferences(&rg, &labeled, &held_out, &config);
+        let mut correct = 0usize;
+        let mut assigned = 0usize;
+        for p in result.preferences.values() {
+            if let Some(p) = p {
+                assigned += 1;
+                if p.master == uniform.master {
+                    correct += 1;
+                }
+            }
+        }
+        assert!(assigned > 0);
+        assert!(
+            correct as f64 / assigned as f64 > 0.9,
+            "uniform labels should transfer almost perfectly ({correct}/{assigned})"
+        );
+    }
+
+    #[test]
+    fn higher_amr_produces_sparser_graphs_and_more_nulls() {
+        let rg = build_region_graph();
+        let labeled = label_all_t_edges(&rg);
+        let targets: Vec<RegionEdgeId> = rg.b_edges().map(|e| e.id).collect();
+        let loose = transfer_preferences(
+            &rg,
+            &labeled,
+            &targets,
+            &TransferConfig { amr: 0.5, ..TransferConfig::default() },
+        );
+        let strict = transfer_preferences(
+            &rg,
+            &labeled,
+            &targets,
+            &TransferConfig { amr: 0.95, ..TransferConfig::default() },
+        );
+        assert!(strict.similarity_edges <= loose.similarity_edges);
+        assert!(strict.null_rate >= loose.null_rate);
+    }
+
+    #[test]
+    fn no_labels_means_all_null() {
+        let rg = build_region_graph();
+        let targets: Vec<RegionEdgeId> = rg.b_edges().map(|e| e.id).collect();
+        let result =
+            transfer_preferences(&rg, &HashMap::new(), &targets, &TransferConfig::default());
+        assert_eq!(result.null_rate, 1.0);
+        assert!(result.preferences.values().all(|p| p.is_none()));
+    }
+
+    #[test]
+    fn jacobi_and_cg_agree_on_transferred_masters() {
+        let rg = build_region_graph();
+        let labeled = label_all_t_edges(&rg);
+        let targets: Vec<RegionEdgeId> = rg.b_edges().map(|e| e.id).collect();
+        let cg = transfer_preferences(&rg, &labeled, &targets, &TransferConfig::default());
+        let ja = transfer_preferences(
+            &rg,
+            &labeled,
+            &targets,
+            &TransferConfig {
+                solver: SolverKind::Jacobi,
+                max_iterations: 2000,
+                ..TransferConfig::default()
+            },
+        );
+        let mut agreements = 0usize;
+        let mut comparable = 0usize;
+        for (id, p) in &cg.preferences {
+            if let (Some(a), Some(b)) = (p, ja.preferences.get(id).copied().flatten()) {
+                comparable += 1;
+                if a.master == b.master {
+                    agreements += 1;
+                }
+            }
+        }
+        if comparable > 0 {
+            assert!(agreements as f64 / comparable as f64 > 0.8);
+        }
+    }
+}

@@ -1,0 +1,126 @@
+//! Region size statistics (Table IV of the paper): bucketed convex-hull
+//! areas and the maximum region diameter per bucket.
+
+use crate::region::Region;
+
+/// One row of the Table IV report: an area bucket with its count, share and
+/// the maximum diameter observed inside the bucket.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegionSizeBucket {
+    /// Lower area bound (exclusive), km².
+    pub lo_km2: f64,
+    /// Upper area bound (inclusive), km²; `f64::INFINITY` for the last bucket.
+    pub hi_km2: f64,
+    /// Number of regions in the bucket.
+    pub count: usize,
+    /// Share of all regions, 0–100.
+    pub percentage: f64,
+    /// Maximum hull diameter among the bucket's regions, km.
+    pub max_diameter_km: f64,
+}
+
+/// Computes the region-size distribution over the given area bucket bounds
+/// (km², ascending).  A final open bucket (`> last bound`) is added
+/// automatically.
+pub fn region_size_distribution(regions: &[Region], bounds_km2: &[f64]) -> Vec<RegionSizeBucket> {
+    let total = regions.len().max(1) as f64;
+    let mut buckets: Vec<RegionSizeBucket> = Vec::with_capacity(bounds_km2.len() + 1);
+    let mut lo = 0.0;
+    for &hi in bounds_km2 {
+        buckets.push(RegionSizeBucket {
+            lo_km2: lo,
+            hi_km2: hi,
+            count: 0,
+            percentage: 0.0,
+            max_diameter_km: 0.0,
+        });
+        lo = hi;
+    }
+    buckets.push(RegionSizeBucket {
+        lo_km2: lo,
+        hi_km2: f64::INFINITY,
+        count: 0,
+        percentage: 0.0,
+        max_diameter_km: 0.0,
+    });
+    for r in regions {
+        let area = r.hull_area_km2();
+        let idx = buckets
+            .iter()
+            .position(|b| area > b.lo_km2 && area <= b.hi_km2)
+            .unwrap_or(0); // zero-area (single-vertex) regions land in the first bucket
+        buckets[idx].count += 1;
+        buckets[idx].max_diameter_km = buckets[idx].max_diameter_km.max(r.diameter_km());
+    }
+    for b in &mut buckets {
+        b.percentage = b.count as f64 / total * 100.0;
+    }
+    buckets
+}
+
+/// The bucket bounds used for the D1 (Denmark) report in Table IV (km²).
+pub fn d1_bounds_km2() -> Vec<f64> {
+    vec![2.0, 10.0, 100.0]
+}
+
+/// The bucket bounds used for the D2 (Chengdu) report in Table IV (km²).
+pub fn d2_bounds_km2() -> Vec<f64> {
+    vec![2.0, 5.0, 10.0]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::region::RegionId;
+    use l2r_road_network::{Point, RoadNetworkBuilder, RoadType, VertexId};
+
+    fn region_with_square(id: u32, side_m: f64) -> Region {
+        let mut b = RoadNetworkBuilder::new();
+        let v0 = b.add_vertex(Point::new(0.0, 0.0));
+        let v1 = b.add_vertex(Point::new(side_m, 0.0));
+        let v2 = b.add_vertex(Point::new(side_m, side_m));
+        let v3 = b.add_vertex(Point::new(0.0, side_m));
+        b.add_two_way(v0, v1, RoadType::Primary).unwrap();
+        b.add_two_way(v1, v2, RoadType::Primary).unwrap();
+        b.add_two_way(v2, v3, RoadType::Primary).unwrap();
+        b.add_two_way(v3, v0, RoadType::Primary).unwrap();
+        let net = b.build();
+        Region::build(
+            RegionId(id),
+            &net,
+            vec![VertexId(0), VertexId(1), VertexId(2), VertexId(3)],
+            1.0,
+            Some(RoadType::Primary),
+            2,
+        )
+    }
+
+    #[test]
+    fn buckets_cover_all_regions_and_percentages_sum_to_100() {
+        let regions = vec![
+            region_with_square(0, 1000.0),  // 1 km²
+            region_with_square(1, 1000.0),  // 1 km²
+            region_with_square(2, 2500.0),  // 6.25 km²
+            region_with_square(3, 12000.0), // 144 km²
+        ];
+        let buckets = region_size_distribution(&regions, &d1_bounds_km2());
+        assert_eq!(buckets.len(), 4);
+        let total: usize = buckets.iter().map(|b| b.count).sum();
+        assert_eq!(total, regions.len());
+        let pct: f64 = buckets.iter().map(|b| b.percentage).sum();
+        assert!((pct - 100.0).abs() < 1e-9);
+        // The two 1 km² regions are in the first bucket.
+        assert_eq!(buckets[0].count, 2);
+        assert_eq!(buckets[1].count, 1);
+        assert_eq!(buckets[3].count, 1);
+        // Max diameter grows with the bucket.
+        assert!(buckets[3].max_diameter_km > buckets[0].max_diameter_km);
+    }
+
+    #[test]
+    fn empty_region_list() {
+        let buckets = region_size_distribution(&[], &d2_bounds_km2());
+        assert_eq!(buckets.len(), 4);
+        assert!(buckets.iter().all(|b| b.count == 0));
+    }
+}

@@ -1,0 +1,619 @@
+//! The region graph `G_R = (V_R, E_R)` (Section IV-B of the paper).
+//!
+//! Region vertices are the clusters produced by [`crate::clustering`];
+//! region edges come in two flavours:
+//!
+//! * **T-edges** are created from trajectories: if a trajectory visited a
+//!   vertex of region `R_i` and later a vertex of region `R_j`, the edge
+//!   `(R_i, R_j)` exists and is associated with the sub-paths the
+//!   trajectories used between leaving `R_i` and entering `R_j`.  The leave /
+//!   enter vertices become *transfer centers* of the two regions, and the
+//!   sub-path a trajectory used inside a region is stored as an
+//!   *inner-region path*.
+//! * **B-edges** are added by a BFS over the road network to make the region
+//!   graph connected; they carry no paths until Step 3 of the pipeline
+//!   assigns them preference-based paths.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use l2r_road_network::{Path, RoadNetwork, VertexId};
+use l2r_trajectory::MatchedTrajectory;
+
+use crate::clustering::Cluster;
+use crate::region::{Region, RegionId};
+
+/// Identifier of a region edge (dense, `0..num_edges`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RegionEdgeId(pub u32);
+
+impl RegionEdgeId {
+    /// The id as a usable index.
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Whether a region edge was created from trajectories or by the BFS
+/// connectivity pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RegionEdgeKind {
+    /// Trajectory-backed edge with observed paths.
+    TEdge,
+    /// BFS-created edge without observed paths.
+    BEdge,
+}
+
+/// A road-network path associated with a region edge, together with the
+/// number of trajectories that used it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SupportedPath {
+    /// The path (oriented as driven).
+    pub path: Path,
+    /// Number of trajectories that used exactly this path.
+    pub support: usize,
+}
+
+/// An edge of the region graph (stored undirected, endpoints canonicalised
+/// so that `a <= b`).
+#[derive(Debug, Clone)]
+pub struct RegionEdge {
+    /// The edge id.
+    pub id: RegionEdgeId,
+    /// First endpoint (`a <= b`).
+    pub a: RegionId,
+    /// Second endpoint.
+    pub b: RegionId,
+    /// T-edge or B-edge.
+    pub kind: RegionEdgeKind,
+    /// Paths associated with the edge (observed for T-edges, assigned in
+    /// Step 3 for B-edges).
+    pub paths: Vec<SupportedPath>,
+}
+
+impl RegionEdge {
+    /// The endpoint that is not `r` (panics if `r` is not an endpoint —
+    /// callers always hold a valid endpoint).
+    pub fn other(&self, r: RegionId) -> RegionId {
+        if r == self.a {
+            self.b
+        } else {
+            debug_assert_eq!(r, self.b);
+            self.a
+        }
+    }
+
+    /// Whether the edge is trajectory-backed.
+    pub fn is_t_edge(&self) -> bool {
+        self.kind == RegionEdgeKind::TEdge
+    }
+
+    /// Whether the edge was created by the BFS connectivity pass.
+    pub fn is_b_edge(&self) -> bool {
+        self.kind == RegionEdgeKind::BEdge
+    }
+
+    /// Whether the edge has at least one usable path.
+    pub fn has_paths(&self) -> bool {
+        !self.paths.is_empty()
+    }
+}
+
+/// The region graph.
+#[derive(Debug, Clone)]
+pub struct RegionGraph {
+    regions: Vec<Region>,
+    edges: Vec<RegionEdge>,
+    adjacency: Vec<Vec<RegionEdgeId>>,
+    vertex_region: HashMap<VertexId, RegionId>,
+    inner_paths: Vec<Vec<SupportedPath>>,
+    transfer_centers: Vec<Vec<VertexId>>,
+    edge_lookup: HashMap<(RegionId, RegionId), RegionEdgeId>,
+}
+
+fn canonical(a: RegionId, b: RegionId) -> (RegionId, RegionId) {
+    if a <= b {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+impl RegionGraph {
+    /// Builds the region graph from clusters and the training trajectories.
+    ///
+    /// `function_top_k` controls how many road types the region
+    /// functionality descriptor keeps (the paper's top-k road type set).
+    pub fn build(
+        net: &RoadNetwork,
+        clusters: &[Cluster],
+        trajectories: &[MatchedTrajectory],
+        function_top_k: usize,
+    ) -> RegionGraph {
+        // 1. Regions and the vertex -> region map.
+        let mut regions = Vec::with_capacity(clusters.len());
+        let mut vertex_region: HashMap<VertexId, RegionId> = HashMap::new();
+        for (i, c) in clusters.iter().enumerate() {
+            let id = RegionId(i as u32);
+            for v in &c.vertices {
+                vertex_region.insert(*v, id);
+            }
+            regions.push(Region::build(
+                id,
+                net,
+                c.vertices.clone(),
+                c.popularity,
+                c.road_type,
+                function_top_k,
+            ));
+        }
+
+        let mut graph = RegionGraph {
+            adjacency: vec![Vec::new(); regions.len()],
+            inner_paths: vec![Vec::new(); regions.len()],
+            transfer_centers: vec![Vec::new(); regions.len()],
+            regions,
+            edges: Vec::new(),
+            vertex_region,
+            edge_lookup: HashMap::new(),
+        };
+
+        // 2. T-edges, transfer centers and inner-region paths from
+        // trajectories.
+        for t in trajectories {
+            graph.ingest_trajectory(t);
+        }
+
+        // 3. B-edges from a BFS over the road network.
+        graph.add_b_edges(net);
+
+        graph
+    }
+
+    /// Region visits of a trajectory: contiguous runs of path positions that
+    /// lie in the same region, in visit order.
+    fn region_visits(&self, t: &MatchedTrajectory) -> Vec<(RegionId, usize, usize)> {
+        let vs = t.path.vertices();
+        let mut visits: Vec<(RegionId, usize, usize)> = Vec::new();
+        let mut current: Option<(RegionId, usize, usize)> = None;
+        for (i, v) in vs.iter().enumerate() {
+            match (self.vertex_region.get(v).copied(), &mut current) {
+                (Some(r), Some((cr, _, end))) if *cr == r => {
+                    *end = i;
+                }
+                (Some(r), cur) => {
+                    if let Some(done) = cur.take() {
+                        visits.push(done);
+                    }
+                    *cur = Some((r, i, i));
+                }
+                (None, cur) => {
+                    if let Some(done) = cur.take() {
+                        visits.push(done);
+                    }
+                }
+            }
+        }
+        if let Some(done) = current {
+            visits.push(done);
+        }
+        visits
+    }
+
+    /// Adds the T-edges, inner paths and transfer centers contributed by one
+    /// trajectory.
+    fn ingest_trajectory(&mut self, t: &MatchedTrajectory) {
+        let vs = t.path.vertices();
+        let visits = self.region_visits(t);
+
+        // Inner-region paths (a visit spanning more than one vertex) and
+        // transfer centers (entry and exit vertices of each visit).
+        for &(r, start, end) in &visits {
+            let centers = &mut self.transfer_centers[r.idx()];
+            for idx in [start, end] {
+                if !centers.contains(&vs[idx]) {
+                    centers.push(vs[idx]);
+                }
+            }
+            if end > start {
+                let inner = Path::new(vs[start..=end].to_vec()).expect("non-empty slice");
+                push_supported(&mut self.inner_paths[r.idx()], inner);
+            }
+        }
+
+        // T-edges between every ordered pair of visited regions.
+        for i in 0..visits.len() {
+            for j in (i + 1)..visits.len() {
+                let (ri, _, exit_i) = visits[i];
+                let (rj, enter_j, _) = visits[j];
+                if ri == rj {
+                    continue;
+                }
+                let sub = Path::new(vs[exit_i..=enter_j].to_vec()).expect("non-empty slice");
+                let eid = self.ensure_edge(ri, rj, RegionEdgeKind::TEdge);
+                // A later trajectory may upgrade a B-edge to a T-edge; the
+                // BFS pass runs last, so during ingestion every edge is a
+                // T-edge already.
+                push_supported(&mut self.edges[eid.idx()].paths, sub);
+            }
+        }
+    }
+
+    /// Ensures an edge between two regions exists, returning its id.  An
+    /// existing edge keeps its kind, except that a `TEdge` request upgrades a
+    /// `BEdge`.
+    fn ensure_edge(&mut self, a: RegionId, b: RegionId, kind: RegionEdgeKind) -> RegionEdgeId {
+        let key = canonical(a, b);
+        if let Some(id) = self.edge_lookup.get(&key) {
+            if kind == RegionEdgeKind::TEdge {
+                self.edges[id.idx()].kind = RegionEdgeKind::TEdge;
+            }
+            return *id;
+        }
+        let id = RegionEdgeId(self.edges.len() as u32);
+        self.edges.push(RegionEdge {
+            id,
+            a: key.0,
+            b: key.1,
+            kind,
+            paths: Vec::new(),
+        });
+        self.adjacency[key.0.idx()].push(id);
+        self.adjacency[key.1.idx()].push(id);
+        self.edge_lookup.insert(key, id);
+        id
+    }
+
+    /// BFS construction of B-edges (Section IV-B): for every region, walk the
+    /// road network outwards without passing *through* other regions; every
+    /// distinct region reached that is not yet connected gets a B-edge.
+    fn add_b_edges(&mut self, net: &RoadNetwork) {
+        let region_ids: Vec<RegionId> = self.regions.iter().map(|r| r.id).collect();
+        for ri in region_ids {
+            let mut visited: HashSet<VertexId> = HashSet::new();
+            let mut queue: VecDeque<VertexId> = VecDeque::new();
+            for v in &self.regions[ri.idx()].vertices {
+                visited.insert(*v);
+                queue.push_back(*v);
+            }
+            let mut reached: HashSet<RegionId> = HashSet::new();
+            while let Some(v) = queue.pop_front() {
+                let owner = self.vertex_region.get(&v).copied();
+                if let Some(rj) = owner {
+                    if rj != ri {
+                        // Reached a foreign region: record it and do not
+                        // expand beyond it.
+                        reached.insert(rj);
+                        continue;
+                    }
+                }
+                for e in net.out_edges(v) {
+                    if visited.insert(e.to) {
+                        queue.push_back(e.to);
+                    }
+                }
+            }
+            for rj in reached {
+                self.ensure_edge(ri, rj, RegionEdgeKind::BEdge);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Accessors
+    // ------------------------------------------------------------------
+
+    /// All regions.
+    pub fn regions(&self) -> &[Region] {
+        &self.regions
+    }
+
+    /// Number of regions.
+    pub fn num_regions(&self) -> usize {
+        self.regions.len()
+    }
+
+    /// The region with the given id.
+    pub fn region(&self, id: RegionId) -> &Region {
+        &self.regions[id.idx()]
+    }
+
+    /// All region edges.
+    pub fn edges(&self) -> &[RegionEdge] {
+        &self.edges
+    }
+
+    /// Number of region edges.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The edge with the given id.
+    pub fn edge(&self, id: RegionEdgeId) -> &RegionEdge {
+        &self.edges[id.idx()]
+    }
+
+    /// T-edges only.
+    pub fn t_edges(&self) -> impl Iterator<Item = &RegionEdge> {
+        self.edges.iter().filter(|e| e.is_t_edge())
+    }
+
+    /// B-edges only.
+    pub fn b_edges(&self) -> impl Iterator<Item = &RegionEdge> {
+        self.edges.iter().filter(|e| e.is_b_edge())
+    }
+
+    /// The region containing `v`, if any.
+    pub fn region_of(&self, v: VertexId) -> Option<RegionId> {
+        self.vertex_region.get(&v).copied()
+    }
+
+    /// Ids of the edges incident to `r`.
+    pub fn adjacent_edges(&self, r: RegionId) -> &[RegionEdgeId] {
+        &self.adjacency[r.idx()]
+    }
+
+    /// The edge between two regions, if any.
+    pub fn edge_between(&self, a: RegionId, b: RegionId) -> Option<RegionEdgeId> {
+        self.edge_lookup.get(&canonical(a, b)).copied()
+    }
+
+    /// Observed inner-region paths of `r`.
+    pub fn inner_paths(&self, r: RegionId) -> &[SupportedPath] {
+        &self.inner_paths[r.idx()]
+    }
+
+    /// Transfer centers of `r` (vertices where trajectories entered or left
+    /// the region).
+    pub fn transfer_centers(&self, r: RegionId) -> &[VertexId] {
+        &self.transfer_centers[r.idx()]
+    }
+
+    /// Transfer centers of `r`, falling back to the vertex closest to the
+    /// region centroid when no trajectory crossed the region boundary.
+    pub fn transfer_centers_or_default(&self, net: &RoadNetwork, r: RegionId) -> Vec<VertexId> {
+        let centers = &self.transfer_centers[r.idx()];
+        if !centers.is_empty() {
+            return centers.clone();
+        }
+        let region = &self.regions[r.idx()];
+        region
+            .vertices
+            .iter()
+            .min_by(|a, b| {
+                let da = net.vertex(**a).point.distance(&region.centroid);
+                let db = net.vertex(**b).point.distance(&region.centroid);
+                da.partial_cmp(&db).unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .map(|v| vec![*v])
+            .unwrap_or_default()
+    }
+
+    /// Euclidean distance between the centroids of two regions, in metres
+    /// (the `dis` element of a region-edge descriptor, Section V-B).
+    pub fn region_distance_m(&self, a: RegionId, b: RegionId) -> f64 {
+        self.regions[a.idx()]
+            .centroid
+            .distance(&self.regions[b.idx()].centroid)
+    }
+
+    /// Replaces the paths associated with an edge (used by pipeline Step 3 to
+    /// attach preference-derived paths to B-edges).
+    pub fn set_edge_paths(&mut self, id: RegionEdgeId, paths: Vec<SupportedPath>) {
+        self.edges[id.idx()].paths = paths;
+    }
+
+    /// Whether the region graph is connected (ignoring regions entirely
+    /// without edges when there is more than one region).
+    pub fn is_connected(&self) -> bool {
+        if self.regions.len() <= 1 {
+            return true;
+        }
+        let mut seen = vec![false; self.regions.len()];
+        let mut queue = VecDeque::new();
+        seen[0] = true;
+        queue.push_back(RegionId(0));
+        let mut count = 1usize;
+        while let Some(r) = queue.pop_front() {
+            for eid in self.adjacent_edges(r) {
+                let other = self.edge(*eid).other(r);
+                if !seen[other.idx()] {
+                    seen[other.idx()] = true;
+                    count += 1;
+                    queue.push_back(other);
+                }
+            }
+        }
+        count == self.regions.len()
+    }
+}
+
+/// Adds `path` to a supported-path list, incrementing the support of an
+/// identical existing path instead of storing a duplicate.
+fn push_supported(list: &mut Vec<SupportedPath>, path: Path) {
+    if let Some(existing) = list.iter_mut().find(|sp| sp.path == path) {
+        existing.support += 1;
+    } else {
+        list.push(SupportedPath { path, support: 1 });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clustering::bottom_up_clustering;
+    use crate::trajectory_graph::TrajectoryGraph;
+    use l2r_road_network::{Point, RoadNetworkBuilder, RoadType};
+    use l2r_trajectory::{DriverId, TrajectoryId};
+
+    fn traj(id: u32, vs: Vec<u32>) -> MatchedTrajectory {
+        MatchedTrajectory::new(
+            TrajectoryId(id),
+            DriverId(0),
+            Path::new(vs.into_iter().map(VertexId).collect()).unwrap(),
+            0.0,
+        )
+    }
+
+    /// Figure-1-like scenario: two popular corridors (future regions) joined
+    /// by one trajectory, plus an untraversed area and an isolated corridor.
+    fn figure_like() -> (l2r_road_network::RoadNetwork, Vec<MatchedTrajectory>) {
+        let mut b = RoadNetworkBuilder::new();
+        // Corridor A: 0-1-2 (primary), corridor B: 3-4-5 (primary),
+        // connected by secondary edges 2-3 and through untraversed 6.
+        // Isolated corridor C: 7-8 (residential), connected to A only via the
+        // untraversed vertex 6.
+        for i in 0..9 {
+            b.add_vertex(Point::new(i as f64 * 800.0, (i / 3) as f64 * 500.0));
+        }
+        b.add_two_way(VertexId(0), VertexId(1), RoadType::Primary).unwrap();
+        b.add_two_way(VertexId(1), VertexId(2), RoadType::Primary).unwrap();
+        b.add_two_way(VertexId(2), VertexId(3), RoadType::Secondary).unwrap();
+        b.add_two_way(VertexId(3), VertexId(4), RoadType::Primary).unwrap();
+        b.add_two_way(VertexId(4), VertexId(5), RoadType::Primary).unwrap();
+        b.add_two_way(VertexId(2), VertexId(6), RoadType::Residential).unwrap();
+        b.add_two_way(VertexId(6), VertexId(7), RoadType::Residential).unwrap();
+        b.add_two_way(VertexId(7), VertexId(8), RoadType::Residential).unwrap();
+        let net = b.build();
+        let mut ts = Vec::new();
+        for i in 0..8 {
+            ts.push(traj(i, vec![0, 1, 2]));
+            ts.push(traj(100 + i, vec![3, 4, 5]));
+        }
+        // One trajectory connecting corridor A to corridor B.
+        ts.push(traj(200, vec![1, 2, 3, 4]));
+        // A few trajectories on the isolated corridor C.
+        for i in 0..4 {
+            ts.push(traj(300 + i, vec![7, 8]));
+        }
+        (net, ts)
+    }
+
+    fn build_graph() -> (l2r_road_network::RoadNetwork, RegionGraph) {
+        let (net, ts) = figure_like();
+        let tg = TrajectoryGraph::build(&net, &ts);
+        let clusters = bottom_up_clustering(&tg);
+        let rg = RegionGraph::build(&net, &clusters, &ts, 2);
+        (net, rg)
+    }
+
+    #[test]
+    fn t_edges_connect_regions_visited_by_the_same_trajectory() {
+        let (_, rg) = build_graph();
+        assert!(rg.num_regions() >= 2);
+        // The corridor A and corridor B regions must be connected by a T-edge
+        // (trajectory 200 visits both).
+        let ra = rg.region_of(VertexId(0)).unwrap();
+        let rb = rg.region_of(VertexId(5)).unwrap();
+        assert_ne!(ra, rb);
+        let e = rg.edge_between(ra, rb).expect("T-edge between the corridors");
+        assert!(rg.edge(e).is_t_edge());
+        assert!(rg.edge(e).has_paths());
+    }
+
+    #[test]
+    fn transfer_centers_are_on_the_region_boundary() {
+        let (_, rg) = build_graph();
+        let ra = rg.region_of(VertexId(0)).unwrap();
+        let centers = rg.transfer_centers(ra);
+        assert!(!centers.is_empty());
+        // Every transfer center belongs to the region.
+        for c in centers {
+            assert_eq!(rg.region_of(*c), Some(ra));
+        }
+    }
+
+    #[test]
+    fn inner_paths_are_recorded_with_support() {
+        let (_, rg) = build_graph();
+        let ra = rg.region_of(VertexId(0)).unwrap();
+        let inner = rg.inner_paths(ra);
+        assert!(!inner.is_empty());
+        // The repeated 0-1-2 trajectory gives one inner path with support >= 8.
+        let max_support = inner.iter().map(|sp| sp.support).max().unwrap();
+        assert!(max_support >= 8, "max support {}", max_support);
+    }
+
+    #[test]
+    fn b_edges_make_the_region_graph_connected() {
+        let (_, rg) = build_graph();
+        // The isolated corridor C region has no trajectory to other regions,
+        // so it must be connected through a B-edge.
+        let rc = rg.region_of(VertexId(7)).unwrap();
+        let adjacent = rg.adjacent_edges(rc);
+        assert!(!adjacent.is_empty(), "isolated region must get B-edges");
+        assert!(adjacent.iter().any(|e| rg.edge(*e).is_b_edge()));
+        assert!(rg.is_connected(), "the final region graph must be connected");
+        // B-edges start without paths.
+        for e in rg.b_edges() {
+            assert!(!e.has_paths());
+        }
+    }
+
+    #[test]
+    fn region_lookup_and_distances() {
+        let (_, rg) = build_graph();
+        assert_eq!(rg.region_of(VertexId(6)), None, "untraversed vertices belong to no region");
+        let ra = rg.region_of(VertexId(0)).unwrap();
+        let rb = rg.region_of(VertexId(5)).unwrap();
+        assert!(rg.region_distance_m(ra, rb) > 0.0);
+        assert_eq!(rg.region_distance_m(ra, ra), 0.0);
+    }
+
+    #[test]
+    fn set_edge_paths_attaches_paths_to_b_edges() {
+        let (net, mut rg) = build_graph();
+        let b_edge = rg.b_edges().next().expect("at least one B-edge").id;
+        let (a, b) = (rg.edge(b_edge).a, rg.edge(b_edge).b);
+        let ca = rg.transfer_centers_or_default(&net, a)[0];
+        let cb = rg.transfer_centers_or_default(&net, b)[0];
+        let path = l2r_road_network::fastest_path(&net, ca, cb).unwrap();
+        rg.set_edge_paths(b_edge, vec![SupportedPath { path, support: 1 }]);
+        assert!(rg.edge(b_edge).has_paths());
+    }
+
+    #[test]
+    fn transfer_center_fallback_uses_centroid_vertex() {
+        let (net, rg) = build_graph();
+        for r in rg.regions() {
+            let centers = rg.transfer_centers_or_default(&net, r.id);
+            assert!(!centers.is_empty());
+            for c in centers {
+                assert!(r.contains(c));
+            }
+        }
+    }
+
+    #[test]
+    fn trajectory_visiting_three_regions_creates_pairwise_edges() {
+        // Three single-corridor regions A(0,1), B(2,3), C(4,5) and one
+        // trajectory passing through all three.
+        let mut b = RoadNetworkBuilder::new();
+        for i in 0..6 {
+            b.add_vertex(Point::new(i as f64 * 400.0, 0.0));
+        }
+        for i in 0..5u32 {
+            b.add_two_way(VertexId(i), VertexId(i + 1), RoadType::Primary).unwrap();
+        }
+        let net = b.build();
+        let mut ts = Vec::new();
+        for i in 0..5 {
+            ts.push(traj(i, vec![0, 1]));
+            ts.push(traj(10 + i, vec![2, 3]));
+            ts.push(traj(20 + i, vec![4, 5]));
+        }
+        ts.push(traj(99, vec![0, 1, 2, 3, 4, 5]));
+        let tg = TrajectoryGraph::build(&net, &ts);
+        let clusters = bottom_up_clustering(&tg);
+        let rg = RegionGraph::build(&net, &clusters, &ts, 2);
+        let ra = rg.region_of(VertexId(0)).unwrap();
+        let rb = rg.region_of(VertexId(2)).unwrap();
+        let rc = rg.region_of(VertexId(4)).unwrap();
+        if ra != rb && rb != rc && ra != rc {
+            // All three pairwise edges exist (up to m(m-1)/2 edges per
+            // trajectory, Section IV-B).
+            assert!(rg.edge_between(ra, rb).is_some());
+            assert!(rg.edge_between(rb, rc).is_some());
+            assert!(rg.edge_between(ra, rc).is_some());
+        }
+    }
+}

@@ -1,0 +1,285 @@
+//! Preference-constrained path finding — Algorithm 2 of the paper
+//! ("ApplyingPreferencesModifiedDijkstra", Section V-C).
+//!
+//! Given a routing preference vector `⟨master, slave⟩`, the search minimises
+//! the master travel-cost while *soft-constraining* exploration to edges that
+//! satisfy the slave road-condition feature: when expanding a vertex, if at
+//! least one outgoing edge satisfies the slave preference only such edges are
+//! explored; otherwise (no satisfying edge exists) all outgoing edges are
+//! explored so that the search never gets stuck.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::graph::{RoadNetwork, VertexId};
+use crate::path::Path;
+use crate::road_type::RoadTypeSet;
+use crate::weights::CostType;
+
+/// Frontier entry ordered as a min-heap over cost.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Entry {
+    cost: f64,
+    vertex: VertexId,
+}
+
+impl Eq for Entry {}
+
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .cost
+            .partial_cmp(&self.cost)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.vertex.0.cmp(&self.vertex.0))
+    }
+}
+
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Algorithm 2: minimise `master` while preferring edges whose road type is
+/// in `slave` (when `slave` is `None` or empty, this is plain Dijkstra on the
+/// master cost).
+///
+/// Returns `None` when `target` is unreachable from `source`.
+pub fn preference_constrained_path(
+    net: &RoadNetwork,
+    source: VertexId,
+    target: VertexId,
+    master: CostType,
+    slave: Option<RoadTypeSet>,
+) -> Option<Path> {
+    let n = net.num_vertices();
+    if source.idx() >= n || target.idx() >= n {
+        return None;
+    }
+    if source == target {
+        return Some(Path::single(source));
+    }
+    let slave = match slave {
+        Some(s) if !s.is_empty() => Some(s),
+        _ => None,
+    };
+
+    let mut dist = vec![f64::INFINITY; n];
+    let mut parent: Vec<Option<VertexId>> = vec![None; n];
+    let mut settled = vec![false; n];
+    let mut heap = BinaryHeap::new();
+    dist[source.idx()] = 0.0;
+    heap.push(Entry {
+        cost: 0.0,
+        vertex: source,
+    });
+
+    while let Some(Entry { cost, vertex }) = heap.pop() {
+        if settled[vertex.idx()] {
+            continue;
+        }
+        settled[vertex.idx()] = true;
+        if vertex == target {
+            break;
+        }
+
+        // Case split of Algorithm 2, lines 7–11: does any outgoing edge
+        // satisfy the slave preference?
+        let none_satisfies = match slave {
+            Some(s) => !net.out_edges(vertex).any(|e| s.contains(e.road_type)),
+            None => true,
+        };
+
+        for edge in net.out_edges(vertex) {
+            let allowed = match slave {
+                Some(s) => s.contains(edge.road_type) || none_satisfies,
+                None => true,
+            };
+            if !allowed {
+                continue;
+            }
+            let next = cost + edge.cost(master);
+            if next < dist[edge.to.idx()] {
+                dist[edge.to.idx()] = next;
+                parent[edge.to.idx()] = Some(vertex);
+                heap.push(Entry {
+                    cost: next,
+                    vertex: edge.to,
+                });
+            }
+        }
+    }
+
+    if !dist[target.idx()].is_finite() {
+        return None;
+    }
+    let mut vertices = vec![target];
+    let mut cur = target;
+    while let Some(p) = parent[cur.idx()] {
+        vertices.push(p);
+        cur = p;
+    }
+    vertices.reverse();
+    if vertices[0] != source {
+        return None;
+    }
+    Path::new(vertices).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dijkstra::lowest_cost_path;
+    use crate::graph::RoadNetworkBuilder;
+    use crate::road_type::RoadType;
+    use crate::spatial::Point;
+
+    /// A ladder network where the top rail is motorway (longer) and the
+    /// bottom rail is residential (shorter), with rungs of tertiary roads.
+    fn ladder() -> RoadNetwork {
+        let mut b = RoadNetworkBuilder::new();
+        let cols = 6usize;
+        let mut top = Vec::new();
+        let mut bottom = Vec::new();
+        for i in 0..cols {
+            // The top rail detours upwards making it longer.
+            top.push(b.add_vertex(Point::new(i as f64 * 2000.0, 3000.0)));
+            bottom.push(b.add_vertex(Point::new(i as f64 * 2000.0, 0.0)));
+        }
+        for i in 0..cols - 1 {
+            b.add_two_way(top[i], top[i + 1], RoadType::Motorway).unwrap();
+            b.add_two_way(bottom[i], bottom[i + 1], RoadType::Residential).unwrap();
+        }
+        for i in 0..cols {
+            b.add_two_way(top[i], bottom[i], RoadType::Tertiary).unwrap();
+        }
+        b.build()
+    }
+
+    #[test]
+    fn no_slave_matches_plain_dijkstra() {
+        let net = ladder();
+        // bottom[0] = VertexId(1), bottom[5] = VertexId(11).
+        let a = preference_constrained_path(&net, VertexId(1), VertexId(11), CostType::Distance, None)
+            .unwrap();
+        let b = lowest_cost_path(&net, VertexId(1), VertexId(11), CostType::Distance).unwrap();
+        assert_eq!(a, b);
+        // An empty slave set behaves identically.
+        let c = preference_constrained_path(
+            &net,
+            VertexId(1),
+            VertexId(11),
+            CostType::Distance,
+            Some(RoadTypeSet::empty()),
+        )
+        .unwrap();
+        assert_eq!(a, c);
+    }
+
+    /// Two routes from 0 to 3: a short residential route via 2 and a longer
+    /// motorway route via 1; the source offers both road types.
+    fn two_route_network() -> RoadNetwork {
+        let mut b = RoadNetworkBuilder::new();
+        let v0 = b.add_vertex(Point::new(0.0, 0.0));
+        let v1 = b.add_vertex(Point::new(5000.0, 4000.0));
+        let v2 = b.add_vertex(Point::new(5000.0, -200.0));
+        let v3 = b.add_vertex(Point::new(10000.0, 0.0));
+        b.add_two_way(v0, v1, RoadType::Motorway).unwrap();
+        b.add_two_way(v1, v3, RoadType::Motorway).unwrap();
+        b.add_two_way(v0, v2, RoadType::Residential).unwrap();
+        b.add_two_way(v2, v3, RoadType::Residential).unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn slave_preference_pulls_path_onto_preferred_roads() {
+        let net = two_route_network();
+        // Minimising distance alone prefers the residential route via 2, but
+        // with a motorway slave preference the search is steered via 1
+        // because the source has a satisfying outgoing edge (case (i) of
+        // Algorithm 2 applies there).
+        let slave = RoadTypeSet::single(RoadType::Motorway);
+        let pref = preference_constrained_path(
+            &net,
+            VertexId(0),
+            VertexId(3),
+            CostType::Distance,
+            Some(slave),
+        )
+        .unwrap();
+        let plain = lowest_cost_path(&net, VertexId(0), VertexId(3), CostType::Distance).unwrap();
+        let uses_motorway = |p: &Path| {
+            p.edge_ids(&net)
+                .unwrap()
+                .iter()
+                .any(|e| net.edge(*e).road_type == RoadType::Motorway)
+        };
+        assert!(uses_motorway(&pref), "preferred path must use the motorway route");
+        assert!(!uses_motorway(&plain), "unconstrained shortest path uses the residential route");
+        assert!(pref.length_m(&net).unwrap() >= plain.length_m(&net).unwrap());
+    }
+
+    #[test]
+    fn slave_preference_does_not_trap_the_search_on_preferred_rails() {
+        // On the ladder the destination sits on the residential rail; the
+        // preferred (motorway) rail cannot exit at the destination column, so
+        // the search must still return the reachable bottom-rail path.
+        let net = ladder();
+        let slave = RoadTypeSet::single(RoadType::Motorway);
+        let pref = preference_constrained_path(
+            &net,
+            VertexId(1),
+            VertexId(11),
+            CostType::Distance,
+            Some(slave),
+        )
+        .unwrap();
+        assert_eq!(pref.source(), VertexId(1));
+        assert_eq!(pref.destination(), VertexId(11));
+    }
+
+    #[test]
+    fn unreachable_when_disconnected() {
+        let mut b = RoadNetworkBuilder::new();
+        let v0 = b.add_vertex(Point::new(0.0, 0.0));
+        let v1 = b.add_vertex(Point::new(100.0, 0.0));
+        b.add_vertex(Point::new(1e6, 1e6)); // isolated vertex 2
+        b.add_two_way(v0, v1, RoadType::Primary).unwrap();
+        let net = b.build();
+        assert!(preference_constrained_path(&net, VertexId(0), VertexId(2), CostType::Distance, None)
+            .is_none());
+        assert!(preference_constrained_path(&net, VertexId(0), VertexId(9), CostType::Distance, None)
+            .is_none());
+    }
+
+    #[test]
+    fn fallback_explores_all_edges_when_nothing_satisfies_slave() {
+        // A pure residential network with a motorway-only preference must
+        // still find a path (case (ii) of Algorithm 2).
+        let mut b = RoadNetworkBuilder::new();
+        let v0 = b.add_vertex(Point::new(0.0, 0.0));
+        let v1 = b.add_vertex(Point::new(500.0, 0.0));
+        let v2 = b.add_vertex(Point::new(1000.0, 0.0));
+        b.add_two_way(v0, v1, RoadType::Residential).unwrap();
+        b.add_two_way(v1, v2, RoadType::Residential).unwrap();
+        let net = b.build();
+        let p = preference_constrained_path(
+            &net,
+            VertexId(0),
+            VertexId(2),
+            CostType::TravelTime,
+            Some(RoadTypeSet::single(RoadType::Motorway)),
+        )
+        .unwrap();
+        assert_eq!(p.vertices(), &[VertexId(0), VertexId(1), VertexId(2)]);
+    }
+
+    #[test]
+    fn trivial_query() {
+        let net = ladder();
+        let p = preference_constrained_path(&net, VertexId(3), VertexId(3), CostType::Fuel, None)
+            .unwrap();
+        assert!(p.is_trivial());
+    }
+}

@@ -1,0 +1,333 @@
+//! Single-objective shortest-path search (Dijkstra's algorithm) and variants
+//! used throughout the paper: shortest, fastest and fuel-optimal paths, plus
+//! a search that reports the settle order (used by L2R routing Case 2 to find
+//! candidate regions along the fastest path).
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::graph::{Edge, RoadNetwork, VertexId};
+use crate::path::Path;
+use crate::weights::CostType;
+
+/// A search frontier entry; ordered so the smallest cost pops first.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct QueueEntry {
+    cost: f64,
+    vertex: VertexId,
+}
+
+impl Eq for QueueEntry {}
+
+impl Ord for QueueEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse order for a min-heap on cost; tie-break on vertex id for
+        // determinism.
+        other
+            .cost
+            .partial_cmp(&self.cost)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.vertex.0.cmp(&self.vertex.0))
+    }
+}
+
+impl PartialOrd for QueueEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Result of a Dijkstra run from a single source.
+#[derive(Debug, Clone)]
+pub struct SearchResult {
+    source: VertexId,
+    dist: Vec<f64>,
+    parent: Vec<Option<VertexId>>,
+    /// Vertices in the order they were settled (popped with final distance).
+    pub settle_order: Vec<VertexId>,
+}
+
+impl SearchResult {
+    /// The search source.
+    pub fn source(&self) -> VertexId {
+        self.source
+    }
+
+    /// Final cost to `v`, or `None` if unreachable.
+    pub fn cost_to(&self, v: VertexId) -> Option<f64> {
+        let d = self.dist[v.idx()];
+        if d.is_finite() {
+            Some(d)
+        } else {
+            None
+        }
+    }
+
+    /// Reconstructs the path from the source to `v`, or `None` if
+    /// unreachable.
+    pub fn path_to(&self, v: VertexId) -> Option<Path> {
+        if !self.dist[v.idx()].is_finite() {
+            return None;
+        }
+        let mut vertices = vec![v];
+        let mut cur = v;
+        while let Some(p) = self.parent[cur.idx()] {
+            vertices.push(p);
+            cur = p;
+        }
+        vertices.reverse();
+        debug_assert_eq!(vertices[0], self.source);
+        Path::new(vertices).ok()
+    }
+}
+
+/// Generic Dijkstra from `source`.
+///
+/// * `edge_cost` maps an edge to its (non-negative) cost; returning
+///   `f64::INFINITY` (or any non-finite value) excludes the edge.
+/// * `target`: when given, the search stops as soon as the target is settled.
+pub fn dijkstra<F>(
+    net: &RoadNetwork,
+    source: VertexId,
+    target: Option<VertexId>,
+    mut edge_cost: F,
+) -> SearchResult
+where
+    F: FnMut(&Edge) -> f64,
+{
+    let n = net.num_vertices();
+    let mut dist = vec![f64::INFINITY; n];
+    let mut parent: Vec<Option<VertexId>> = vec![None; n];
+    let mut settled = vec![false; n];
+    let mut settle_order = Vec::new();
+    let mut heap = BinaryHeap::new();
+
+    if source.idx() < n {
+        dist[source.idx()] = 0.0;
+        heap.push(QueueEntry {
+            cost: 0.0,
+            vertex: source,
+        });
+    }
+
+    while let Some(QueueEntry { cost, vertex }) = heap.pop() {
+        if settled[vertex.idx()] {
+            continue;
+        }
+        settled[vertex.idx()] = true;
+        settle_order.push(vertex);
+        if Some(vertex) == target {
+            break;
+        }
+        for edge in net.out_edges(vertex) {
+            let w = edge_cost(edge);
+            if !w.is_finite() || w < 0.0 {
+                continue;
+            }
+            let next = cost + w;
+            if next < dist[edge.to.idx()] {
+                dist[edge.to.idx()] = next;
+                parent[edge.to.idx()] = Some(vertex);
+                heap.push(QueueEntry {
+                    cost: next,
+                    vertex: edge.to,
+                });
+            }
+        }
+    }
+
+    SearchResult {
+        source,
+        dist,
+        parent,
+        settle_order,
+    }
+}
+
+/// Lowest-cost path between `source` and `target` under `cost_type`.
+pub fn lowest_cost_path(
+    net: &RoadNetwork,
+    source: VertexId,
+    target: VertexId,
+    cost_type: CostType,
+) -> Option<Path> {
+    if source.idx() >= net.num_vertices() || target.idx() >= net.num_vertices() {
+        return None;
+    }
+    if source == target {
+        return Some(Path::single(source));
+    }
+    dijkstra(net, source, Some(target), |e| e.cost(cost_type)).path_to(target)
+}
+
+/// Shortest (minimum distance) path.
+pub fn shortest_path(net: &RoadNetwork, source: VertexId, target: VertexId) -> Option<Path> {
+    lowest_cost_path(net, source, target, CostType::Distance)
+}
+
+/// Fastest (minimum travel time) path.
+pub fn fastest_path(net: &RoadNetwork, source: VertexId, target: VertexId) -> Option<Path> {
+    lowest_cost_path(net, source, target, CostType::TravelTime)
+}
+
+/// Fuel-optimal path.
+pub fn most_economic_path(net: &RoadNetwork, source: VertexId, target: VertexId) -> Option<Path> {
+    lowest_cost_path(net, source, target, CostType::Fuel)
+}
+
+/// Fastest path together with the order in which vertices were settled by the
+/// search.  L2R routing Case 2 scans the settle order to find candidate
+/// regions near the source/destination (Section VI).
+pub fn fastest_path_with_settle_order(
+    net: &RoadNetwork,
+    source: VertexId,
+    target: VertexId,
+) -> (Option<Path>, Vec<VertexId>) {
+    if source.idx() >= net.num_vertices() || target.idx() >= net.num_vertices() {
+        return (None, Vec::new());
+    }
+    let result = dijkstra(net, source, Some(target), |e| e.cost(CostType::TravelTime));
+    (result.path_to(target), result.settle_order)
+}
+
+/// One-to-all search under a cost type (no early termination).
+pub fn one_to_all(net: &RoadNetwork, source: VertexId, cost_type: CostType) -> SearchResult {
+    dijkstra(net, source, None, |e| e.cost(cost_type))
+}
+
+/// Lowest-cost path under an arbitrary linear combination of the three cost
+/// types, used by the personalized baselines (Dom/TRIP) to route with learned
+/// per-driver weights.
+pub fn weighted_path(
+    net: &RoadNetwork,
+    source: VertexId,
+    target: VertexId,
+    weights: [f64; 3],
+) -> Option<Path> {
+    if source == target {
+        return Some(Path::single(source));
+    }
+    dijkstra(net, source, Some(target), |e| {
+        weights[0] * e.cost(CostType::Distance)
+            + weights[1] * e.cost(CostType::TravelTime)
+            + weights[2] * e.cost(CostType::Fuel)
+    })
+    .path_to(target)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::RoadNetworkBuilder;
+    use crate::road_type::RoadType;
+    use crate::spatial::Point;
+
+    /// Two routes from 0 to 3: a short residential route through 2 and a
+    /// longer but much faster motorway route through 1.
+    fn two_route_network() -> RoadNetwork {
+        let mut b = RoadNetworkBuilder::new();
+        let v0 = b.add_vertex(Point::new(0.0, 0.0));
+        let v1 = b.add_vertex(Point::new(5000.0, 4000.0));
+        let v2 = b.add_vertex(Point::new(5000.0, -200.0));
+        let v3 = b.add_vertex(Point::new(10000.0, 0.0));
+        b.add_two_way(v0, v1, RoadType::Motorway).unwrap();
+        b.add_two_way(v1, v3, RoadType::Motorway).unwrap();
+        b.add_two_way(v0, v2, RoadType::Residential).unwrap();
+        b.add_two_way(v2, v3, RoadType::Residential).unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn shortest_and_fastest_disagree() {
+        let net = two_route_network();
+        let shortest = shortest_path(&net, VertexId(0), VertexId(3)).unwrap();
+        let fastest = fastest_path(&net, VertexId(0), VertexId(3)).unwrap();
+        assert!(shortest.contains(VertexId(2)), "shortest goes via the residential vertex");
+        assert!(fastest.contains(VertexId(1)), "fastest goes via the motorway vertex");
+        assert!(
+            shortest.length_m(&net).unwrap() < fastest.length_m(&net).unwrap(),
+            "the shortest path must not be longer than the fastest one"
+        );
+        assert!(
+            fastest.cost(&net, CostType::TravelTime).unwrap()
+                < shortest.cost(&net, CostType::TravelTime).unwrap()
+        );
+    }
+
+    #[test]
+    fn same_source_and_target_is_trivial() {
+        let net = two_route_network();
+        let p = shortest_path(&net, VertexId(1), VertexId(1)).unwrap();
+        assert!(p.is_trivial());
+    }
+
+    #[test]
+    fn unreachable_target_returns_none() {
+        let mut b = RoadNetworkBuilder::new();
+        let v0 = b.add_vertex(Point::new(0.0, 0.0));
+        b.add_vertex(Point::new(100.0, 0.0)); // isolated
+        let v2 = b.add_vertex(Point::new(200.0, 0.0));
+        b.add_edge(v0, v2, RoadType::Primary).unwrap();
+        let net = b.build();
+        assert!(shortest_path(&net, VertexId(0), VertexId(1)).is_none());
+        // Out-of-range vertices are handled gracefully.
+        assert!(shortest_path(&net, VertexId(0), VertexId(99)).is_none());
+    }
+
+    #[test]
+    fn settle_order_starts_at_source_and_reaches_target() {
+        let net = two_route_network();
+        let (path, order) = fastest_path_with_settle_order(&net, VertexId(0), VertexId(3));
+        assert!(path.is_some());
+        assert_eq!(order.first(), Some(&VertexId(0)));
+        assert_eq!(order.last(), Some(&VertexId(3)));
+    }
+
+    #[test]
+    fn one_to_all_costs_are_monotone_along_paths() {
+        let net = two_route_network();
+        let res = one_to_all(&net, VertexId(0), CostType::Distance);
+        for v in 0..net.num_vertices() {
+            let v = VertexId(v as u32);
+            if let Some(p) = res.path_to(v) {
+                let len = p.length_m(&net).unwrap();
+                assert!((len - res.cost_to(v).unwrap()).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn weighted_path_degenerates_to_single_objective() {
+        let net = two_route_network();
+        let w_dist = weighted_path(&net, VertexId(0), VertexId(3), [1.0, 0.0, 0.0]).unwrap();
+        let shortest = shortest_path(&net, VertexId(0), VertexId(3)).unwrap();
+        assert_eq!(w_dist, shortest);
+        let w_time = weighted_path(&net, VertexId(0), VertexId(3), [0.0, 1.0, 0.0]).unwrap();
+        let fastest = fastest_path(&net, VertexId(0), VertexId(3)).unwrap();
+        assert_eq!(w_time, fastest);
+    }
+
+    #[test]
+    fn edge_filter_via_infinite_cost() {
+        let net = two_route_network();
+        // Forbid motorways entirely: the path must use the residential route.
+        let res = dijkstra(&net, VertexId(0), Some(VertexId(3)), |e| {
+            if e.road_type == RoadType::Motorway {
+                f64::INFINITY
+            } else {
+                e.cost(CostType::Distance)
+            }
+        });
+        let p = res.path_to(VertexId(3)).unwrap();
+        assert!(p.contains(VertexId(2)));
+        assert!(!p.contains(VertexId(1)));
+    }
+
+    #[test]
+    fn fuel_optimal_path_exists() {
+        let net = two_route_network();
+        let p = most_economic_path(&net, VertexId(0), VertexId(3)).unwrap();
+        assert_eq!(p.source(), VertexId(0));
+        assert_eq!(p.destination(), VertexId(3));
+    }
+}

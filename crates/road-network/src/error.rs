@@ -1,0 +1,52 @@
+//! Error type shared by the road-network substrate.
+
+use crate::graph::{EdgeId, VertexId};
+
+/// Errors produced by road-network construction and path handling.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NetworkError {
+    /// A vertex id referenced something outside the vertex table.
+    UnknownVertex(VertexId),
+    /// An edge id referenced something outside the edge table.
+    UnknownEdge(EdgeId),
+    /// Two consecutive path vertices are not connected by an edge.
+    Disconnected(VertexId, VertexId),
+    /// A path must contain at least one vertex (two for most operations).
+    EmptyPath,
+    /// An edge was added with a non-positive or non-finite weight.
+    InvalidWeight(&'static str, f64),
+    /// A self-loop edge was rejected.
+    SelfLoop(VertexId),
+}
+
+impl std::fmt::Display for NetworkError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NetworkError::UnknownVertex(v) => write!(f, "unknown vertex {}", v.0),
+            NetworkError::UnknownEdge(e) => write!(f, "unknown edge {}", e.0),
+            NetworkError::Disconnected(a, b) => {
+                write!(f, "vertices {} and {} are not adjacent", a.0, b.0)
+            }
+            NetworkError::EmptyPath => write!(f, "path is empty"),
+            NetworkError::InvalidWeight(name, v) => {
+                write!(f, "invalid {} weight: {}", name, v)
+            }
+            NetworkError::SelfLoop(v) => write!(f, "self-loop at vertex {}", v.0),
+        }
+    }
+}
+
+impl std::error::Error for NetworkError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = NetworkError::Disconnected(VertexId(1), VertexId(2));
+        assert!(e.to_string().contains("not adjacent"));
+        let e = NetworkError::InvalidWeight("distance", -1.0);
+        assert!(e.to_string().contains("distance"));
+    }
+}

@@ -1,0 +1,470 @@
+//! The road-network graph `G = (V, E, W)` of the paper (Section III).
+//!
+//! Vertices are road intersections with planar coordinates; directed edges are
+//! road segments annotated with distance, travel time, fuel consumption and
+//! road type.  The graph is built once through [`RoadNetworkBuilder`] and is
+//! immutable afterwards; adjacency is stored in a compact CSR layout so the
+//! many graph searches performed by the routing algorithms stay cache
+//! friendly.
+
+use std::collections::HashMap;
+
+use crate::error::NetworkError;
+use crate::road_type::RoadType;
+use crate::spatial::{BoundingBox, GridIndex, Point};
+use crate::weights::{CostType, EdgeWeights};
+
+/// Identifier of a vertex (road intersection).  Dense, `0..num_vertices`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VertexId(pub u32);
+
+/// Identifier of a directed edge (road segment).  Dense, `0..num_edges`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EdgeId(pub u32);
+
+impl VertexId {
+    /// The id as a usable index.
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl EdgeId {
+    /// The id as a usable index.
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A road intersection.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Vertex {
+    /// The vertex id (equal to its index in the vertex table).
+    pub id: VertexId,
+    /// Planar position in metres.
+    pub point: Point,
+}
+
+/// A directed road segment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Edge {
+    /// The edge id (equal to its index in the edge table).
+    pub id: EdgeId,
+    /// Tail vertex.
+    pub from: VertexId,
+    /// Head vertex.
+    pub to: VertexId,
+    /// Pre-computed weights (the paper's `wDI`, `wTT`, `wFC`).
+    pub weights: EdgeWeights,
+    /// The paper's `wRT`: functional road class.
+    pub road_type: RoadType,
+}
+
+impl Edge {
+    /// Weight of the edge under a given cost type.
+    pub fn cost(&self, cost: CostType) -> f64 {
+        self.weights.get(cost)
+    }
+
+    /// Distance in metres.
+    pub fn distance_m(&self) -> f64 {
+        self.weights.distance_m
+    }
+}
+
+/// Immutable road-network graph with CSR adjacency.
+#[derive(Debug, Clone)]
+pub struct RoadNetwork {
+    vertices: Vec<Vertex>,
+    edges: Vec<Edge>,
+    /// CSR offsets into `out_edges`, length `num_vertices + 1`.
+    out_offsets: Vec<u32>,
+    /// Outgoing edge ids, grouped by tail vertex.
+    out_edges: Vec<EdgeId>,
+    /// CSR offsets into `in_edges`, length `num_vertices + 1`.
+    in_offsets: Vec<u32>,
+    /// Incoming edge ids, grouped by head vertex.
+    in_edges: Vec<EdgeId>,
+    /// Lookup of a directed edge between two vertices.
+    edge_index: HashMap<(VertexId, VertexId), EdgeId>,
+    /// Bounding box of all vertex positions.
+    bbox: BoundingBox,
+}
+
+impl RoadNetwork {
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.vertices.len()
+    }
+
+    /// Number of directed edges.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// All vertices.
+    pub fn vertices(&self) -> &[Vertex] {
+        &self.vertices
+    }
+
+    /// All edges.
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    /// The vertex with the given id.
+    ///
+    /// # Panics
+    /// Panics if the id is out of range; ids produced by this network are
+    /// always valid.
+    pub fn vertex(&self, id: VertexId) -> &Vertex {
+        &self.vertices[id.idx()]
+    }
+
+    /// The edge with the given id.
+    pub fn edge(&self, id: EdgeId) -> &Edge {
+        &self.edges[id.idx()]
+    }
+
+    /// Checked vertex lookup.
+    pub fn try_vertex(&self, id: VertexId) -> Result<&Vertex, NetworkError> {
+        self.vertices.get(id.idx()).ok_or(NetworkError::UnknownVertex(id))
+    }
+
+    /// Checked edge lookup.
+    pub fn try_edge(&self, id: EdgeId) -> Result<&Edge, NetworkError> {
+        self.edges.get(id.idx()).ok_or(NetworkError::UnknownEdge(id))
+    }
+
+    /// Outgoing edges of `v`.
+    pub fn out_edges(&self, v: VertexId) -> impl Iterator<Item = &Edge> + '_ {
+        let start = self.out_offsets[v.idx()] as usize;
+        let end = self.out_offsets[v.idx() + 1] as usize;
+        self.out_edges[start..end].iter().map(move |e| self.edge(*e))
+    }
+
+    /// Incoming edges of `v`.
+    pub fn in_edges(&self, v: VertexId) -> impl Iterator<Item = &Edge> + '_ {
+        let start = self.in_offsets[v.idx()] as usize;
+        let end = self.in_offsets[v.idx() + 1] as usize;
+        self.in_edges[start..end].iter().map(move |e| self.edge(*e))
+    }
+
+    /// Out-degree of `v`.
+    pub fn out_degree(&self, v: VertexId) -> usize {
+        (self.out_offsets[v.idx() + 1] - self.out_offsets[v.idx()]) as usize
+    }
+
+    /// The directed edge from `from` to `to`, if it exists.
+    pub fn edge_between(&self, from: VertexId, to: VertexId) -> Option<EdgeId> {
+        self.edge_index.get(&(from, to)).copied()
+    }
+
+    /// Neighbours reachable by one outgoing edge.
+    pub fn neighbors(&self, v: VertexId) -> impl Iterator<Item = VertexId> + '_ {
+        self.out_edges(v).map(|e| e.to)
+    }
+
+    /// Bounding box of all vertex positions.
+    pub fn bounding_box(&self) -> BoundingBox {
+        self.bbox
+    }
+
+    /// The vertex closest to `p` (linear scan; use [`RoadNetwork::vertex_index`]
+    /// for repeated queries).  `None` for an empty network.
+    pub fn nearest_vertex(&self, p: &Point) -> Option<VertexId> {
+        self.vertices
+            .iter()
+            .min_by(|a, b| {
+                a.point
+                    .distance_sq(p)
+                    .partial_cmp(&b.point.distance_sq(p))
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .map(|v| v.id)
+    }
+
+    /// Builds a grid index over vertex positions for fast nearest-neighbour
+    /// style queries.  The returned ids are vertex ids.
+    pub fn vertex_index(&self, cell_size_m: f64) -> GridIndex {
+        let mut grid = GridIndex::new(self.bbox, cell_size_m);
+        for v in &self.vertices {
+            grid.insert(v.id.0, &v.point);
+        }
+        grid
+    }
+
+    /// Builds a grid index over edges (each edge registered along its
+    /// segment) for map-matching candidate lookups.  The returned ids are
+    /// edge ids.
+    pub fn edge_index(&self, cell_size_m: f64) -> GridIndex {
+        let mut grid = GridIndex::new(self.bbox, cell_size_m);
+        for e in &self.edges {
+            let a = self.vertex(e.from).point;
+            let b = self.vertex(e.to).point;
+            grid.insert_segment(e.id.0, &a, &b);
+        }
+        grid
+    }
+
+    /// Straight-line distance between two vertices, in metres.
+    pub fn euclidean(&self, a: VertexId, b: VertexId) -> f64 {
+        self.vertex(a).point.distance(&self.vertex(b).point)
+    }
+}
+
+/// Incremental builder for [`RoadNetwork`].
+#[derive(Debug, Default)]
+pub struct RoadNetworkBuilder {
+    vertices: Vec<Vertex>,
+    edges: Vec<Edge>,
+}
+
+impl RoadNetworkBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a builder with pre-allocated capacity.
+    pub fn with_capacity(vertices: usize, edges: usize) -> Self {
+        RoadNetworkBuilder {
+            vertices: Vec::with_capacity(vertices),
+            edges: Vec::with_capacity(edges),
+        }
+    }
+
+    /// Number of vertices added so far.
+    pub fn num_vertices(&self) -> usize {
+        self.vertices.len()
+    }
+
+    /// Number of directed edges added so far.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Adds a vertex at `point` and returns its id.
+    pub fn add_vertex(&mut self, point: Point) -> VertexId {
+        let id = VertexId(self.vertices.len() as u32);
+        self.vertices.push(Vertex { id, point });
+        id
+    }
+
+    /// Adds a directed edge with an explicit distance.
+    pub fn add_edge_with_distance(
+        &mut self,
+        from: VertexId,
+        to: VertexId,
+        distance_m: f64,
+        road_type: RoadType,
+    ) -> Result<EdgeId, NetworkError> {
+        if from.idx() >= self.vertices.len() {
+            return Err(NetworkError::UnknownVertex(from));
+        }
+        if to.idx() >= self.vertices.len() {
+            return Err(NetworkError::UnknownVertex(to));
+        }
+        if from == to {
+            return Err(NetworkError::SelfLoop(from));
+        }
+        if !(distance_m.is_finite() && distance_m > 0.0) {
+            return Err(NetworkError::InvalidWeight("distance", distance_m));
+        }
+        let id = EdgeId(self.edges.len() as u32);
+        self.edges.push(Edge {
+            id,
+            from,
+            to,
+            weights: EdgeWeights::derive(distance_m, road_type),
+            road_type,
+        });
+        Ok(id)
+    }
+
+    /// Adds a directed edge whose distance is the straight-line distance
+    /// between the endpoints.
+    pub fn add_edge(
+        &mut self,
+        from: VertexId,
+        to: VertexId,
+        road_type: RoadType,
+    ) -> Result<EdgeId, NetworkError> {
+        if from.idx() >= self.vertices.len() {
+            return Err(NetworkError::UnknownVertex(from));
+        }
+        if to.idx() >= self.vertices.len() {
+            return Err(NetworkError::UnknownVertex(to));
+        }
+        let d = self.vertices[from.idx()]
+            .point
+            .distance(&self.vertices[to.idx()].point)
+            .max(1.0);
+        self.add_edge_with_distance(from, to, d, road_type)
+    }
+
+    /// Adds a pair of directed edges (both directions) and returns both ids.
+    pub fn add_two_way(
+        &mut self,
+        a: VertexId,
+        b: VertexId,
+        road_type: RoadType,
+    ) -> Result<(EdgeId, EdgeId), NetworkError> {
+        let e1 = self.add_edge(a, b, road_type)?;
+        let e2 = self.add_edge(b, a, road_type)?;
+        Ok((e1, e2))
+    }
+
+    /// Finalises the builder into an immutable [`RoadNetwork`].
+    pub fn build(self) -> RoadNetwork {
+        let n = self.vertices.len();
+        let mut out_counts = vec![0u32; n + 1];
+        let mut in_counts = vec![0u32; n + 1];
+        for e in &self.edges {
+            out_counts[e.from.idx() + 1] += 1;
+            in_counts[e.to.idx() + 1] += 1;
+        }
+        for i in 0..n {
+            out_counts[i + 1] += out_counts[i];
+            in_counts[i + 1] += in_counts[i];
+        }
+        let mut out_edges = vec![EdgeId(0); self.edges.len()];
+        let mut in_edges = vec![EdgeId(0); self.edges.len()];
+        let mut out_cursor = out_counts.clone();
+        let mut in_cursor = in_counts.clone();
+        let mut edge_index = HashMap::with_capacity(self.edges.len());
+        for e in &self.edges {
+            out_edges[out_cursor[e.from.idx()] as usize] = e.id;
+            out_cursor[e.from.idx()] += 1;
+            in_edges[in_cursor[e.to.idx()] as usize] = e.id;
+            in_cursor[e.to.idx()] += 1;
+            edge_index.insert((e.from, e.to), e.id);
+        }
+        let bbox = BoundingBox::from_points(self.vertices.iter().map(|v| &v.point));
+        RoadNetwork {
+            vertices: self.vertices,
+            edges: self.edges,
+            out_offsets: out_counts,
+            out_edges,
+            in_offsets: in_counts,
+            in_edges,
+            edge_index,
+            bbox,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A tiny 4-vertex diamond used by several tests:
+    ///
+    /// ```text
+    ///      1
+    ///    /   \
+    ///   0     3
+    ///    \   /
+    ///      2
+    /// ```
+    fn diamond() -> RoadNetwork {
+        let mut b = RoadNetworkBuilder::new();
+        let v0 = b.add_vertex(Point::new(0.0, 0.0));
+        let v1 = b.add_vertex(Point::new(1000.0, 1000.0));
+        let v2 = b.add_vertex(Point::new(1000.0, -1000.0));
+        let v3 = b.add_vertex(Point::new(2000.0, 0.0));
+        b.add_two_way(v0, v1, RoadType::Primary).unwrap();
+        b.add_two_way(v0, v2, RoadType::Residential).unwrap();
+        b.add_two_way(v1, v3, RoadType::Primary).unwrap();
+        b.add_two_way(v2, v3, RoadType::Residential).unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn build_counts_and_lookup() {
+        let net = diamond();
+        assert_eq!(net.num_vertices(), 4);
+        assert_eq!(net.num_edges(), 8);
+        assert_eq!(net.out_degree(VertexId(0)), 2);
+        assert_eq!(net.out_degree(VertexId(3)), 2);
+        assert!(net.edge_between(VertexId(0), VertexId(1)).is_some());
+        assert!(net.edge_between(VertexId(0), VertexId(3)).is_none());
+    }
+
+    #[test]
+    fn adjacency_matches_edges() {
+        let net = diamond();
+        let neigh: Vec<VertexId> = net.neighbors(VertexId(0)).collect();
+        assert_eq!(neigh.len(), 2);
+        assert!(neigh.contains(&VertexId(1)) && neigh.contains(&VertexId(2)));
+        let in_edges: Vec<&Edge> = net.in_edges(VertexId(3)).collect();
+        assert_eq!(in_edges.len(), 2);
+        for e in in_edges {
+            assert_eq!(e.to, VertexId(3));
+        }
+    }
+
+    #[test]
+    fn builder_rejects_bad_edges() {
+        let mut b = RoadNetworkBuilder::new();
+        let v0 = b.add_vertex(Point::new(0.0, 0.0));
+        let v1 = b.add_vertex(Point::new(10.0, 0.0));
+        assert!(matches!(
+            b.add_edge(v0, VertexId(99), RoadType::Primary),
+            Err(NetworkError::UnknownVertex(_))
+        ));
+        assert!(matches!(
+            b.add_edge(v0, v0, RoadType::Primary),
+            Err(NetworkError::SelfLoop(_))
+        ));
+        assert!(matches!(
+            b.add_edge_with_distance(v0, v1, -3.0, RoadType::Primary),
+            Err(NetworkError::InvalidWeight(_, _))
+        ));
+        assert!(matches!(
+            b.add_edge_with_distance(v0, v1, f64::NAN, RoadType::Primary),
+            Err(NetworkError::InvalidWeight(_, _))
+        ));
+    }
+
+    #[test]
+    fn edge_weights_are_derived_from_geometry() {
+        let net = diamond();
+        let e = net.edge(net.edge_between(VertexId(0), VertexId(1)).unwrap());
+        let expected = Point::new(0.0, 0.0).distance(&Point::new(1000.0, 1000.0));
+        assert!((e.distance_m() - expected).abs() < 1e-9);
+        assert!(e.cost(CostType::TravelTime) > 0.0);
+        assert!(e.cost(CostType::Fuel) > 0.0);
+    }
+
+    #[test]
+    fn nearest_vertex_and_indexes() {
+        let net = diamond();
+        assert_eq!(net.nearest_vertex(&Point::new(10.0, 10.0)), Some(VertexId(0)));
+        assert_eq!(net.nearest_vertex(&Point::new(1990.0, 10.0)), Some(VertexId(3)));
+        let vgrid = net.vertex_index(500.0);
+        let hits = vgrid.query(&Point::new(0.0, 0.0), 100.0);
+        assert!(hits.contains(&0));
+        let egrid = net.edge_index(500.0);
+        let ehits = egrid.query(&Point::new(500.0, 500.0), 300.0);
+        assert!(!ehits.is_empty());
+    }
+
+    #[test]
+    fn checked_lookups() {
+        let net = diamond();
+        assert!(net.try_vertex(VertexId(0)).is_ok());
+        assert!(net.try_vertex(VertexId(17)).is_err());
+        assert!(net.try_edge(EdgeId(0)).is_ok());
+        assert!(net.try_edge(EdgeId(1000)).is_err());
+    }
+
+    #[test]
+    fn empty_network_builds() {
+        let net = RoadNetworkBuilder::new().build();
+        assert_eq!(net.num_vertices(), 0);
+        assert_eq!(net.num_edges(), 0);
+        assert!(net.nearest_vertex(&Point::new(0.0, 0.0)).is_none());
+        assert!(net.bounding_box().is_empty());
+    }
+}

@@ -1,0 +1,28 @@
+//! # l2r-trajectory
+//!
+//! Trajectory substrate for the learn-to-route (L2R) reproduction:
+//!
+//! * raw GPS records and trajectories ([`gps`]);
+//! * map-matched trajectories — the unit every later stage works on
+//!   ([`matched`]);
+//! * GPS trace simulation with configurable sampling rate and noise,
+//!   substituting for the paper's proprietary D1/D2 GPS data sets
+//!   ([`simulate`]);
+//! * an HMM map matcher in the style of Newson & Krumm, the paper's
+//!   reference [29] ([`map_matching`]);
+//! * workload statistics such as the Table II distance distribution
+//!   ([`stats`]).
+
+#![warn(missing_docs)]
+
+pub mod gps;
+pub mod map_matching;
+pub mod matched;
+pub mod simulate;
+pub mod stats;
+
+pub use gps::{DriverId, GpsRecord, Trajectory, TrajectoryId};
+pub use map_matching::{MapMatcher, MapMatcherConfig};
+pub use matched::MatchedTrajectory;
+pub use simulate::{simulate_gps_trace, GpsSimulationConfig};
+pub use stats::{sampling_summary, DistanceDistribution, SamplingSummary};

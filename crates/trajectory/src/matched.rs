@@ -1,0 +1,86 @@
+//! Map-matched trajectories: the paper works exclusively on trajectories that
+//! have been aligned with the road-network path they traversed.
+
+use l2r_road_network::{CostType, NetworkError, Path, RoadNetwork};
+
+use crate::gps::{DriverId, TrajectoryId};
+
+/// A trajectory after map matching: the road-network path the vehicle
+/// traversed, plus the metadata needed by the evaluation (driver, departure
+/// time).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MatchedTrajectory {
+    /// Original trajectory id.
+    pub id: TrajectoryId,
+    /// The driver who produced the trajectory.
+    pub driver: DriverId,
+    /// The traversed road-network path.
+    pub path: Path,
+    /// Departure time in seconds since the data set epoch.
+    pub departure_time_s: f64,
+}
+
+impl MatchedTrajectory {
+    /// Creates a matched trajectory.
+    pub fn new(id: TrajectoryId, driver: DriverId, path: Path, departure_time_s: f64) -> Self {
+        MatchedTrajectory {
+            id,
+            driver,
+            path,
+            departure_time_s,
+        }
+    }
+
+    /// Travelled distance in metres.
+    pub fn distance_m(&self, net: &RoadNetwork) -> Result<f64, NetworkError> {
+        self.path.length_m(net)
+    }
+
+    /// Travelled distance in kilometres.
+    pub fn distance_km(&self, net: &RoadNetwork) -> Result<f64, NetworkError> {
+        Ok(self.path.length_m(net)? / 1000.0)
+    }
+
+    /// Free-flow travel time of the traversed path, in seconds.
+    pub fn travel_time_s(&self, net: &RoadNetwork) -> Result<f64, NetworkError> {
+        self.path.cost(net, CostType::TravelTime)
+    }
+
+    /// Source vertex.
+    pub fn source(&self) -> l2r_road_network::VertexId {
+        self.path.source()
+    }
+
+    /// Destination vertex.
+    pub fn destination(&self) -> l2r_road_network::VertexId {
+        self.path.destination()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use l2r_road_network::{Point, RoadNetworkBuilder, RoadType, VertexId};
+
+    fn tiny() -> RoadNetwork {
+        let mut b = RoadNetworkBuilder::new();
+        let v0 = b.add_vertex(Point::new(0.0, 0.0));
+        let v1 = b.add_vertex(Point::new(1000.0, 0.0));
+        let v2 = b.add_vertex(Point::new(2000.0, 0.0));
+        b.add_two_way(v0, v1, RoadType::Primary).unwrap();
+        b.add_two_way(v1, v2, RoadType::Primary).unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn matched_trajectory_costs() {
+        let net = tiny();
+        let path = Path::new(vec![VertexId(0), VertexId(1), VertexId(2)]).unwrap();
+        let mt = MatchedTrajectory::new(TrajectoryId(0), DriverId(1), path, 3600.0);
+        assert!((mt.distance_m(&net).unwrap() - 2000.0).abs() < 1e-9);
+        assert!((mt.distance_km(&net).unwrap() - 2.0).abs() < 1e-9);
+        assert!(mt.travel_time_s(&net).unwrap() > 0.0);
+        assert_eq!(mt.source(), VertexId(0));
+        assert_eq!(mt.destination(), VertexId(2));
+    }
+}

@@ -1,0 +1,85 @@
+//! Baseline comparison: the Figure 10/12-style evaluation on one workload.
+//!
+//! L2R is compared against Shortest, Fastest, Dom and TRIP on held-out
+//! trajectories: accuracy against the driver-chosen ground-truth paths
+//! (Equations 1 and 4) and mean online running time, bucketed by travel
+//! distance and by region coverage.
+//!
+//! Run with:
+//! ```sh
+//! cargo run --release --example baseline_comparison
+//! ```
+
+use l2r_suite::eval::{
+    build_dataset, build_test_queries, compare_methods, report_accuracy, report_runtime,
+    DatasetSpec, Method, Scale,
+};
+use l2r_suite::prelude::*;
+
+fn main() {
+    // The D1-like (Denmark) dataset at quick scale; switch to Scale::Full for
+    // the benchmark-sized run.
+    let ds = build_dataset(DatasetSpec::d1(Scale::Quick));
+    println!(
+        "dataset {}: {} vertices, {} trajectories ({} train / {} test), {} regions",
+        ds.spec.name,
+        ds.synthetic.net.num_vertices(),
+        ds.workload.trajectories.len(),
+        ds.train.len(),
+        ds.test.len(),
+        ds.model.stats().num_regions
+    );
+
+    let queries = build_test_queries(&ds.synthetic.net, &ds.model, &ds.test, ds.spec.max_test_queries);
+    println!("evaluating {} held-out queries\n", queries.len());
+
+    let dom = Dom::train(&ds.synthetic.net, &ds.train);
+    let trip = Trip::train(&ds.synthetic.net, &ds.train);
+    let methods = vec![
+        Method::L2r(&ds.model),
+        Method::Baseline(&ShortestRouter),
+        Method::Baseline(&FastestRouter),
+        Method::Baseline(&dom),
+        Method::Baseline(&trip),
+    ];
+    let results = compare_methods(
+        &ds.synthetic.net,
+        &methods,
+        &queries,
+        &ds.spec.distance_bounds_km,
+    );
+
+    print!(
+        "{}",
+        report_accuracy("Accuracy (Eq. 1) by distance", &results, false, false)
+    );
+    print!(
+        "{}",
+        report_accuracy("Accuracy (Eq. 1) by region coverage", &results, true, false)
+    );
+    print!(
+        "{}",
+        report_accuracy("Accuracy (Eq. 4) by distance", &results, false, true)
+    );
+    print!(
+        "{}",
+        report_runtime("Mean online running time (µs) by distance", &results, false)
+    );
+
+    // A one-line take-away mirroring the paper's headline result.
+    let l2r = results.iter().find(|r| r.name == "L2R").unwrap();
+    let best_baseline = results
+        .iter()
+        .filter(|r| r.name != "L2R")
+        .max_by(|a, b| {
+            a.overall
+                .accuracy_eq1
+                .partial_cmp(&b.overall.accuracy_eq1)
+                .unwrap()
+        })
+        .unwrap();
+    println!(
+        "L2R overall accuracy {:.1}% vs best baseline {} at {:.1}%",
+        l2r.overall.accuracy_eq1, best_baseline.name, best_baseline.overall.accuracy_eq1
+    );
+}

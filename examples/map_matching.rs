@@ -1,0 +1,75 @@
+//! Map matching: from raw, noisy GPS records to road-network paths.
+//!
+//! The paper's pipeline starts from map-matched trajectories (its reference
+//! [29]).  This example simulates a high-frequency and a low-frequency GPS
+//! trace along known routes — mirroring the D1 (1 Hz) and D2 (0.03–0.1 Hz)
+//! data sets — runs the HMM map matcher on both, and reports how well the
+//! driven path is recovered.
+//!
+//! Run with:
+//! ```sh
+//! cargo run --release --example map_matching
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use l2r_suite::prelude::*;
+use l2r_suite::trajectory::{simulate_gps_trace, DriverId, GpsSimulationConfig, TrajectoryId};
+
+fn main() {
+    let city = generate_network(&SyntheticNetworkConfig::tiny());
+    let matcher = MapMatcher::with_defaults(&city.net);
+    let mut rng = StdRng::seed_from_u64(2024);
+
+    // Drive between a handful of district pairs and try to recover each path
+    // from its simulated GPS trace.
+    let presets = [
+        ("high-frequency (D1-like, 1 Hz)", GpsSimulationConfig::high_frequency()),
+        ("low-frequency (D2-like, ~1/15 Hz)", GpsSimulationConfig::low_frequency()),
+    ];
+    for (label, config) in presets {
+        println!("== {label} ==");
+        let mut total_sim = 0.0;
+        let mut n = 0;
+        for (i, (a, b)) in city
+            .districts
+            .iter()
+            .zip(city.districts.iter().rev())
+            .take(5)
+            .enumerate()
+        {
+            if a.index == b.index {
+                continue;
+            }
+            let Some(driven) = fastest_path(&city.net, a.center, b.center) else { continue };
+            let Some(trace) = simulate_gps_trace(
+                &city.net,
+                &driven,
+                TrajectoryId(i as u32),
+                DriverId(0),
+                0.0,
+                &config,
+                &mut rng,
+            ) else {
+                continue;
+            };
+            let Some(matched) = matcher.match_trajectory(&trace) else {
+                println!("  trip {i}: could not be matched");
+                continue;
+            };
+            let sim = path_similarity(&city.net, &driven, &matched.path);
+            total_sim += sim;
+            n += 1;
+            println!(
+                "  trip {i}: {} GPS fixes over {:.1} km -> recovered {:.1}% of the driven path",
+                trace.len(),
+                driven.length_m(&city.net).unwrap() / 1000.0,
+                sim * 100.0
+            );
+        }
+        if n > 0 {
+            println!("  mean recovery: {:.1}%\n", total_sim / n as f64 * 100.0);
+        }
+    }
+}

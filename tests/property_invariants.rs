@@ -1,0 +1,185 @@
+//! Property-based tests (proptest) over the core data structures and
+//! algorithmic invariants of the workspace.
+
+use proptest::prelude::*;
+
+use l2r_suite::preference::Preference;
+use l2r_suite::prelude::*;
+use l2r_suite::region_graph::{bottom_up_clustering, TrajectoryGraph};
+use l2r_suite::road_network::{
+    lowest_cost_path, path_similarity, path_similarity_jaccard, polygon_area, convex_hull,
+    Point, RoadNetworkBuilder, RoadTypeSet,
+};
+use l2r_suite::trajectory::{DriverId, TrajectoryId};
+
+/// A deterministic grid network used by several properties.
+fn grid(n: u32) -> RoadNetwork {
+    let mut b = RoadNetworkBuilder::new();
+    for r in 0..n {
+        for c in 0..n {
+            b.add_vertex(Point::new(c as f64 * 500.0, r as f64 * 500.0));
+        }
+    }
+    for r in 0..n {
+        for c in 0..n {
+            let v = VertexId(r * n + c);
+            if c + 1 < n {
+                b.add_two_way(v, VertexId(r * n + c + 1), RoadType::Secondary).unwrap();
+            }
+            if r + 1 < n {
+                b.add_two_way(v, VertexId((r + 1) * n + c), RoadType::Secondary).unwrap();
+            }
+        }
+    }
+    b.build()
+}
+
+/// A random simple path on the grid as a walk that never immediately
+/// backtracks (may revisit vertices, which similarity handles fine).
+fn grid_walk(n: u32) -> impl Strategy<Value = Vec<VertexId>> {
+    (0..n * n, proptest::collection::vec(0..4u8, 1..20)).prop_map(move |(start, moves)| {
+        let mut walk = vec![VertexId(start)];
+        let mut cur = start;
+        for m in moves {
+            let r = cur / n;
+            let c = cur % n;
+            let next = match m {
+                0 if c + 1 < n => cur + 1,
+                1 if c > 0 => cur - 1,
+                2 if r + 1 < n => cur + n,
+                3 if r > 0 => cur - n,
+                _ => continue,
+            };
+            if walk.len() >= 2 && walk[walk.len() - 2] == VertexId(next) {
+                continue; // no immediate backtrack (keeps the path drivable and simple enough)
+            }
+            walk.push(VertexId(next));
+            cur = next;
+        }
+        walk
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Path similarity (both equations) is bounded, maximal for identical
+    /// paths and the Jaccard form never exceeds the Eq. 1 form.
+    #[test]
+    fn path_similarity_bounds(walk_a in grid_walk(6), walk_b in grid_walk(6)) {
+        let net = grid(6);
+        let a = Path::new(walk_a).unwrap();
+        let b = Path::new(walk_b).unwrap();
+        let eq1 = path_similarity(&net, &a, &b);
+        let eq4 = path_similarity_jaccard(&net, &a, &b);
+        prop_assert!((0.0..=1.0).contains(&eq1));
+        prop_assert!((0.0..=1.0).contains(&eq4));
+        prop_assert!(eq4 <= eq1 + 1e-9);
+        prop_assert!((path_similarity(&net, &a, &a) - 1.0).abs() < 1e-9);
+    }
+
+    /// Dijkstra is optimal: no observed walk between the same endpoints can
+    /// be cheaper than the computed lowest-cost path, for any cost type.
+    #[test]
+    fn dijkstra_paths_are_never_beaten_by_walks(walk in grid_walk(6)) {
+        let net = grid(6);
+        let path = Path::new(walk).unwrap();
+        prop_assume!(!path.is_trivial());
+        let (s, d) = (path.source(), path.destination());
+        for cost in [CostType::Distance, CostType::TravelTime, CostType::Fuel] {
+            let best = lowest_cost_path(&net, s, d, cost).unwrap();
+            let best_cost = best.cost(&net, cost).unwrap();
+            let walk_cost = path.cost(&net, cost).unwrap();
+            prop_assert!(best_cost <= walk_cost + 1e-6);
+        }
+    }
+
+    /// Road-type sets behave like sets: Jaccard is within [0, 1], the union
+    /// contains both operands and the intersection is contained in both.
+    #[test]
+    fn road_type_set_algebra(bits_a in 0u8..64, bits_b in 0u8..64) {
+        let set_of = |bits: u8| {
+            let mut s = RoadTypeSet::empty();
+            for rt in RoadType::ALL {
+                if bits & (1 << rt.index()) != 0 {
+                    s.insert(rt);
+                }
+            }
+            s
+        };
+        let a = set_of(bits_a);
+        let b = set_of(bits_b);
+        let j = a.jaccard(b);
+        prop_assert!((0.0..=1.0).contains(&j));
+        let u = a.union(b);
+        let i = a.intersection(b);
+        for rt in RoadType::ALL {
+            if a.contains(rt) || b.contains(rt) {
+                prop_assert!(u.contains(rt));
+            }
+            if i.contains(rt) {
+                prop_assert!(a.contains(rt) && b.contains(rt));
+            }
+        }
+        prop_assert!((a.jaccard(a) - 1.0).abs() < 1e-12);
+    }
+
+    /// Preference feature rows decode back to the preference that produced
+    /// them (single-road-type slaves round-trip exactly).
+    #[test]
+    fn preference_feature_row_roundtrip(master_idx in 0usize..3, slave_idx in 0usize..7) {
+        let master = CostType::from_index(master_idx).unwrap();
+        let slave = if slave_idx < 6 {
+            Some(l2r_suite::road_network::RoadTypeSet::single(RoadType::from_index(slave_idx).unwrap()))
+        } else {
+            None
+        };
+        let p = Preference { master, slave };
+        let decoded = Preference::from_feature_row(&p.to_feature_row(), 0.5).unwrap();
+        prop_assert_eq!(decoded, p);
+    }
+
+    /// Convex hulls have non-negative area that never exceeds the bounding
+    /// box area of the input points.
+    #[test]
+    fn convex_hull_area_is_bounded(points in proptest::collection::vec((0.0f64..1000.0, 0.0f64..1000.0), 0..40)) {
+        let pts: Vec<Point> = points.iter().map(|(x, y)| Point::new(*x, *y)).collect();
+        let hull = convex_hull(&pts);
+        let area = polygon_area(&hull);
+        prop_assert!(area >= 0.0);
+        if !pts.is_empty() {
+            let bb = l2r_suite::road_network::BoundingBox::from_points(pts.iter());
+            prop_assert!(area <= bb.width() * bb.height() + 1e-6);
+        }
+    }
+
+    /// Clustering is a partition of the traversed vertices and preserves the
+    /// total vertex popularity, for arbitrary small trajectory sets.
+    #[test]
+    fn clustering_partitions_traversed_vertices(walks in proptest::collection::vec(grid_walk(5), 1..12)) {
+        let net = grid(5);
+        let trajectories: Vec<MatchedTrajectory> = walks
+            .into_iter()
+            .enumerate()
+            .filter_map(|(i, w)| {
+                let p = Path::new(w).ok()?;
+                if p.is_trivial() { return None; }
+                Some(MatchedTrajectory::new(TrajectoryId(i as u32), DriverId(0), p, 0.0))
+            })
+            .collect();
+        prop_assume!(!trajectories.is_empty());
+        let tg = TrajectoryGraph::build(&net, &trajectories);
+        let clusters = bottom_up_clustering(&tg);
+        let mut seen = std::collections::HashSet::new();
+        let mut total_pop = 0.0;
+        for c in &clusters {
+            for v in &c.vertices {
+                prop_assert!(seen.insert(*v), "vertex {v:?} appears in two clusters");
+            }
+            total_pop += c.popularity;
+        }
+        prop_assert_eq!(seen.len(), tg.num_vertices());
+        let expected: f64 = tg.vertices().map(|v| tg.vertex_popularity(v)).sum();
+        prop_assert!((total_pop - expected).abs() < 1e-6);
+    }
+}
