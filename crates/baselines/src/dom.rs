@@ -1,4 +1,4 @@
-//! **Dom** — personalized multi-cost routing (the paper's reference [26]).
+//! **Dom** — personalized multi-cost routing (the paper's reference \[26\]).
 //!
 //! Dom learns, per driver, how strongly the driver trades off distance,
 //! travel time and fuel consumption: each training trajectory is compared to
@@ -79,8 +79,8 @@ impl Dom {
                 continue;
             }
             let entry = per_driver.entry(t.driver).or_insert(([0.0; 3], 0));
-            for i in 0..3 {
-                entry.0[i] += ratios[i];
+            for (sum, ratio) in entry.0.iter_mut().zip(ratios.iter()) {
+                *sum += ratio;
             }
             entry.1 += 1;
         }
@@ -189,7 +189,9 @@ impl BaselineRouter for Dom {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use l2r_datagen::{generate_network, generate_workload, SyntheticNetworkConfig, WorkloadConfig};
+    use l2r_datagen::{
+        generate_network, generate_workload, SyntheticNetworkConfig, WorkloadConfig,
+    };
     use l2r_trajectory::TrajectoryId;
 
     #[test]

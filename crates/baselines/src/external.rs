@@ -200,14 +200,22 @@ mod tests {
                 }
             }
         }
-        assert!(differs, "the external service should not coincide with Fastest everywhere");
+        assert!(
+            differs,
+            "the external service should not coincide with Fastest everywhere"
+        );
     }
 
     #[test]
     fn invalid_and_trivial_queries() {
         let syn = generate_network(&SyntheticNetworkConfig::tiny());
         let ext = ExternalRouter::with_defaults(&syn.net);
-        assert!(ext.route_path(&syn.net, VertexId(0), VertexId(10_000_000)).is_none());
-        assert!(ext.route_path(&syn.net, VertexId(2), VertexId(2)).unwrap().is_trivial());
+        assert!(ext
+            .route_path(&syn.net, VertexId(0), VertexId(10_000_000))
+            .is_none());
+        assert!(ext
+            .route_path(&syn.net, VertexId(2), VertexId(2))
+            .unwrap()
+            .is_trivial());
     }
 }

@@ -5,11 +5,11 @@
 //!
 //! * [`simple`] — **Shortest** and **Fastest** (plain Dijkstra on distance /
 //!   travel time);
-//! * [`dom`] — **Dom** [26], personalized multi-cost routing: per-driver
+//! * [`dom`] — **Dom** \[26\], personalized multi-cost routing: per-driver
 //!   weights over distance / travel time / fuel learned from the driver's
 //!   trajectories, applied through an expensive skyline (Pareto) search at
 //!   query time;
-//! * [`trip`] — **TRIP** [27], personalized travel times: per-driver,
+//! * [`trip`] — **TRIP** \[27\], personalized travel times: per-driver,
 //!   per-road-type travel-time ratios learned from trajectories and applied
 //!   as edge-weight multipliers;
 //! * [`external`] — a stand-in for the Google Directions API used in

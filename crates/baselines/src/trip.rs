@@ -1,4 +1,4 @@
-//! **TRIP** — personalized travel times (the paper's reference [27]).
+//! **TRIP** — personalized travel times (the paper's reference \[27\]).
 //!
 //! The original TRIP models personalized travel times as ratios between a
 //! driver's experienced travel time and the population average.  Without real
@@ -83,7 +83,9 @@ impl Trip {
             if s == d {
                 continue;
             }
-            let Some(actual) = road_type_shares(net, &t.path) else { continue };
+            let Some(actual) = road_type_shares(net, &t.path) else {
+                continue;
+            };
             let Some(fast) = fastest_path(net, s, d).and_then(|p| road_type_shares(net, &p)) else {
                 continue;
             };
@@ -163,7 +165,9 @@ impl BaselineRouter for Trip {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use l2r_datagen::{generate_network, generate_workload, SyntheticNetworkConfig, WorkloadConfig};
+    use l2r_datagen::{
+        generate_network, generate_workload, SyntheticNetworkConfig, WorkloadConfig,
+    };
 
     #[test]
     fn untrained_trip_equals_fastest() {
@@ -173,7 +177,10 @@ mod tests {
         let d = syn.districts.last().unwrap().center;
         let trip_path = trip.route(&syn.net, s, d, DriverId(0)).unwrap();
         let fast = fastest_path(&syn.net, s, d).unwrap();
-        assert_eq!(trip_path, fast, "neutral multipliers reproduce the fastest path");
+        assert_eq!(
+            trip_path, fast,
+            "neutral multipliers reproduce the fastest path"
+        );
     }
 
     #[test]
@@ -185,7 +192,7 @@ mod tests {
         for t in &wl.trajectories {
             let p = trip.profile(t.driver);
             for m in p.multipliers {
-                assert!(m >= 0.3 && m <= 3.0);
+                assert!((0.3..=3.0).contains(&m));
             }
         }
     }
@@ -211,7 +218,9 @@ mod tests {
         assert!(trip
             .route(&syn.net, VertexId(0), VertexId(10_000_000), DriverId(0))
             .is_none());
-        let trivial = trip.route(&syn.net, VertexId(3), VertexId(3), DriverId(0)).unwrap();
+        let trivial = trip
+            .route(&syn.net, VertexId(3), VertexId(3), DriverId(0))
+            .unwrap();
         assert!(trivial.is_trivial());
     }
 }

@@ -16,7 +16,8 @@ fn bench_fig13(c: &mut Criterion) {
     for ds in &sets {
         let net = &ds.synthetic.net;
         let ext = ExternalRouter::with_defaults(net);
-        let queries = build_test_queries(net, &ds.model, &ds.test, ds.spec.max_test_queries.min(60));
+        let queries =
+            build_test_queries(net, &ds.model, &ds.test, ds.spec.max_test_queries.min(60));
         if queries.is_empty() {
             continue;
         }
@@ -53,7 +54,8 @@ fn bench_fig13(c: &mut Criterion) {
             },
         );
         // The full comparison, printed once.
-        let cmp = compare_with_external(net, &ds.model, &ext, &queries, &ds.spec.distance_bounds_km);
+        let cmp =
+            compare_with_external(net, &ds.model, &ext, &queries, &ds.spec.distance_bounds_km);
         for (label, l2r, external) in &cmp.by_distance {
             println!(
                 "[fig13/{}] {:<10} L2R={:.1}% External={:.1}%",

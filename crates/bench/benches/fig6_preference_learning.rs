@@ -20,7 +20,9 @@ fn bench_fig6(c: &mut Criterion) {
                 BenchmarkId::new("learn_edge_preference", ds.spec.name),
                 &edge.paths,
                 |b, paths| {
-                    b.iter(|| learn_edge_preference(ds.model.network(), paths, &LearnConfig::default()));
+                    b.iter(|| {
+                        learn_edge_preference(ds.model.network(), paths, &LearnConfig::default())
+                    });
                 },
             );
         }

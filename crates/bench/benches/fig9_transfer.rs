@@ -12,9 +12,13 @@ fn bench_fig9(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig9_transfer");
     group.sample_size(10);
     for ds in &sets {
-        group.bench_with_input(BenchmarkId::new("fig9a_partitions", ds.spec.name), ds, |b, ds| {
-            b.iter(|| fig9a(&ds.model, &ds.model.config().transfer));
-        });
+        group.bench_with_input(
+            BenchmarkId::new("fig9a_partitions", ds.spec.name),
+            ds,
+            |b, ds| {
+                b.iter(|| fig9a(&ds.model, &ds.model.config().transfer));
+            },
+        );
         for amr in [0.5, 0.7, 0.9] {
             group.bench_with_input(
                 BenchmarkId::new(format!("fig9b_amr_{amr}"), ds.spec.name),

@@ -26,7 +26,10 @@ fn bench_offline(c: &mut Criterion) {
         // Print the per-stage breakdown once (the Section VII-C numbers).
         let model = L2r::fit(&syn.net, &train, spec.l2r.clone()).expect("fit");
         for row in offline_times(&model) {
-            println!("[offline/{}] {:<20} {:.1} ms", spec.name, row.stage, row.time_ms);
+            println!(
+                "[offline/{}] {:<20} {:.1} ms",
+                spec.name, row.stage, row.time_ms
+            );
         }
     }
     group.finish();

@@ -13,16 +13,20 @@ use l2r_baselines::{Dom, ExternalRouter, FastestRouter, ShortestRouter, Trip};
 use l2r_bench::{datasets, DatasetChoice};
 use l2r_eval::{
     build_test_queries, compare_methods, compare_with_external, fig6a, fig6b, fig9a, fig9b,
-    offline_times, preference_recovery, report_accuracy, report_fig13, report_fig6a,
-    report_fig6b, report_fig9a, report_fig9b, report_offline, report_runtime, report_table2,
-    report_table4, table2, table4, Dataset, Method, Scale,
+    offline_times, preference_recovery, report_accuracy, report_fig13, report_fig6a, report_fig6b,
+    report_fig9a, report_fig9b, report_offline, report_runtime, report_table2, report_table4,
+    table2, table4, Dataset, Method, Scale,
 };
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let full = args.iter().any(|a| a == "--full");
     let scale = if full { Scale::Full } else { Scale::Quick };
-    let wanted: Vec<&str> = args.iter().filter(|a| !a.starts_with("--")).map(|s| s.as_str()).collect();
+    let wanted: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(|s| s.as_str())
+        .collect();
     let run_all = wanted.is_empty() || wanted.contains(&"all");
     let run = |name: &str| run_all || wanted.contains(&name);
 
@@ -130,7 +134,10 @@ fn run_fig10_11_12(ds: &Dataset) {
     print!(
         "{}",
         report_accuracy(
-            &format!("Figure 10 — accuracy (Eq. 1) by distance ({})", ds.spec.name),
+            &format!(
+                "Figure 10 — accuracy (Eq. 1) by distance ({})",
+                ds.spec.name
+            ),
             &results,
             false,
             false
@@ -148,7 +155,10 @@ fn run_fig10_11_12(ds: &Dataset) {
     print!(
         "{}",
         report_accuracy(
-            &format!("Figure 11 — accuracy (Eq. 4) by distance ({})", ds.spec.name),
+            &format!(
+                "Figure 11 — accuracy (Eq. 4) by distance ({})",
+                ds.spec.name
+            ),
             &results,
             false,
             true
@@ -166,7 +176,10 @@ fn run_fig10_11_12(ds: &Dataset) {
     print!(
         "{}",
         report_runtime(
-            &format!("Figure 12 — mean running time (µs) by distance ({})", ds.spec.name),
+            &format!(
+                "Figure 12 — mean running time (µs) by distance ({})",
+                ds.spec.name
+            ),
             &results,
             false
         )
@@ -174,7 +187,10 @@ fn run_fig10_11_12(ds: &Dataset) {
     print!(
         "{}",
         report_runtime(
-            &format!("Figure 12 — mean running time (µs) by region ({})", ds.spec.name),
+            &format!(
+                "Figure 12 — mean running time (µs) by region ({})",
+                ds.spec.name
+            ),
             &results,
             true
         )

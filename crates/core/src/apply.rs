@@ -10,9 +10,7 @@ use std::collections::HashMap;
 
 use l2r_preference::Preference;
 use l2r_region_graph::{RegionEdgeId, RegionGraph, SupportedPath};
-use l2r_road_network::{
-    fastest_path, preference_constrained_path, Path, RoadNetwork, VertexId,
-};
+use l2r_road_network::{fastest_path, preference_constrained_path, Path, RoadNetwork, VertexId};
 
 /// Computes a path between two concrete vertices under an optional
 /// preference (`None` = fastest path).
@@ -72,7 +70,10 @@ pub fn apply_preferences_to_b_edges(
                 }
                 if let Some(p) = path_under_preference(net, *ca, *cb, pref.as_ref()) {
                     if !p.is_trivial() && !paths.iter().any(|sp| sp.path == p) {
-                        paths.push(SupportedPath { path: p, support: 1 });
+                        paths.push(SupportedPath {
+                            path: p,
+                            support: 1,
+                        });
                     }
                 }
             }
@@ -91,7 +92,9 @@ pub fn apply_preferences_to_b_edges(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use l2r_datagen::{generate_network, generate_workload, SyntheticNetworkConfig, WorkloadConfig};
+    use l2r_datagen::{
+        generate_network, generate_workload, SyntheticNetworkConfig, WorkloadConfig,
+    };
     use l2r_region_graph::{bottom_up_clustering, TrajectoryGraph};
     use l2r_road_network::{CostType, RoadType, RoadTypeSet};
 

@@ -49,7 +49,10 @@ mod tests {
     #[test]
     fn default_config_matches_paper_defaults() {
         let c = L2rConfig::default();
-        assert!((c.transfer.amr - 0.7).abs() < 1e-12, "amr default is 0.7 (Section VII-B)");
+        assert!(
+            (c.transfer.amr - 0.7).abs() < 1e-12,
+            "amr default is 0.7 (Section VII-B)"
+        );
         assert_eq!(c.function_top_k, 2);
         assert!(c.max_transfer_center_pairs >= 1);
     }

@@ -40,7 +40,9 @@ mod tests {
 
     #[test]
     fn display_and_conversion() {
-        assert!(L2rError::EmptyTrajectorySet.to_string().contains("no trajectories"));
+        assert!(L2rError::EmptyTrajectorySet
+            .to_string()
+            .contains("no trajectories"));
         let e: L2rError = NetworkError::UnknownVertex(VertexId(3)).into();
         assert!(matches!(e, L2rError::Network(_)));
         assert!(e.to_string().contains("road-network"));

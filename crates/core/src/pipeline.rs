@@ -7,12 +7,8 @@
 use std::collections::HashMap;
 use std::time::{Duration, Instant};
 
-use l2r_preference::{
-    learn_edge_preference, transfer_preferences, LearnedPreference, Preference,
-};
-use l2r_region_graph::{
-    bottom_up_clustering, RegionEdgeId, RegionGraph, TrajectoryGraph,
-};
+use l2r_preference::{learn_edge_preference, transfer_preferences, LearnedPreference, Preference};
+use l2r_region_graph::{bottom_up_clustering, RegionEdgeId, RegionGraph, TrajectoryGraph};
 use l2r_road_network::{RoadNetwork, VertexId};
 use l2r_trajectory::MatchedTrajectory;
 
@@ -101,8 +97,10 @@ impl L2r {
 
         // Step 2b: transfer preferences to B-edges.
         let t0 = Instant::now();
-        let labeled: HashMap<RegionEdgeId, Preference> =
-            learned.iter().map(|(id, lp)| (*id, lp.preference)).collect();
+        let labeled: HashMap<RegionEdgeId, Preference> = learned
+            .iter()
+            .map(|(id, lp)| (*id, lp.preference))
+            .collect();
         let targets: Vec<RegionEdgeId> = region_graph.b_edges().map(|e| e.id).collect();
         let transfer = transfer_preferences(&region_graph, &labeled, &targets, &config.transfer);
         stats.transfer_time = t0.elapsed();
@@ -173,7 +171,9 @@ impl L2r {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use l2r_datagen::{generate_network, generate_workload, SyntheticNetworkConfig, WorkloadConfig};
+    use l2r_datagen::{
+        generate_network, generate_workload, SyntheticNetworkConfig, WorkloadConfig,
+    };
 
     fn fit_tiny() -> (l2r_datagen::SyntheticNetwork, l2r_datagen::Workload, L2r) {
         let syn = generate_network(&SyntheticNetworkConfig::tiny());
@@ -193,13 +193,14 @@ mod tests {
         // Every T-edge with paths got a learned preference.
         assert_eq!(
             model.learned_preferences().len(),
-            model.region_graph().t_edges().filter(|e| e.has_paths()).count()
+            model
+                .region_graph()
+                .t_edges()
+                .filter(|e| e.has_paths())
+                .count()
         );
         // B-edges either have transferred preferences recorded or are absent.
-        assert_eq!(
-            model.transferred_preferences().len(),
-            stats.num_b_edges
-        );
+        assert_eq!(model.transferred_preferences().len(), stats.num_b_edges);
     }
 
     #[test]
@@ -240,8 +241,12 @@ mod tests {
         let mut n = 0usize;
         for t in test.iter().take(60) {
             let (s, d) = (t.source(), t.destination());
-            let Some(l2r_route) = model.route(s, d) else { continue };
-            let Some(short) = shortest_path(&syn.net, s, d) else { continue };
+            let Some(l2r_route) = model.route(s, d) else {
+                continue;
+            };
+            let Some(short) = shortest_path(&syn.net, s, d) else {
+                continue;
+            };
             l2r_total += path_similarity(&syn.net, &t.path, &l2r_route.path);
             shortest_total += path_similarity(&syn.net, &t.path, &short);
             n += 1;

@@ -149,7 +149,9 @@ pub fn find_region_path(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use l2r_datagen::{generate_network, generate_workload, SyntheticNetworkConfig, WorkloadConfig};
+    use l2r_datagen::{
+        generate_network, generate_workload, SyntheticNetworkConfig, WorkloadConfig,
+    };
     use l2r_region_graph::{bottom_up_clustering, TrajectoryGraph};
 
     fn build() -> RegionGraph {

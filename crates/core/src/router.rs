@@ -14,9 +14,7 @@
 //!   When no candidate region exists the fastest path is returned.
 
 use l2r_region_graph::{RegionGraph, RegionId};
-use l2r_road_network::{
-    fastest_path, fastest_path_with_settle_order, Path, RoadNetwork, VertexId,
-};
+use l2r_road_network::{fastest_path, fastest_path_with_settle_order, Path, RoadNetwork, VertexId};
 
 use crate::region_routing::{find_region_path, RegionPath};
 
@@ -60,7 +58,11 @@ pub enum RegionCoverage {
 }
 
 /// Classifies a query's endpoints against the region graph.
-pub fn region_coverage(rg: &RegionGraph, source: VertexId, destination: VertexId) -> RegionCoverage {
+pub fn region_coverage(
+    rg: &RegionGraph,
+    source: VertexId,
+    destination: VertexId,
+) -> RegionCoverage {
     match (rg.region_of(source), rg.region_of(destination)) {
         (Some(_), Some(_)) => RegionCoverage::InRegion,
         (None, None) => RegionCoverage::OutRegion,
@@ -176,7 +178,9 @@ fn find_anchor(
     towards: VertexId,
 ) -> Option<VertexId> {
     let (_, settle_order) = fastest_path_with_settle_order(net, from, towards);
-    settle_order.into_iter().find(|v| rg.region_of(*v).is_some())
+    settle_order
+        .into_iter()
+        .find(|v| rg.region_of(*v).is_some())
 }
 
 /// Routing inside a single region: reuse the most supported inner-region
@@ -229,13 +233,20 @@ fn region_path_to_road_path(
             let src = rg.region_of(sp.path.source());
             let dst = rg.region_of(sp.path.destination());
             if src == Some(from_region) && dst == Some(to_region) {
-                if candidate.as_ref().map(|(_, s)| sp.support > *s).unwrap_or(true) {
+                if candidate
+                    .as_ref()
+                    .map(|(_, s)| sp.support > *s)
+                    .unwrap_or(true)
+                {
                     candidate = Some((sp.path.clone(), sp.support));
                 }
             } else if src == Some(to_region) && dst == Some(from_region) {
                 let rev = sp.path.reversed();
                 if rev.validate(net).is_ok()
-                    && candidate.as_ref().map(|(_, s)| sp.support > *s).unwrap_or(true)
+                    && candidate
+                        .as_ref()
+                        .map(|(_, s)| sp.support > *s)
+                        .unwrap_or(true)
                 {
                     candidate = Some((rev, sp.support));
                 }
@@ -278,7 +289,9 @@ fn region_path_to_road_path(
 mod tests {
     use super::*;
     use crate::apply::apply_preferences_to_b_edges;
-    use l2r_datagen::{generate_network, generate_workload, SyntheticNetworkConfig, WorkloadConfig};
+    use l2r_datagen::{
+        generate_network, generate_workload, SyntheticNetworkConfig, WorkloadConfig,
+    };
     use l2r_region_graph::{bottom_up_clustering, TrajectoryGraph};
     use std::collections::HashMap;
 
@@ -314,7 +327,10 @@ mod tests {
                 }
             }
         }
-        assert!(seen.contains(&RegionCoverage::InRegion), "should exercise InRegion queries");
+        assert!(
+            seen.contains(&RegionCoverage::InRegion),
+            "should exercise InRegion queries"
+        );
     }
 
     #[test]
@@ -348,7 +364,10 @@ mod tests {
                 break;
             }
         }
-        assert!(exercised, "at least one query should reuse an inner-region trajectory");
+        assert!(
+            exercised,
+            "at least one query should reuse an inner-region trajectory"
+        );
     }
 
     #[test]
@@ -362,8 +381,10 @@ mod tests {
             let r = route(&net, &rg, a, b).unwrap();
             assert!(matches!(
                 r.strategy,
-                RouteStrategy::RegionPath | RouteStrategy::InnerRegionTrajectory
-                    | RouteStrategy::InnerRegionFastest | RouteStrategy::FastestFallback
+                RouteStrategy::RegionPath
+                    | RouteStrategy::InnerRegionTrajectory
+                    | RouteStrategy::InnerRegionFastest
+                    | RouteStrategy::FastestFallback
             ));
             assert_eq!(r.path.source(), a);
             assert_eq!(r.path.destination(), b);
@@ -382,9 +403,15 @@ mod tests {
                 break;
             }
         }
-        assert_eq!(region_coverage(&rg, inside, inside), RegionCoverage::InRegion);
+        assert_eq!(
+            region_coverage(&rg, inside, inside),
+            RegionCoverage::InRegion
+        );
         if let Some(out) = outside {
-            assert_eq!(region_coverage(&rg, inside, out), RegionCoverage::InOutRegion);
+            assert_eq!(
+                region_coverage(&rg, inside, out),
+                RegionCoverage::InOutRegion
+            );
             assert_eq!(region_coverage(&rg, out, out), RegionCoverage::OutRegion);
         }
     }

@@ -66,7 +66,11 @@ impl TripLength {
 /// different master features and road classes, mirroring Figure 6(a) of the
 /// paper (learned preferences are spread over DI/TT/FC, and most T-edges
 /// carry a single dominant preference).
-pub fn latent_preference(from: DistrictKind, to: DistrictKind, distance_m: f64) -> LatentPreference {
+pub fn latent_preference(
+    from: DistrictKind,
+    to: DistrictKind,
+    distance_m: f64,
+) -> LatentPreference {
     use DistrictKind::*;
     let length = TripLength::classify(distance_m);
     match (length, from, to) {
@@ -76,7 +80,10 @@ pub fn latent_preference(from: DistrictKind, to: DistrictKind, distance_m: f64) 
         // shortest (surface streets are shorter) path.
         (TripLength::Long, _, _) => LatentPreference {
             master: CostType::Distance,
-            slave: Some(RoadTypeSet::from_iter([RoadType::Motorway, RoadType::Trunk])),
+            slave: Some(RoadTypeSet::from_iter([
+                RoadType::Motorway,
+                RoadType::Trunk,
+            ])),
         },
         // Business-to-business trips stay on primary arterials and minimise
         // travel time within them.
@@ -88,7 +95,10 @@ pub fn latent_preference(from: DistrictKind, to: DistrictKind, distance_m: f64) 
         // direct (short) routes along primary/secondary arterials.
         (_, Residential, Business) | (_, Business, Residential) => LatentPreference {
             master: CostType::Distance,
-            slave: Some(RoadTypeSet::from_iter([RoadType::Primary, RoadType::Secondary])),
+            slave: Some(RoadTypeSet::from_iter([
+                RoadType::Primary,
+                RoadType::Secondary,
+            ])),
         },
         // Freight-style trips to or from industrial areas minimise fuel and
         // use the trunk network.
@@ -106,7 +116,10 @@ pub fn latent_preference(from: DistrictKind, to: DistrictKind, distance_m: f64) 
         // quickest route over secondary/tertiary streets.
         (TripLength::Medium, Residential, Residential) => LatentPreference {
             master: CostType::TravelTime,
-            slave: Some(RoadTypeSet::from_iter([RoadType::Secondary, RoadType::Tertiary])),
+            slave: Some(RoadTypeSet::from_iter([
+                RoadType::Secondary,
+                RoadType::Tertiary,
+            ])),
         },
     }
 }
@@ -170,8 +183,16 @@ mod tests {
 
     #[test]
     fn long_trips_always_prefer_highways() {
-        for from in [DistrictKind::Business, DistrictKind::Residential, DistrictKind::Industrial] {
-            for to in [DistrictKind::Business, DistrictKind::Residential, DistrictKind::Industrial] {
+        for from in [
+            DistrictKind::Business,
+            DistrictKind::Residential,
+            DistrictKind::Industrial,
+        ] {
+            for to in [
+                DistrictKind::Business,
+                DistrictKind::Residential,
+                DistrictKind::Industrial,
+            ] {
                 let p = latent_preference(from, to, 40_000.0);
                 assert_eq!(p.master, CostType::Distance);
                 assert!(p.slave.unwrap().contains(RoadType::Motorway));

@@ -21,8 +21,12 @@ pub mod drivers;
 pub mod network;
 pub mod workload;
 
-pub use drivers::{latent_preference, DriverPopulation, DriverProfile, LatentPreference, TripLength};
-pub use network::{generate_network, District, DistrictKind, SyntheticNetwork, SyntheticNetworkConfig};
+pub use drivers::{
+    latent_preference, DriverPopulation, DriverProfile, LatentPreference, TripLength,
+};
+pub use network::{
+    generate_network, District, DistrictKind, SyntheticNetwork, SyntheticNetworkConfig,
+};
 pub use workload::{
     generate_workload, route_with_preference, DistanceBand, Workload, WorkloadConfig,
 };

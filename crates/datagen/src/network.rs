@@ -134,9 +134,7 @@ pub struct SyntheticNetwork {
 impl SyntheticNetwork {
     /// The district that contains `v`, if any.
     pub fn district_of(&self, v: VertexId) -> Option<usize> {
-        self.districts
-            .iter()
-            .position(|d| d.vertices.contains(&v))
+        self.districts.iter().position(|d| d.vertices.contains(&v))
     }
 
     /// Straight-line distance between two district centres, in metres.
@@ -187,9 +185,8 @@ pub fn generate_network(config: &SyntheticNetworkConfig) -> SyntheticNetwork {
         nx * ny * (blocks * blocks + 1),
         nx * ny * (blocks * blocks * 2 + 8),
     );
-    let jitter = |rng: &mut StdRng| -> f64 {
-        (rng.gen::<f64>() * 2.0 - 1.0) * config.position_jitter_m
-    };
+    let jitter =
+        |rng: &mut StdRng| -> f64 { (rng.gen::<f64>() * 2.0 - 1.0) * config.position_jitter_m };
 
     // District centres laid out on a grid.
     let mut centers: Vec<Vec<VertexId>> = Vec::with_capacity(ny);
@@ -220,7 +217,9 @@ pub fn generate_network(config: &SyntheticNetworkConfig) -> SyntheticNetwork {
             if x + 1 < nx {
                 let right = centers[y][x + 1];
                 let rt = arterial_type(kind_here, districts[y * nx + x + 1].kind);
-                builder.add_two_way(here, right, rt).expect("valid arterial");
+                builder
+                    .add_two_way(here, right, rt)
+                    .expect("valid arterial");
             }
             if y + 1 < ny {
                 let up = centers[y + 1][x];
@@ -248,11 +247,9 @@ pub fn generate_network(config: &SyntheticNetworkConfig) -> SyntheticNetwork {
     // longer-but-faster alternative for cross-city and long-distance trips.
     if config.motorway_ring {
         let mut ring: Vec<VertexId> = Vec::new();
-        for x in 0..nx {
-            ring.push(centers[0][x]);
-        }
-        for y in 1..ny {
-            ring.push(centers[y][nx - 1]);
+        ring.extend_from_slice(&centers[0][..nx]);
+        for row in centers.iter().take(ny).skip(1) {
+            ring.push(row[nx - 1]);
         }
         for x in (0..nx - 1).rev() {
             ring.push(centers[ny - 1][x]);
@@ -263,7 +260,9 @@ pub fn generate_network(config: &SyntheticNetworkConfig) -> SyntheticNetwork {
         for i in 0..ring.len() {
             let a = ring[i];
             let b = ring[(i + 1) % ring.len()];
-            builder.add_two_way(a, b, RoadType::Motorway).expect("valid motorway");
+            builder
+                .add_two_way(a, b, RoadType::Motorway)
+                .expect("valid motorway");
         }
     }
 
@@ -283,9 +282,13 @@ pub fn generate_network(config: &SyntheticNetworkConfig) -> SyntheticNetwork {
         for by in 0..blocks {
             let mut row = Vec::with_capacity(blocks);
             for bx in 0..blocks {
-                let px = center_point.x + local_offset + bx as f64 * config.block_spacing_m
+                let px = center_point.x
+                    + local_offset
+                    + bx as f64 * config.block_spacing_m
                     + jitter(&mut rng) * 0.2;
-                let py = center_point.y + local_offset + by as f64 * config.block_spacing_m
+                let py = center_point.y
+                    + local_offset
+                    + by as f64 * config.block_spacing_m
                     + jitter(&mut rng) * 0.2;
                 let v = builder.add_vertex(Point::new(px, py));
                 d.vertices.push(v);
@@ -323,7 +326,11 @@ pub fn generate_network(config: &SyntheticNetworkConfig) -> SyntheticNetwork {
             .add_two_way(d.center, grid_ids[0][0], RoadType::Tertiary)
             .expect("valid collector");
         builder
-            .add_two_way(d.center, grid_ids[blocks - 1][blocks - 1], RoadType::Tertiary)
+            .add_two_way(
+                d.center,
+                grid_ids[blocks - 1][blocks - 1],
+                RoadType::Tertiary,
+            )
             .expect("valid collector");
     }
 
@@ -399,8 +406,7 @@ mod tests {
     #[test]
     fn district_kinds_cover_core_and_fringe() {
         let syn = generate_network(&SyntheticNetworkConfig::tiny());
-        let kinds: std::collections::HashSet<_> =
-            syn.districts.iter().map(|d| d.kind).collect();
+        let kinds: std::collections::HashSet<_> = syn.districts.iter().map(|d| d.kind).collect();
         assert!(kinds.contains(&DistrictKind::Business));
         assert!(kinds.contains(&DistrictKind::Residential));
     }

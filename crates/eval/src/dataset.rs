@@ -120,7 +120,7 @@ pub fn build_dataset(spec: DatasetSpec) -> Dataset {
         workload,
         train,
         test,
-    model,
+        model,
     }
 }
 

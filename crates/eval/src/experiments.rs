@@ -126,9 +126,14 @@ pub fn fig6b(model: &L2r, max_pairs: usize) -> Vec<Fig6bBucket> {
     };
     let descriptors: HashMap<RegionEdgeId, l2r_preference::RegionEdgeDescriptor> = edges
         .iter()
-        .map(|id| (*id, l2r_preference::RegionEdgeDescriptor::build(rg, rg.edge(*id))))
+        .map(|id| {
+            (
+                *id,
+                l2r_preference::RegionEdgeDescriptor::build(rg, rg.edge(*id)),
+            )
+        })
         .collect();
-    let mut buckets = vec![(0usize, 0.0f64); 10];
+    let mut buckets = [(0usize, 0.0f64); 10];
     let mut total_pairs = 0usize;
     'outer: for i in 0..edges.len() {
         for j in (i + 1)..edges.len() {
@@ -201,8 +206,7 @@ pub fn fig9a(model: &L2r, transfer: &TransferConfig) -> Vec<Fig9aPoint> {
             .flatten()
             .map(|id| (*id, learned[id].preference))
             .collect();
-        let result =
-            transfer_preferences(model.region_graph(), &labeled, ground_truth, transfer);
+        let result = transfer_preferences(model.region_graph(), &labeled, ground_truth, transfer);
         let mut acc = 0.0;
         let mut n = 0usize;
         for id in ground_truth {
@@ -295,11 +299,26 @@ pub struct OfflineRow {
 pub fn offline_times(model: &L2r) -> Vec<OfflineRow> {
     let s = model.stats();
     vec![
-        OfflineRow { stage: "clustering", time_ms: s.clustering_time.as_secs_f64() * 1000.0 },
-        OfflineRow { stage: "region-graph", time_ms: s.region_graph_time.as_secs_f64() * 1000.0 },
-        OfflineRow { stage: "preference-learning", time_ms: s.learning_time.as_secs_f64() * 1000.0 },
-        OfflineRow { stage: "preference-transfer", time_ms: s.transfer_time.as_secs_f64() * 1000.0 },
-        OfflineRow { stage: "apply-to-b-edges", time_ms: s.apply_time.as_secs_f64() * 1000.0 },
+        OfflineRow {
+            stage: "clustering",
+            time_ms: s.clustering_time.as_secs_f64() * 1000.0,
+        },
+        OfflineRow {
+            stage: "region-graph",
+            time_ms: s.region_graph_time.as_secs_f64() * 1000.0,
+        },
+        OfflineRow {
+            stage: "preference-learning",
+            time_ms: s.learning_time.as_secs_f64() * 1000.0,
+        },
+        OfflineRow {
+            stage: "preference-transfer",
+            time_ms: s.transfer_time.as_secs_f64() * 1000.0,
+        },
+        OfflineRow {
+            stage: "apply-to-b-edges",
+            time_ms: s.apply_time.as_secs_f64() * 1000.0,
+        },
     ]
 }
 
@@ -348,7 +367,9 @@ pub fn preference_recovery(ds: &Dataset) -> RecoveryResult {
         if latent_path.is_trivial() {
             continue;
         }
-        let Some(route) = model.route(s, d) else { continue };
+        let Some(route) = model.route(s, d) else {
+            continue;
+        };
         let sim = l2r_road_network::path_similarity(net, &latent_path, &route.path);
         evaluated += 1;
         total_sim += sim;
@@ -397,7 +418,11 @@ mod tests {
         let ds = dataset();
         let r = fig6a(&ds.model, &ds.model.config().learn.clone());
         assert!(r.num_t_edges > 0);
-        assert!(r.pct_single_preference > 50.0, "paper reports >70%, got {}", r.pct_single_preference);
+        assert!(
+            r.pct_single_preference > 50.0,
+            "paper reports >70%, got {}",
+            r.pct_single_preference
+        );
         let hist_total: usize = r.unique_preference_histogram.iter().sum();
         assert_eq!(hist_total, r.num_t_edges);
         let master_total: usize = r.master_distribution.iter().sum();
@@ -410,7 +435,10 @@ mod tests {
         let buckets = fig6b(&ds.model, 2000);
         assert_eq!(buckets.len(), 10);
         let pct: f64 = buckets.iter().map(|b| b.pair_percentage).sum();
-        assert!((pct - 100.0).abs() < 1.0, "pair percentages should sum to ~100, got {pct}");
+        assert!(
+            (pct - 100.0).abs() < 1.0,
+            "pair percentages should sum to ~100, got {pct}"
+        );
         for b in &buckets {
             assert!(b.mean_preference_similarity >= 0.0 && b.mean_preference_similarity <= 100.0);
         }
@@ -459,6 +487,10 @@ mod tests {
             "L2R should reproduce the latent behaviour on covered pairs, got {:.1}%",
             r.mean_similarity
         );
-        assert!(r.pct_high_similarity > 40.0, "high-similarity share {:.1}%", r.pct_high_similarity);
+        assert!(
+            r.pct_high_similarity > 40.0,
+            "high-similarity share {:.1}%",
+            r.pct_high_similarity
+        );
     }
 }

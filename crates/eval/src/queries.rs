@@ -46,7 +46,9 @@ pub fn build_test_queries(
         if s == d || t.path.is_trivial() {
             continue;
         }
-        let Ok(distance_m) = t.path.length_m(net) else { continue };
+        let Ok(distance_m) = t.path.length_m(net) else {
+            continue;
+        };
         queries.push(TestQuery {
             source: s,
             destination: d,

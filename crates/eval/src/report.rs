@@ -24,13 +24,27 @@ pub fn render_table(title: &str, header: &[&str], rows: &[Vec<String>]) -> Strin
         cells
             .iter()
             .enumerate()
-            .map(|(i, c)| format!("{:width$}", c, width = widths.get(i).copied().unwrap_or(c.len())))
+            .map(|(i, c)| {
+                format!(
+                    "{:width$}",
+                    c,
+                    width = widths.get(i).copied().unwrap_or(c.len())
+                )
+            })
             .collect::<Vec<_>>()
             .join(" | ")
     };
-    out.push_str(&fmt_row(&header.iter().map(|s| s.to_string()).collect::<Vec<_>>()));
+    out.push_str(&fmt_row(
+        &header.iter().map(|s| s.to_string()).collect::<Vec<_>>(),
+    ));
     out.push('\n');
-    out.push_str(&widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>().join("-+-"));
+    out.push_str(
+        &widths
+            .iter()
+            .map(|w| "-".repeat(*w))
+            .collect::<Vec<_>>()
+            .join("-+-"),
+    );
     out.push('\n');
     for row in rows {
         out.push_str(&fmt_row(row));
@@ -77,7 +91,12 @@ pub fn report_table4(name: &str, buckets: &[RegionSizeBucket]) -> String {
         .collect();
     render_table(
         &format!("Table IV — region sizes ({name})"),
-        &["area (km²)", "# regions", "percentage (%)", "max diameter (km)"],
+        &[
+            "area (km²)",
+            "# regions",
+            "percentage (%)",
+            "max diameter (km)",
+        ],
         &rows,
     )
 }
@@ -129,7 +148,12 @@ pub fn report_fig6b(name: &str, buckets: &[Fig6bBucket]) -> String {
         .collect();
     render_table(
         &format!("Figure 6(b) — T-edge similarity vs preference similarity ({name})"),
-        &["T-edge similarity", "pref similarity (%)", "pairs (%)", "pairs"],
+        &[
+            "T-edge similarity",
+            "pref similarity (%)",
+            "pairs (%)",
+            "pairs",
+        ],
         &rows,
     )
 }
@@ -169,7 +193,13 @@ pub fn report_fig9b(name: &str, points: &[Fig9bPoint]) -> String {
         .collect();
     render_table(
         &format!("Figure 9(b) — varying amr ({name})"),
-        &["amr", "accuracy (%)", "N-rate (%)", "run-time (ms)", "similarity edges"],
+        &[
+            "amr",
+            "accuracy (%)",
+            "N-rate (%)",
+            "run-time (ms)",
+            "similarity edges",
+        ],
         &rows,
     )
 }
@@ -183,7 +213,11 @@ pub fn report_accuracy(
 ) -> String {
     let buckets: Vec<String> = match results.first() {
         Some(r) => {
-            let src = if by_coverage { &r.by_coverage } else { &r.by_distance };
+            let src = if by_coverage {
+                &r.by_coverage
+            } else {
+                &r.by_distance
+            };
             src.iter().map(|b| b.label.clone()).collect()
         }
         None => Vec::new(),
@@ -194,7 +228,11 @@ pub fn report_accuracy(
     let rows: Vec<Vec<String>> = results
         .iter()
         .map(|r| {
-            let src = if by_coverage { &r.by_coverage } else { &r.by_distance };
+            let src = if by_coverage {
+                &r.by_coverage
+            } else {
+                &r.by_distance
+            };
             let mut row = vec![r.name.clone()];
             row.extend(src.iter().map(|b| {
                 let v = if eq4 { b.accuracy_eq4 } else { b.accuracy_eq1 };
@@ -210,7 +248,11 @@ pub fn report_accuracy(
 pub fn report_runtime(title: &str, results: &[MethodResult], by_coverage: bool) -> String {
     let buckets: Vec<String> = match results.first() {
         Some(r) => {
-            let src = if by_coverage { &r.by_coverage } else { &r.by_distance };
+            let src = if by_coverage {
+                &r.by_coverage
+            } else {
+                &r.by_distance
+            };
             src.iter().map(|b| b.label.clone()).collect()
         }
         None => Vec::new(),
@@ -221,7 +263,11 @@ pub fn report_runtime(title: &str, results: &[MethodResult], by_coverage: bool) 
     let rows: Vec<Vec<String>> = results
         .iter()
         .map(|r| {
-            let src = if by_coverage { &r.by_coverage } else { &r.by_distance };
+            let src = if by_coverage {
+                &r.by_coverage
+            } else {
+                &r.by_distance
+            };
             let mut row = vec![r.name.clone()];
             row.extend(src.iter().map(|b| format!("{:.0}", b.mean_runtime_us)));
             row
@@ -234,7 +280,11 @@ pub fn report_runtime(title: &str, results: &[MethodResult], by_coverage: bool) 
 pub fn report_fig13(name: &str, cmp: &ExternalComparison) -> String {
     let mut rows: Vec<Vec<String>> = Vec::new();
     for (label, l2r, ext) in cmp.by_distance.iter().chain(cmp.by_coverage.iter()) {
-        rows.push(vec![label.clone(), format!("{l2r:.1}"), format!("{ext:.1}")]);
+        rows.push(vec![
+            label.clone(),
+            format!("{l2r:.1}"),
+            format!("{ext:.1}"),
+        ]);
     }
     render_table(
         &format!("Figure 13 — L2R vs external routing service ({name})"),

@@ -8,11 +8,11 @@
 //! test whether any road-condition (slave) feature improves the similarity
 //! further.
 
+use l2r_region_graph::SupportedPath;
 use l2r_road_network::{
     lowest_cost_path, path_similarity, preference_constrained_path, CostType, Path, RoadNetwork,
     RoadType, RoadTypeSet,
 };
-use l2r_region_graph::SupportedPath;
 
 use crate::model::Preference;
 
@@ -44,9 +44,18 @@ impl Default for LearnConfig {
 /// "highways" feature (motorway + trunk), mirroring the paper's example
 /// features ("highways", "residential roads", "highways and residential").
 pub fn default_candidate_slaves() -> Vec<RoadTypeSet> {
-    let mut v: Vec<RoadTypeSet> = RoadType::ALL.iter().map(|rt| RoadTypeSet::single(*rt)).collect();
-    v.push(RoadTypeSet::from_iter([RoadType::Motorway, RoadType::Trunk]));
-    v.push(RoadTypeSet::from_iter([RoadType::Primary, RoadType::Secondary]));
+    let mut v: Vec<RoadTypeSet> = RoadType::ALL
+        .iter()
+        .map(|rt| RoadTypeSet::single(*rt))
+        .collect();
+    v.push(RoadTypeSet::from_iter([
+        RoadType::Motorway,
+        RoadType::Trunk,
+    ]));
+    v.push(RoadTypeSet::from_iter([
+        RoadType::Primary,
+        RoadType::Secondary,
+    ]));
     v
 }
 
@@ -74,7 +83,9 @@ fn evaluate(
     for sp in paths {
         let gt = &sp.path;
         let constructed: Option<Path> = match slave {
-            Some(s) => preference_constrained_path(net, gt.source(), gt.destination(), master, Some(s)),
+            Some(s) => {
+                preference_constrained_path(net, gt.source(), gt.destination(), master, Some(s))
+            }
             None => lowest_cost_path(net, gt.source(), gt.destination(), master),
         };
         let sim = constructed
@@ -103,7 +114,7 @@ pub fn learn_edge_preference(
     }
     // Use the most supported paths first, capped for efficiency.
     let mut ordered: Vec<&SupportedPath> = paths.iter().collect();
-    ordered.sort_by(|a, b| b.support.cmp(&a.support));
+    ordered.sort_by_key(|p| std::cmp::Reverse(p.support));
     ordered.truncate(config.max_paths.max(1));
 
     // Step 1: choose the master (travel cost) feature.
@@ -147,9 +158,7 @@ pub fn learn_per_path_preferences(
 ) -> Vec<LearnedPreference> {
     paths
         .iter()
-        .filter_map(|sp| {
-            learn_edge_preference(net, std::slice::from_ref(sp), config)
-        })
+        .filter_map(|sp| learn_edge_preference(net, std::slice::from_ref(sp), config))
         .collect()
 }
 
@@ -238,14 +247,25 @@ mod tests {
         // Sanity: every single-cost optimum uses the residential route.
         for cost in CostType::ALL {
             let opt = lowest_cost_path(&net, v0, v3, cost).unwrap();
-            assert!(opt.contains(v2), "{cost} optimum should use the residential route");
+            assert!(
+                opt.contains(v2),
+                "{cost} optimum should use the residential route"
+            );
         }
         let observed = Path::new(vec![v0, v1, v3]).unwrap();
         let learned =
-            learn_edge_preference(&net, &[supported(observed, 4)], &LearnConfig::default()).unwrap();
-        let slave = learned.preference.slave.expect("a road-class slave feature is needed");
+            learn_edge_preference(&net, &[supported(observed, 4)], &LearnConfig::default())
+                .unwrap();
+        let slave = learned
+            .preference
+            .slave
+            .expect("a road-class slave feature is needed");
         assert!(slave.contains(RoadType::Primary));
-        assert!(learned.similarity > 0.9, "similarity {}", learned.similarity);
+        assert!(
+            learned.similarity > 0.9,
+            "similarity {}",
+            learned.similarity
+        );
     }
 
     #[test]
@@ -265,8 +285,11 @@ mod tests {
             &LearnConfig::default(),
         );
         assert_eq!(prefs.len(), 2);
-        let unique: std::collections::HashSet<_> =
-            prefs.iter().map(|p| p.preference).collect();
-        assert_eq!(unique.len(), 2, "the two paths reflect different preferences");
+        let unique: std::collections::HashSet<_> = prefs.iter().map(|p| p.preference).collect();
+        assert_eq!(
+            unique.len(),
+            2,
+            "the two paths reflect different preferences"
+        );
     }
 }

@@ -66,13 +66,13 @@ impl Preference {
         }
         let mut best_cost = 0usize;
         let mut best_cost_val = f64::NEG_INFINITY;
-        for i in 0..CostType::COUNT {
-            if row[i] > best_cost_val {
-                best_cost_val = row[i];
+        for (i, &val) in row.iter().enumerate().take(CostType::COUNT) {
+            if val > best_cost_val {
+                best_cost_val = val;
                 best_cost = i;
             }
         }
-        if !(best_cost_val > 1e-9) {
+        if best_cost_val <= 1e-9 {
             return None;
         }
         let master = CostType::from_index(best_cost)?;
@@ -159,7 +159,10 @@ mod tests {
         let p = Preference::from_feature_row(&row, 0.9).unwrap();
         assert_eq!(p.slave, None);
         // An all-zero row decodes to the null preference.
-        assert_eq!(Preference::from_feature_row(&[0.0; NUM_FEATURES], 0.5), None);
+        assert_eq!(
+            Preference::from_feature_row(&[0.0; NUM_FEATURES], 0.5),
+            None
+        );
         // A too-short row is rejected.
         assert_eq!(Preference::from_feature_row(&[1.0; 3], 0.5), None);
     }

@@ -15,8 +15,8 @@
 
 use std::collections::HashSet;
 
-use l2r_road_network::RoadType;
 use l2r_region_graph::{RegionEdge, RegionGraph};
+use l2r_road_network::RoadType;
 
 /// Descriptor of a region edge.
 #[derive(Debug, Clone, PartialEq)]
@@ -38,7 +38,11 @@ impl RegionEdgeDescriptor {
         for ta in ra.function.iter() {
             for tb in rb.function.iter() {
                 // Unordered pair: normalise so (x, y) == (y, x).
-                let pair = if ta.index() <= tb.index() { (ta, tb) } else { (tb, ta) };
+                let pair = if ta.index() <= tb.index() {
+                    (ta, tb)
+                } else {
+                    (tb, ta)
+                };
                 function_pairs.insert(pair);
             }
         }
@@ -56,10 +60,21 @@ impl RegionEdgeDescriptor {
         } else {
             (other.dis_m, self.dis_m)
         };
-        let dist_sim = if hi <= 0.0 { 1.0 } else { (lo / hi).clamp(0.0, 1.0) };
-        let inter = self.function_pairs.intersection(&other.function_pairs).count();
+        let dist_sim = if hi <= 0.0 {
+            1.0
+        } else {
+            (lo / hi).clamp(0.0, 1.0)
+        };
+        let inter = self
+            .function_pairs
+            .intersection(&other.function_pairs)
+            .count();
         let union = self.function_pairs.union(&other.function_pairs).count();
-        let func_sim = if union == 0 { 1.0 } else { inter as f64 / union as f64 };
+        let func_sim = if union == 0 {
+            1.0
+        } else {
+            inter as f64 / union as f64
+        };
         dist_sim + func_sim
     }
 
@@ -71,7 +86,10 @@ impl RegionEdgeDescriptor {
 
 /// Builds descriptors for a list of region edges, in the same order.
 pub fn build_descriptors(rg: &RegionGraph, edges: &[&RegionEdge]) -> Vec<RegionEdgeDescriptor> {
-    edges.iter().map(|e| RegionEdgeDescriptor::build(rg, e)).collect()
+    edges
+        .iter()
+        .map(|e| RegionEdgeDescriptor::build(rg, e))
+        .collect()
 }
 
 #[cfg(test)]
@@ -133,7 +151,9 @@ mod tests {
 
     #[test]
     fn descriptor_from_region_graph_is_consistent() {
-        use l2r_datagen::{generate_network, generate_workload, SyntheticNetworkConfig, WorkloadConfig};
+        use l2r_datagen::{
+            generate_network, generate_workload, SyntheticNetworkConfig, WorkloadConfig,
+        };
         use l2r_region_graph::{bottom_up_clustering, RegionGraph, TrajectoryGraph};
 
         let syn = generate_network(&SyntheticNetworkConfig::tiny());

@@ -113,7 +113,11 @@ pub fn jacobi(a: &SparseMatrix, b: &[f64], tol: f64, max_iter: usize) -> SolveRe
                     sum += v * x[*j];
                 }
             }
-            next[i] = if diag.abs() > 1e-300 { (b[i] - sum) / diag } else { 0.0 };
+            next[i] = if diag.abs() > 1e-300 {
+                (b[i] - sum) / diag
+            } else {
+                0.0
+            };
         }
         std::mem::swap(&mut x, &mut next);
         let residual = norm(&sub(b, &a.matvec(&x)));
@@ -136,7 +140,13 @@ pub fn jacobi(a: &SparseMatrix, b: &[f64], tol: f64, max_iter: usize) -> SolveRe
 }
 
 /// Dispatches to the chosen solver.
-pub fn solve(kind: SolverKind, a: &SparseMatrix, b: &[f64], tol: f64, max_iter: usize) -> SolveResult {
+pub fn solve(
+    kind: SolverKind,
+    a: &SparseMatrix,
+    b: &[f64],
+    tol: f64,
+    max_iter: usize,
+) -> SolveResult {
     match kind {
         SolverKind::ConjugateGradient => conjugate_gradient(a, b, tol, max_iter),
         SolverKind::Jacobi => jacobi(a, b, tol, max_iter),
@@ -175,7 +185,10 @@ mod tests {
         for (xi, ti) in res.x.iter().zip(&x_true) {
             assert!((xi - ti).abs() < 1e-8);
         }
-        assert!(res.iterations <= 3 + 1, "CG converges in at most n iterations");
+        assert!(
+            res.iterations <= 3 + 1,
+            "CG converges in at most n iterations"
+        );
     }
 
     #[test]

@@ -160,10 +160,16 @@ pub fn transfer_preferences(
         if !any {
             continue;
         }
-        let res = solve(config.solver, &a, &b, config.tolerance, config.max_iterations);
+        let res = solve(
+            config.solver,
+            &a,
+            &b,
+            config.tolerance,
+            config.max_iterations,
+        );
         solver_iterations += res.iterations;
-        for i in 0..n {
-            y_hat[i][x] = res.x[i];
+        for (row, &value) in y_hat.iter_mut().zip(res.x.iter()).take(n) {
+            row[x] = value;
         }
     }
 
@@ -171,7 +177,10 @@ pub fn transfer_preferences(
     let mut preferences = HashMap::with_capacity(target_ids.len());
     let mut nulls = 0usize;
     for id in &target_ids {
-        let idx = ids.iter().position(|x| x == id).expect("target is in the id list");
+        let idx = ids
+            .iter()
+            .position(|x| x == id)
+            .expect("target is in the id list");
         let pref = Preference::from_feature_row(&y_hat[idx], config.slave_threshold);
         if pref.is_none() {
             nulls += 1;
@@ -196,7 +205,9 @@ pub fn transfer_preferences(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use l2r_datagen::{generate_network, generate_workload, SyntheticNetworkConfig, WorkloadConfig};
+    use l2r_datagen::{
+        generate_network, generate_workload, SyntheticNetworkConfig, WorkloadConfig,
+    };
     use l2r_region_graph::{bottom_up_clustering, RegionGraph, TrajectoryGraph};
     use l2r_road_network::{CostType, RoadType, RoadTypeSet};
 
@@ -236,10 +247,16 @@ mod tests {
         let labeled = label_all_t_edges(&rg);
         let targets: Vec<RegionEdgeId> = rg.b_edges().map(|e| e.id).collect();
         assert!(!labeled.is_empty());
-        assert!(!targets.is_empty(), "the tiny workload must produce some B-edges");
+        assert!(
+            !targets.is_empty(),
+            "the tiny workload must produce some B-edges"
+        );
         let result = transfer_preferences(&rg, &labeled, &targets, &TransferConfig::default());
         assert_eq!(result.preferences.len(), targets.len());
-        assert!(result.null_rate < 1.0, "at least some B-edges must receive a preference");
+        assert!(
+            result.null_rate < 1.0,
+            "at least some B-edges must receive a preference"
+        );
         // Every decoded preference uses a valid master feature.
         for p in result.preferences.values().flatten() {
             assert!(CostType::ALL.contains(&p.master));
@@ -265,17 +282,17 @@ mod tests {
             .filter(|id| !held_out.contains(id))
             .map(|id| (*id, uniform))
             .collect();
-        let mut config = TransferConfig::default();
-        config.amr = 0.5; // denser graph so every held-out edge is reachable
+        let config = TransferConfig {
+            amr: 0.5, // denser graph so every held-out edge is reachable
+            ..TransferConfig::default()
+        };
         let result = transfer_preferences(&rg, &labeled, &held_out, &config);
         let mut correct = 0usize;
         let mut assigned = 0usize;
-        for p in result.preferences.values() {
-            if let Some(p) = p {
-                assigned += 1;
-                if p.master == uniform.master {
-                    correct += 1;
-                }
+        for p in result.preferences.values().flatten() {
+            assigned += 1;
+            if p.master == uniform.master {
+                correct += 1;
             }
         }
         assert!(assigned > 0);
@@ -294,13 +311,19 @@ mod tests {
             &rg,
             &labeled,
             &targets,
-            &TransferConfig { amr: 0.5, ..TransferConfig::default() },
+            &TransferConfig {
+                amr: 0.5,
+                ..TransferConfig::default()
+            },
         );
         let strict = transfer_preferences(
             &rg,
             &labeled,
             &targets,
-            &TransferConfig { amr: 0.95, ..TransferConfig::default() },
+            &TransferConfig {
+                amr: 0.95,
+                ..TransferConfig::default()
+            },
         );
         assert!(strict.similarity_edges <= loose.similarity_edges);
         assert!(strict.null_rate >= loose.null_rate);

@@ -101,8 +101,11 @@ pub fn bottom_up_clustering(tg: &TrajectoryGraph) -> Vec<Cluster> {
         v.sort();
         v
     };
-    let index_of: HashMap<VertexId, usize> =
-        vertex_list.iter().enumerate().map(|(i, v)| (*v, i)).collect();
+    let index_of: HashMap<VertexId, usize> = vertex_list
+        .iter()
+        .enumerate()
+        .map(|(i, v)| (*v, i))
+        .collect();
 
     let mut nodes: Vec<Node> = vertex_list
         .iter()
@@ -164,7 +167,12 @@ pub fn bottom_up_clustering(tg: &TrajectoryGraph) -> Vec<Cluster> {
         let mut qualified: Vec<usize> = Vec::new();
         for &j in &neighbors {
             let conn = adj[k][&j];
-            let gain = modularity_gain(conn.popularity, nodes[k].popularity, nodes[j].popularity, total);
+            let gain = modularity_gain(
+                conn.popularity,
+                nodes[k].popularity,
+                nodes[j].popularity,
+                total,
+            );
             if gain <= 0.0 {
                 continue;
             }
@@ -328,11 +336,16 @@ mod tests {
         for i in 0..6 {
             b.add_vertex(Point::new(i as f64 * 500.0, 0.0));
         }
-        b.add_two_way(VertexId(0), VertexId(1), RoadType::Primary).unwrap();
-        b.add_two_way(VertexId(1), VertexId(2), RoadType::Primary).unwrap();
-        b.add_two_way(VertexId(2), VertexId(3), RoadType::Secondary).unwrap();
-        b.add_two_way(VertexId(3), VertexId(4), RoadType::Residential).unwrap();
-        b.add_two_way(VertexId(4), VertexId(5), RoadType::Residential).unwrap();
+        b.add_two_way(VertexId(0), VertexId(1), RoadType::Primary)
+            .unwrap();
+        b.add_two_way(VertexId(1), VertexId(2), RoadType::Primary)
+            .unwrap();
+        b.add_two_way(VertexId(2), VertexId(3), RoadType::Secondary)
+            .unwrap();
+        b.add_two_way(VertexId(3), VertexId(4), RoadType::Residential)
+            .unwrap();
+        b.add_two_way(VertexId(4), VertexId(5), RoadType::Residential)
+            .unwrap();
         let net = b.build();
         // Many trajectories inside each corridor, a single one crossing.
         let mut ts = Vec::new();
@@ -409,9 +422,12 @@ mod tests {
         for i in 0..4 {
             b.add_vertex(Point::new(i as f64 * 300.0, (i % 2) as f64 * 300.0));
         }
-        b.add_two_way(VertexId(0), VertexId(1), RoadType::Primary).unwrap();
-        b.add_two_way(VertexId(0), VertexId(2), RoadType::Residential).unwrap();
-        b.add_two_way(VertexId(0), VertexId(3), RoadType::Residential).unwrap();
+        b.add_two_way(VertexId(0), VertexId(1), RoadType::Primary)
+            .unwrap();
+        b.add_two_way(VertexId(0), VertexId(2), RoadType::Residential)
+            .unwrap();
+        b.add_two_way(VertexId(0), VertexId(3), RoadType::Residential)
+            .unwrap();
         let net = b.build();
         let ts = vec![
             traj(0, vec![1, 0, 2]),

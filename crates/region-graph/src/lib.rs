@@ -25,7 +25,5 @@ pub mod trajectory_graph;
 pub use clustering::{bottom_up_clustering, modularity_gain, Cluster};
 pub use hull::{d1_bounds_km2, d2_bounds_km2, region_size_distribution, RegionSizeBucket};
 pub use region::{region_function, Region, RegionId};
-pub use region_graph::{
-    RegionEdge, RegionEdgeId, RegionEdgeKind, RegionGraph, SupportedPath,
-};
+pub use region_graph::{RegionEdge, RegionEdgeId, RegionEdgeKind, RegionGraph, SupportedPath};
 pub use trajectory_graph::{undirected, TrajectoryGraph, UndirectedEdge};

@@ -168,7 +168,11 @@ mod tests {
     #[test]
     fn function_descriptor_picks_dominant_road_types() {
         let net = square_region_net();
-        let f = region_function(&net, &[VertexId(0), VertexId(1), VertexId(2), VertexId(3)], 2);
+        let f = region_function(
+            &net,
+            &[VertexId(0), VertexId(1), VertexId(2), VertexId(3)],
+            2,
+        );
         assert!(f.contains(RoadType::Primary));
         // With top-2 the residential spur (only two directed edges at v1)
         // also appears since only two types exist.

@@ -465,14 +465,22 @@ mod tests {
         for i in 0..9 {
             b.add_vertex(Point::new(i as f64 * 800.0, (i / 3) as f64 * 500.0));
         }
-        b.add_two_way(VertexId(0), VertexId(1), RoadType::Primary).unwrap();
-        b.add_two_way(VertexId(1), VertexId(2), RoadType::Primary).unwrap();
-        b.add_two_way(VertexId(2), VertexId(3), RoadType::Secondary).unwrap();
-        b.add_two_way(VertexId(3), VertexId(4), RoadType::Primary).unwrap();
-        b.add_two_way(VertexId(4), VertexId(5), RoadType::Primary).unwrap();
-        b.add_two_way(VertexId(2), VertexId(6), RoadType::Residential).unwrap();
-        b.add_two_way(VertexId(6), VertexId(7), RoadType::Residential).unwrap();
-        b.add_two_way(VertexId(7), VertexId(8), RoadType::Residential).unwrap();
+        b.add_two_way(VertexId(0), VertexId(1), RoadType::Primary)
+            .unwrap();
+        b.add_two_way(VertexId(1), VertexId(2), RoadType::Primary)
+            .unwrap();
+        b.add_two_way(VertexId(2), VertexId(3), RoadType::Secondary)
+            .unwrap();
+        b.add_two_way(VertexId(3), VertexId(4), RoadType::Primary)
+            .unwrap();
+        b.add_two_way(VertexId(4), VertexId(5), RoadType::Primary)
+            .unwrap();
+        b.add_two_way(VertexId(2), VertexId(6), RoadType::Residential)
+            .unwrap();
+        b.add_two_way(VertexId(6), VertexId(7), RoadType::Residential)
+            .unwrap();
+        b.add_two_way(VertexId(7), VertexId(8), RoadType::Residential)
+            .unwrap();
         let net = b.build();
         let mut ts = Vec::new();
         for i in 0..8 {
@@ -505,7 +513,9 @@ mod tests {
         let ra = rg.region_of(VertexId(0)).unwrap();
         let rb = rg.region_of(VertexId(5)).unwrap();
         assert_ne!(ra, rb);
-        let e = rg.edge_between(ra, rb).expect("T-edge between the corridors");
+        let e = rg
+            .edge_between(ra, rb)
+            .expect("T-edge between the corridors");
         assert!(rg.edge(e).is_t_edge());
         assert!(rg.edge(e).has_paths());
     }
@@ -542,7 +552,10 @@ mod tests {
         let adjacent = rg.adjacent_edges(rc);
         assert!(!adjacent.is_empty(), "isolated region must get B-edges");
         assert!(adjacent.iter().any(|e| rg.edge(*e).is_b_edge()));
-        assert!(rg.is_connected(), "the final region graph must be connected");
+        assert!(
+            rg.is_connected(),
+            "the final region graph must be connected"
+        );
         // B-edges start without paths.
         for e in rg.b_edges() {
             assert!(!e.has_paths());
@@ -552,7 +565,11 @@ mod tests {
     #[test]
     fn region_lookup_and_distances() {
         let (_, rg) = build_graph();
-        assert_eq!(rg.region_of(VertexId(6)), None, "untraversed vertices belong to no region");
+        assert_eq!(
+            rg.region_of(VertexId(6)),
+            None,
+            "untraversed vertices belong to no region"
+        );
         let ra = rg.region_of(VertexId(0)).unwrap();
         let rb = rg.region_of(VertexId(5)).unwrap();
         assert!(rg.region_distance_m(ra, rb) > 0.0);
@@ -592,7 +609,8 @@ mod tests {
             b.add_vertex(Point::new(i as f64 * 400.0, 0.0));
         }
         for i in 0..5u32 {
-            b.add_two_way(VertexId(i), VertexId(i + 1), RoadType::Primary).unwrap();
+            b.add_two_way(VertexId(i), VertexId(i + 1), RoadType::Primary)
+                .unwrap();
         }
         let net = b.build();
         let mut ts = Vec::new();

@@ -100,7 +100,10 @@ impl TrajectoryGraph {
 
     /// Popularity `s_ij` of an undirected edge (0 when not traversed).
     pub fn edge_popularity(&self, a: VertexId, b: VertexId) -> f64 {
-        self.edges.get(&undirected(a, b)).map(|(s, _)| *s).unwrap_or(0.0)
+        self.edges
+            .get(&undirected(a, b))
+            .map(|(s, _)| *s)
+            .unwrap_or(0.0)
     }
 
     /// Road type of a traversed undirected edge.
@@ -173,7 +176,10 @@ mod tests {
         assert_eq!(tg.vertex_popularity(VertexId(1)), 4.0);
         assert_eq!(tg.vertex_popularity(VertexId(0)), 2.0);
         assert_eq!(tg.total_popularity(), 6.0);
-        assert_eq!(tg.edge_road_type(VertexId(0), VertexId(1)), Some(RoadType::Primary));
+        assert_eq!(
+            tg.edge_road_type(VertexId(0), VertexId(1)),
+            Some(RoadType::Primary)
+        );
     }
 
     #[test]

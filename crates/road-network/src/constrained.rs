@@ -148,11 +148,14 @@ mod tests {
             bottom.push(b.add_vertex(Point::new(i as f64 * 2000.0, 0.0)));
         }
         for i in 0..cols - 1 {
-            b.add_two_way(top[i], top[i + 1], RoadType::Motorway).unwrap();
-            b.add_two_way(bottom[i], bottom[i + 1], RoadType::Residential).unwrap();
+            b.add_two_way(top[i], top[i + 1], RoadType::Motorway)
+                .unwrap();
+            b.add_two_way(bottom[i], bottom[i + 1], RoadType::Residential)
+                .unwrap();
         }
         for i in 0..cols {
-            b.add_two_way(top[i], bottom[i], RoadType::Tertiary).unwrap();
+            b.add_two_way(top[i], bottom[i], RoadType::Tertiary)
+                .unwrap();
         }
         b.build()
     }
@@ -161,8 +164,9 @@ mod tests {
     fn no_slave_matches_plain_dijkstra() {
         let net = ladder();
         // bottom[0] = VertexId(1), bottom[5] = VertexId(11).
-        let a = preference_constrained_path(&net, VertexId(1), VertexId(11), CostType::Distance, None)
-            .unwrap();
+        let a =
+            preference_constrained_path(&net, VertexId(1), VertexId(11), CostType::Distance, None)
+                .unwrap();
         let b = lowest_cost_path(&net, VertexId(1), VertexId(11), CostType::Distance).unwrap();
         assert_eq!(a, b);
         // An empty slave set behaves identically.
@@ -215,8 +219,14 @@ mod tests {
                 .iter()
                 .any(|e| net.edge(*e).road_type == RoadType::Motorway)
         };
-        assert!(uses_motorway(&pref), "preferred path must use the motorway route");
-        assert!(!uses_motorway(&plain), "unconstrained shortest path uses the residential route");
+        assert!(
+            uses_motorway(&pref),
+            "preferred path must use the motorway route"
+        );
+        assert!(
+            !uses_motorway(&plain),
+            "unconstrained shortest path uses the residential route"
+        );
         assert!(pref.length_m(&net).unwrap() >= plain.length_m(&net).unwrap());
     }
 
@@ -247,10 +257,22 @@ mod tests {
         b.add_vertex(Point::new(1e6, 1e6)); // isolated vertex 2
         b.add_two_way(v0, v1, RoadType::Primary).unwrap();
         let net = b.build();
-        assert!(preference_constrained_path(&net, VertexId(0), VertexId(2), CostType::Distance, None)
-            .is_none());
-        assert!(preference_constrained_path(&net, VertexId(0), VertexId(9), CostType::Distance, None)
-            .is_none());
+        assert!(preference_constrained_path(
+            &net,
+            VertexId(0),
+            VertexId(2),
+            CostType::Distance,
+            None
+        )
+        .is_none());
+        assert!(preference_constrained_path(
+            &net,
+            VertexId(0),
+            VertexId(9),
+            CostType::Distance,
+            None
+        )
+        .is_none());
     }
 
     #[test]

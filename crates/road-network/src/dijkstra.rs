@@ -242,8 +242,14 @@ mod tests {
         let net = two_route_network();
         let shortest = shortest_path(&net, VertexId(0), VertexId(3)).unwrap();
         let fastest = fastest_path(&net, VertexId(0), VertexId(3)).unwrap();
-        assert!(shortest.contains(VertexId(2)), "shortest goes via the residential vertex");
-        assert!(fastest.contains(VertexId(1)), "fastest goes via the motorway vertex");
+        assert!(
+            shortest.contains(VertexId(2)),
+            "shortest goes via the residential vertex"
+        );
+        assert!(
+            fastest.contains(VertexId(1)),
+            "fastest goes via the motorway vertex"
+        );
         assert!(
             shortest.length_m(&net).unwrap() < fastest.length_m(&net).unwrap(),
             "the shortest path must not be longer than the fastest one"

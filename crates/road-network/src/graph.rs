@@ -128,19 +128,25 @@ impl RoadNetwork {
 
     /// Checked vertex lookup.
     pub fn try_vertex(&self, id: VertexId) -> Result<&Vertex, NetworkError> {
-        self.vertices.get(id.idx()).ok_or(NetworkError::UnknownVertex(id))
+        self.vertices
+            .get(id.idx())
+            .ok_or(NetworkError::UnknownVertex(id))
     }
 
     /// Checked edge lookup.
     pub fn try_edge(&self, id: EdgeId) -> Result<&Edge, NetworkError> {
-        self.edges.get(id.idx()).ok_or(NetworkError::UnknownEdge(id))
+        self.edges
+            .get(id.idx())
+            .ok_or(NetworkError::UnknownEdge(id))
     }
 
     /// Outgoing edges of `v`.
     pub fn out_edges(&self, v: VertexId) -> impl Iterator<Item = &Edge> + '_ {
         let start = self.out_offsets[v.idx()] as usize;
         let end = self.out_offsets[v.idx() + 1] as usize;
-        self.out_edges[start..end].iter().map(move |e| self.edge(*e))
+        self.out_edges[start..end]
+            .iter()
+            .map(move |e| self.edge(*e))
     }
 
     /// Incoming edges of `v`.
@@ -440,8 +446,14 @@ mod tests {
     #[test]
     fn nearest_vertex_and_indexes() {
         let net = diamond();
-        assert_eq!(net.nearest_vertex(&Point::new(10.0, 10.0)), Some(VertexId(0)));
-        assert_eq!(net.nearest_vertex(&Point::new(1990.0, 10.0)), Some(VertexId(3)));
+        assert_eq!(
+            net.nearest_vertex(&Point::new(10.0, 10.0)),
+            Some(VertexId(0))
+        );
+        assert_eq!(
+            net.nearest_vertex(&Point::new(1990.0, 10.0)),
+            Some(VertexId(3))
+        );
         let vgrid = net.vertex_index(500.0);
         let hits = vgrid.query(&Point::new(0.0, 0.0), 100.0);
         assert!(hits.contains(&0));

@@ -11,7 +11,7 @@
 //! * paths and the path-similarity functions used by the evaluation
 //!   (Equations 1 and 4, and the Figure 14 band matching) — [`path`],
 //!   [`similarity`];
-//! * routing primitives: Dijkstra variants ([`dijkstra`]), the
+//! * routing primitives: Dijkstra variants ([`mod@dijkstra`]), the
 //!   preference-constrained search of Algorithm 2 ([`constrained`]) and the
 //!   multi-objective skyline search used by the Dom baseline ([`skyline`]);
 //! * planar geometry helpers and a grid spatial index ([`spatial`]).

@@ -209,7 +209,10 @@ mod tests {
         assert!(good.cost(&net, CostType::TravelTime).unwrap() > 0.0);
 
         let bad = Path::new(vec![VertexId(0), VertexId(2)]).unwrap();
-        assert!(matches!(bad.validate(&net), Err(NetworkError::Disconnected(_, _))));
+        assert!(matches!(
+            bad.validate(&net),
+            Err(NetworkError::Disconnected(_, _))
+        ));
         assert!(bad.length_m(&net).is_err());
 
         let unknown = Path::new(vec![VertexId(99)]).unwrap();

@@ -111,15 +111,6 @@ impl RoadTypeSet {
         RoadTypeSet(1 << rt.index())
     }
 
-    /// Builds a set from an iterator of road types.
-    pub fn from_iter<I: IntoIterator<Item = RoadType>>(iter: I) -> Self {
-        let mut s = Self::empty();
-        for rt in iter {
-            s.insert(rt);
-        }
-        s
-    }
-
     /// Adds `rt` to the set.
     pub fn insert(&mut self, rt: RoadType) {
         self.0 |= 1 << rt.index();
@@ -166,7 +157,20 @@ impl RoadTypeSet {
 
     /// Iterates over the members from highest to lowest road class.
     pub fn iter(self) -> impl Iterator<Item = RoadType> {
-        RoadType::ALL.into_iter().filter(move |rt| self.contains(*rt))
+        RoadType::ALL
+            .into_iter()
+            .filter(move |rt| self.contains(*rt))
+    }
+}
+
+impl FromIterator<RoadType> for RoadTypeSet {
+    /// Builds a set from an iterator of road types.
+    fn from_iter<I: IntoIterator<Item = RoadType>>(iter: I) -> Self {
+        let mut s = Self::empty();
+        for rt in iter {
+            s.insert(rt);
+        }
+        s
     }
 }
 
@@ -191,7 +195,10 @@ mod tests {
 
     #[test]
     fn speed_limits_decrease_with_class() {
-        let speeds: Vec<f64> = RoadType::ALL.iter().map(|rt| rt.speed_limit_kmh()).collect();
+        let speeds: Vec<f64> = RoadType::ALL
+            .iter()
+            .map(|rt| rt.speed_limit_kmh())
+            .collect();
         for w in speeds.windows(2) {
             assert!(w[0] > w[1], "speed limits must strictly decrease by class");
         }

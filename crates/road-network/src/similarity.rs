@@ -28,7 +28,11 @@ fn shared_length(net: &RoadNetwork, a: &Path, b: &Path) -> f64 {
     a.vertices()
         .windows(2)
         .filter(|w| {
-            let key = if w[0] <= w[1] { (w[0], w[1]) } else { (w[1], w[0]) };
+            let key = if w[0] <= w[1] {
+                (w[0], w[1])
+            } else {
+                (w[1], w[0])
+            };
             set_b.contains(&key)
         })
         .map(|w| net.euclidean(w[0], w[1]))
@@ -216,10 +220,12 @@ mod tests {
             for c in 0..3u32 {
                 let v = VertexId(r * 3 + c);
                 if c + 1 < 3 {
-                    b.add_two_way(v, VertexId(r * 3 + c + 1), RoadType::Secondary).unwrap();
+                    b.add_two_way(v, VertexId(r * 3 + c + 1), RoadType::Secondary)
+                        .unwrap();
                 }
                 if r + 1 < 3 {
-                    b.add_two_way(v, VertexId((r + 1) * 3 + c), RoadType::Secondary).unwrap();
+                    b.add_two_way(v, VertexId((r + 1) * 3 + c), RoadType::Secondary)
+                        .unwrap();
                 }
             }
         }
@@ -314,8 +320,14 @@ mod tests {
     #[test]
     fn waypoint_downsampling_keeps_endpoints() {
         let net = grid3x3();
-        let gt = Path::new(vec![VertexId(0), VertexId(1), VertexId(2), VertexId(5), VertexId(8)])
-            .unwrap();
+        let gt = Path::new(vec![
+            VertexId(0),
+            VertexId(1),
+            VertexId(2),
+            VertexId(5),
+            VertexId(8),
+        ])
+        .unwrap();
         let wps = path_to_waypoints(&net, &gt, 3);
         assert_eq!(wps.first().copied(), Some(net.vertex(VertexId(0)).point));
         assert_eq!(wps.last().copied(), Some(net.vertex(VertexId(8)).point));

@@ -1,6 +1,6 @@
 //! Multi-objective (skyline / Pareto) route search.
 //!
-//! The personalized-routing baseline **Dom** [26] that the paper compares
+//! The personalized-routing baseline **Dom** \[26\] that the paper compares
 //! against identifies a driver's dominating cost factors by comparing driven
 //! paths to *skyline paths* — paths that are Pareto-optimal with respect to
 //! distance, travel time and fuel consumption — and then performs an
@@ -165,10 +165,9 @@ pub fn skyline_paths(
     labels[target.idx()]
         .iter()
         .filter_map(|l| {
-            Path::new(l.vertices.clone()).ok().map(|path| SkylinePath {
-                path,
-                cost: l.cost,
-            })
+            Path::new(l.vertices.clone())
+                .ok()
+                .map(|path| SkylinePath { path, cost: l.cost })
         })
         .collect()
 }
@@ -215,7 +214,10 @@ mod tests {
     fn skyline_contains_both_tradeoff_paths() {
         let net = two_route_network();
         let sky = skyline_paths(&net, VertexId(0), VertexId(3), 16);
-        assert!(sky.len() >= 2, "both the short and the fast route are Pareto-optimal");
+        assert!(
+            sky.len() >= 2,
+            "both the short and the fast route are Pareto-optimal"
+        );
         let has_motorway_route = sky.iter().any(|s| s.path.contains(VertexId(1)));
         let has_residential_route = sky.iter().any(|s| s.path.contains(VertexId(2)));
         assert!(has_motorway_route && has_residential_route);

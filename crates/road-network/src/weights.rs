@@ -150,7 +150,9 @@ mod tests {
     fn derived_weights_are_consistent() {
         let w = EdgeWeights::derive(500.0, RoadType::Secondary);
         assert!((w.get(CostType::Distance) - 500.0).abs() < 1e-12);
-        assert!((w.get(CostType::TravelTime) - travel_time_s(500.0, RoadType::Secondary)).abs() < 1e-12);
+        assert!(
+            (w.get(CostType::TravelTime) - travel_time_s(500.0, RoadType::Secondary)).abs() < 1e-12
+        );
         assert!((w.get(CostType::Fuel) - fuel_ml(500.0, RoadType::Secondary)).abs() < 1e-12);
     }
 

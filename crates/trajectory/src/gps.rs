@@ -45,7 +45,11 @@ impl Trajectory {
                 .partial_cmp(&b.timestamp_s)
                 .unwrap_or(std::cmp::Ordering::Equal)
         });
-        Trajectory { id, driver, records }
+        Trajectory {
+            id,
+            driver,
+            records,
+        }
     }
 
     /// Number of GPS records.

@@ -9,7 +9,7 @@
 //!   substituting for the paper's proprietary D1/D2 GPS data sets
 //!   ([`simulate`]);
 //! * an HMM map matcher in the style of Newson & Krumm, the paper's
-//!   reference [29] ([`map_matching`]);
+//!   reference \[29\] ([`map_matching`]);
 //! * workload statistics such as the Table II distance distribution
 //!   ([`stats`]).
 

@@ -1,4 +1,4 @@
-//! Hidden-Markov-model map matching (the paper's reference [29],
+//! Hidden-Markov-model map matching (the paper's reference \[29\],
 //! Newson & Krumm 2009), reimplemented from scratch.
 //!
 //! Each GPS record is associated with candidate vertices within a search
@@ -10,9 +10,7 @@
 //! is then stitched into a connected road-network path with shortest-path
 //! segments between consecutive matched vertices.
 
-use l2r_road_network::{
-    fastest_path, CostType, GridIndex, Path, RoadNetwork, VertexId,
-};
+use l2r_road_network::{fastest_path, CostType, GridIndex, Path, RoadNetwork, VertexId};
 
 use crate::gps::Trajectory;
 use crate::matched::MatchedTrajectory;
@@ -148,7 +146,13 @@ impl<'a> MapMatcher<'a> {
         // Viterbi over negative log probabilities.
         let mut cost: Vec<Vec<f64>> = Vec::with_capacity(states.len());
         let mut back: Vec<Vec<usize>> = Vec::with_capacity(states.len());
-        cost.push(states[0].1.iter().map(|(_, d)| self.emission_cost(*d)).collect());
+        cost.push(
+            states[0]
+                .1
+                .iter()
+                .map(|(_, d)| self.emission_cost(*d))
+                .collect(),
+        );
         back.push(vec![0; states[0].1.len()]);
         for t in 1..states.len() {
             let (prev_fix_idx, prev_cands) = &states[t - 1];
@@ -293,10 +297,12 @@ mod tests {
             for c in 0..5u32 {
                 let v = VertexId(r * 5 + c);
                 if c + 1 < 5 {
-                    b.add_two_way(v, VertexId(r * 5 + c + 1), RoadType::Secondary).unwrap();
+                    b.add_two_way(v, VertexId(r * 5 + c + 1), RoadType::Secondary)
+                        .unwrap();
                 }
                 if r + 1 < 5 {
-                    b.add_two_way(v, VertexId((r + 1) * 5 + c), RoadType::Secondary).unwrap();
+                    b.add_two_way(v, VertexId((r + 1) * 5 + c), RoadType::Secondary)
+                        .unwrap();
                 }
             }
         }
@@ -338,7 +344,11 @@ mod tests {
         let matched = matcher.match_trajectory(&traj).unwrap();
         assert!(matched.path.validate(&net).is_ok());
         let sim = path_similarity(&net, &gt, &matched.path);
-        assert!(sim > 0.9, "high-frequency matching should be near perfect, got {}", sim);
+        assert!(
+            sim > 0.9,
+            "high-frequency matching should be near perfect, got {}",
+            sim
+        );
         assert_eq!(matched.source(), gt.source());
         assert_eq!(matched.destination(), gt.destination());
     }
@@ -362,7 +372,11 @@ mod tests {
         let matched = matcher.match_trajectory(&traj).unwrap();
         assert!(matched.path.validate(&net).is_ok());
         let sim = path_similarity(&net, &gt, &matched.path);
-        assert!(sim > 0.6, "low-frequency matching should recover most of the path, got {}", sim);
+        assert!(
+            sim > 0.6,
+            "low-frequency matching should recover most of the path, got {}",
+            sim
+        );
     }
 
     #[test]

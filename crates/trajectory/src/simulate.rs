@@ -95,7 +95,11 @@ pub fn simulate_gps_trace<R: Rng>(
             seg_idx += 1;
         }
         let (t0, t1, a, b) = segments[seg_idx];
-        let frac = if t1 > t0 { ((clamped - t0) / (t1 - t0)).clamp(0.0, 1.0) } else { 0.0 };
+        let frac = if t1 > t0 {
+            ((clamped - t0) / (t1 - t0)).clamp(0.0, 1.0)
+        } else {
+            0.0
+        };
         let exact = a.lerp(&b, frac);
         let noisy = Point::new(
             exact.x + sample_standard_normal(rng) * config.noise_sigma_m,
@@ -148,7 +152,11 @@ mod tests {
         assert_eq!(traj.departure_time_s(), Some(100.0));
         // All records stay near the path corridor (y ≈ 0 within noise).
         for r in &traj.records {
-            assert!(r.point.y.abs() < 40.0, "record strayed from the corridor: {:?}", r);
+            assert!(
+                r.point.y.abs() < 40.0,
+                "record strayed from the corridor: {:?}",
+                r
+            );
         }
         // The trace spans the full trip.
         let first = traj.records.first().unwrap().point;

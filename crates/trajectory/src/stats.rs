@@ -54,7 +54,10 @@ impl DistanceDistribution {
     /// Percentage (0–100) of trajectories per bucket.
     pub fn percentages(&self) -> Vec<f64> {
         let total = self.total().max(1) as f64;
-        self.counts.iter().map(|c| *c as f64 / total * 100.0).collect()
+        self.counts
+            .iter()
+            .map(|c| *c as f64 / total * 100.0)
+            .collect()
     }
 
     /// Human-readable labels of the buckets, e.g. `(0,10]`, `(10,50]`, `>500`.
@@ -137,7 +140,8 @@ mod tests {
             matched(&net, 0, 3),  // 3 km
             matched(&net, 0, 10), // 10 km (right-inclusive in first bucket for d2 bounds? 10 <= 10)
         ];
-        let dist = DistanceDistribution::compute(&net, &ts, DistanceDistribution::d2_bounds()).unwrap();
+        let dist =
+            DistanceDistribution::compute(&net, &ts, DistanceDistribution::d2_bounds()).unwrap();
         assert_eq!(dist.total(), 3);
         // Buckets: (0,2], (2,5], (5,10], (10,35], >35
         assert_eq!(dist.counts, vec![1, 1, 1, 0, 0]);
@@ -153,7 +157,8 @@ mod tests {
     fn overflow_bucket_catches_long_trips() {
         let net = line(41, 1000.0);
         let ts = vec![matched(&net, 0, 40)]; // 40 km
-        let dist = DistanceDistribution::compute(&net, &ts, DistanceDistribution::d2_bounds()).unwrap();
+        let dist =
+            DistanceDistribution::compute(&net, &ts, DistanceDistribution::d2_bounds()).unwrap();
         assert_eq!(dist.counts.last().copied(), Some(1));
     }
 

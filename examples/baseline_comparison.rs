@@ -30,7 +30,12 @@ fn main() {
         ds.model.stats().num_regions
     );
 
-    let queries = build_test_queries(&ds.synthetic.net, &ds.model, &ds.test, ds.spec.max_test_queries);
+    let queries = build_test_queries(
+        &ds.synthetic.net,
+        &ds.model,
+        &ds.test,
+        ds.spec.max_test_queries,
+    );
     println!("evaluating {} held-out queries\n", queries.len());
 
     let dom = Dom::train(&ds.synthetic.net, &ds.train);

@@ -25,8 +25,14 @@ fn main() {
     // Drive between a handful of district pairs and try to recover each path
     // from its simulated GPS trace.
     let presets = [
-        ("high-frequency (D1-like, 1 Hz)", GpsSimulationConfig::high_frequency()),
-        ("low-frequency (D2-like, ~1/15 Hz)", GpsSimulationConfig::low_frequency()),
+        (
+            "high-frequency (D1-like, 1 Hz)",
+            GpsSimulationConfig::high_frequency(),
+        ),
+        (
+            "low-frequency (D2-like, ~1/15 Hz)",
+            GpsSimulationConfig::low_frequency(),
+        ),
     ];
     for (label, config) in presets {
         println!("== {label} ==");
@@ -42,7 +48,9 @@ fn main() {
             if a.index == b.index {
                 continue;
             }
-            let Some(driven) = fastest_path(&city.net, a.center, b.center) else { continue };
+            let Some(driven) = fastest_path(&city.net, a.center, b.center) else {
+                continue;
+            };
             let Some(trace) = simulate_gps_trace(
                 &city.net,
                 &driven,

@@ -44,10 +44,15 @@ fn main() {
 
     // 4. Answer a few held-out queries and compare against the paths the
     //    drivers actually took (and the plain shortest path).
-    println!("\n{:<10} {:>12} {:>12} {:>14}", "query", "L2R sim", "Shortest sim", "coverage");
+    println!(
+        "\n{:<10} {:>12} {:>12} {:>14}",
+        "query", "L2R sim", "Shortest sim", "coverage"
+    );
     for (i, t) in test.iter().take(8).enumerate() {
         let (s, d) = (t.source(), t.destination());
-        let Some(route) = model.route(s, d) else { continue };
+        let Some(route) = model.route(s, d) else {
+            continue;
+        };
         let l2r_sim = path_similarity(&city.net, &t.path, &route.path);
         let short_sim = shortest_path(&city.net, s, d)
             .map(|p| path_similarity(&city.net, &t.path, &p))

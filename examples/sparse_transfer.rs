@@ -14,8 +14,8 @@
 
 use std::collections::HashMap;
 
-use l2r_suite::prelude::*;
 use l2r_suite::preference::Preference;
+use l2r_suite::prelude::*;
 
 fn main() {
     let city = generate_network(&SyntheticNetworkConfig::tiny());
@@ -65,9 +65,13 @@ fn main() {
         if shown >= 3 {
             break;
         }
-        let Some(sp) = edge.paths.first() else { continue };
+        let Some(sp) = edge.paths.first() else {
+            continue;
+        };
         let (s, d) = (sp.path.source(), sp.path.destination());
-        let Some(fast) = fastest_path(&city.net, s, d) else { continue };
+        let Some(fast) = fastest_path(&city.net, s, d) else {
+            continue;
+        };
         let same = fast == sp.path;
         println!(
             "  B-edge {:?}: preference path has {} vertices, fastest has {} ({}, overlap {:.0}%)",

@@ -38,7 +38,9 @@ pub use l2r_trajectory as trajectory;
 /// The most commonly used items, re-exported flat for examples and quick
 /// prototyping.
 pub mod prelude {
-    pub use l2r_baselines::{BaselineRouter, Dom, ExternalRouter, FastestRouter, ShortestRouter, Trip};
+    pub use l2r_baselines::{
+        BaselineRouter, Dom, ExternalRouter, FastestRouter, ShortestRouter, Trip,
+    };
     pub use l2r_core::{L2r, L2rConfig, RegionCoverage, RouteResult, RouteStrategy};
     pub use l2r_datagen::{
         generate_network, generate_workload, SyntheticNetworkConfig, WorkloadConfig,

@@ -1,0 +1,45 @@
+//! Smoke test: every `examples/` entry point must compile and exit 0 on its
+//! built-in tiny configuration, so the documentation-facing examples cannot
+//! silently rot.
+
+use std::path::Path;
+use std::process::Command;
+
+/// Runs `cargo run --example <name>` in the workspace root and asserts a
+/// zero exit status.
+fn run_example(name: &str) {
+    let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".to_string());
+    let manifest_dir = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let output = Command::new(cargo)
+        .args(["run", "--example", name])
+        .current_dir(manifest_dir)
+        .output()
+        .unwrap_or_else(|e| panic!("failed to spawn cargo for example `{name}`: {e}"));
+    assert!(
+        output.status.success(),
+        "example `{name}` exited with {:?}\n--- stdout ---\n{}\n--- stderr ---\n{}",
+        output.status.code(),
+        String::from_utf8_lossy(&output.stdout),
+        String::from_utf8_lossy(&output.stderr),
+    );
+}
+
+#[test]
+fn quickstart_runs() {
+    run_example("quickstart");
+}
+
+#[test]
+fn map_matching_runs() {
+    run_example("map_matching");
+}
+
+#[test]
+fn baseline_comparison_runs() {
+    run_example("baseline_comparison");
+}
+
+#[test]
+fn sparse_transfer_runs() {
+    run_example("sparse_transfer");
+}

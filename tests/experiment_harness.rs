@@ -3,10 +3,10 @@
 //! well-formed, report-able results.
 
 use l2r_suite::eval::{
-    build_dataset, build_test_queries, compare_methods, compare_with_external, fig6a, fig6b,
-    fig9a, fig9b, offline_times, preference_recovery, report_accuracy, report_fig13,
-    report_fig6a, report_fig6b, report_fig9a, report_fig9b, report_offline, report_runtime,
-    report_table2, report_table4, table2, table4, DatasetSpec, Method, Scale,
+    build_dataset, build_test_queries, compare_methods, compare_with_external, fig6a, fig6b, fig9a,
+    fig9b, offline_times, preference_recovery, report_accuracy, report_fig13, report_fig6a,
+    report_fig6b, report_fig9a, report_fig9b, report_offline, report_runtime, report_table2,
+    report_table4, table2, table4, DatasetSpec, Method, Scale,
 };
 use l2r_suite::prelude::*;
 
@@ -16,7 +16,11 @@ fn all_experiments_run_on_a_quick_dataset() {
     let net = &ds.synthetic.net;
 
     // Table II.
-    let t2 = table2(net, &ds.workload.trajectories, ds.spec.distance_bounds_km.clone());
+    let t2 = table2(
+        net,
+        &ds.workload.trajectories,
+        ds.spec.distance_bounds_km.clone(),
+    );
     assert_eq!(t2.total(), ds.workload.trajectories.len());
     assert!(report_table2(ds.spec.name, &t2).contains("Table II"));
 

@@ -46,11 +46,17 @@ fn high_frequency_roundtrip_recovers_most_paths() {
     );
     assert!(!traces.is_empty());
     let summary = sampling_summary(&traces);
-    assert!(summary.mean_interval_s < 2.0, "high-frequency traces are ~1 Hz");
+    assert!(
+        summary.mean_interval_s < 2.0,
+        "high-frequency traces are ~1 Hz"
+    );
 
     let matcher = MapMatcher::with_defaults(&city.net);
     let (matched, dropped) = matcher.match_all(&traces);
-    assert!(dropped * 5 <= traces.len(), "most traces must be matchable (dropped {dropped})");
+    assert!(
+        dropped * 5 <= traces.len(),
+        "most traces must be matchable (dropped {dropped})"
+    );
 
     // Compare each matched path with the originally driven path (pairing by
     // trajectory id, since some traces may have been dropped).

@@ -4,7 +4,14 @@
 use l2r_suite::prelude::*;
 use l2r_suite::region_graph::RegionEdgeKind;
 
-fn build_model(n_traj: usize, seed: u64) -> (l2r_suite::datagen::SyntheticNetwork, l2r_suite::datagen::Workload, L2r) {
+fn build_model(
+    n_traj: usize,
+    seed: u64,
+) -> (
+    l2r_suite::datagen::SyntheticNetwork,
+    l2r_suite::datagen::Workload,
+    L2r,
+) {
     let city = generate_network(&SyntheticNetworkConfig::tiny());
     let mut cfg = WorkloadConfig::tiny(n_traj);
     cfg.seed = seed;
@@ -19,7 +26,10 @@ fn fitted_model_covers_the_training_corridors() {
     let (city, workload, model) = build_model(300, 1);
     let rg = model.region_graph();
     assert!(rg.num_regions() > 1);
-    assert!(rg.is_connected(), "B-edges must make the region graph connected");
+    assert!(
+        rg.is_connected(),
+        "B-edges must make the region graph connected"
+    );
     // Every region vertex is a real network vertex.
     for r in rg.regions() {
         for v in &r.vertices {
@@ -50,13 +60,21 @@ fn routing_answers_every_held_out_query_with_a_valid_path() {
     let mut answered = 0;
     for t in test.iter().take(50) {
         let (s, d) = (t.source(), t.destination());
-        let Some(route) = model.route(s, d) else { continue };
-        route.path.validate(&city.net).expect("routes must be drivable");
+        let Some(route) = model.route(s, d) else {
+            continue;
+        };
+        route
+            .path
+            .validate(&city.net)
+            .expect("routes must be drivable");
         assert_eq!(route.path.source(), s);
         assert_eq!(route.path.destination(), d);
         answered += 1;
     }
-    assert!(answered as f64 >= test.len().min(50) as f64 * 0.9, "answered {answered}");
+    assert!(
+        answered as f64 >= test.len().min(50) as f64 * 0.9,
+        "answered {answered}"
+    );
 }
 
 #[test]
@@ -84,8 +102,14 @@ fn l2r_beats_or_matches_shortest_on_aggregate_accuracy() {
     assert!(n >= 20, "need enough comparable queries, got {n}");
     // The headline result of the paper, reproduced in aggregate: L2R is at
     // least competitive with cost-centric routing on driver similarity.
-    assert!(l2r_sum >= shortest_sum * 0.95, "L2R {l2r_sum:.2} vs Shortest {shortest_sum:.2}");
-    assert!(l2r_sum >= fastest_sum * 0.9, "L2R {l2r_sum:.2} vs Fastest {fastest_sum:.2}");
+    assert!(
+        l2r_sum >= shortest_sum * 0.95,
+        "L2R {l2r_sum:.2} vs Shortest {shortest_sum:.2}"
+    );
+    assert!(
+        l2r_sum >= fastest_sum * 0.9,
+        "L2R {l2r_sum:.2} vs Fastest {fastest_sum:.2}"
+    );
 }
 
 #[test]
@@ -113,13 +137,15 @@ fn personalized_baselines_train_and_route_on_the_same_workload() {
     let dom = Dom::train(&city.net, &train);
     let trip = Trip::train(&city.net, &train);
     let ext = ExternalRouter::with_defaults(&city.net);
-    let routers: Vec<&dyn BaselineRouter> = vec![&ShortestRouter, &FastestRouter, &dom, &trip, &ext];
+    let routers: Vec<&dyn BaselineRouter> =
+        vec![&ShortestRouter, &FastestRouter, &dom, &trip, &ext];
     for t in test.iter().take(10) {
         for r in &routers {
             let p = r
                 .route(&city.net, t.source(), t.destination(), t.driver)
                 .unwrap_or_else(|| panic!("{} failed to route", r.name()));
-            p.validate(&city.net).expect("baseline paths must be drivable");
+            p.validate(&city.net)
+                .expect("baseline paths must be drivable");
         }
     }
 }

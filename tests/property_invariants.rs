@@ -7,8 +7,8 @@ use l2r_suite::preference::Preference;
 use l2r_suite::prelude::*;
 use l2r_suite::region_graph::{bottom_up_clustering, TrajectoryGraph};
 use l2r_suite::road_network::{
-    lowest_cost_path, path_similarity, path_similarity_jaccard, polygon_area, convex_hull,
-    Point, RoadNetworkBuilder, RoadTypeSet,
+    convex_hull, lowest_cost_path, path_similarity, path_similarity_jaccard, polygon_area, Point,
+    RoadNetworkBuilder, RoadTypeSet,
 };
 use l2r_suite::trajectory::{DriverId, TrajectoryId};
 
@@ -24,10 +24,12 @@ fn grid(n: u32) -> RoadNetwork {
         for c in 0..n {
             let v = VertexId(r * n + c);
             if c + 1 < n {
-                b.add_two_way(v, VertexId(r * n + c + 1), RoadType::Secondary).unwrap();
+                b.add_two_way(v, VertexId(r * n + c + 1), RoadType::Secondary)
+                    .unwrap();
             }
             if r + 1 < n {
-                b.add_two_way(v, VertexId((r + 1) * n + c), RoadType::Secondary).unwrap();
+                b.add_two_way(v, VertexId((r + 1) * n + c), RoadType::Secondary)
+                    .unwrap();
             }
         }
     }

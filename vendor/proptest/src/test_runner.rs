@@ -1,0 +1,202 @@
+//! The case runner behind the [`proptest!`](crate::proptest) macro.
+
+use std::fmt;
+
+use crate::strategy::Strategy;
+
+/// Configuration of a property test, mirroring
+/// `proptest::test_runner::Config`.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Number of successful cases required for the test to pass.
+    pub cases: u32,
+    /// Maximum number of input rejections (`prop_assume!` failures) allowed
+    /// across the whole run before giving up.
+    pub max_global_rejects: u32,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            cases: 256,
+            max_global_rejects: 65_536,
+        }
+    }
+}
+
+impl Config {
+    /// A default configuration overridden to run `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Config {
+            cases,
+            ..Config::default()
+        }
+    }
+}
+
+/// Why a single test case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// The input was rejected by `prop_assume!`; the case is retried with a
+    /// fresh input.
+    Reject(String),
+    /// An assertion failed; the whole test fails.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// Creates a failure with the given message.
+    pub fn fail(reason: impl Into<String>) -> Self {
+        TestCaseError::Fail(reason.into())
+    }
+
+    /// Creates a rejection with the given message.
+    pub fn reject(reason: impl Into<String>) -> Self {
+        TestCaseError::Reject(reason.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TestCaseError::Reject(r) => write!(f, "input rejected: {r}"),
+            TestCaseError::Fail(r) => write!(f, "{r}"),
+        }
+    }
+}
+
+/// The deterministic generator handed to strategies.
+///
+/// xoshiro256++ seeded from a fixed constant: property runs are fully
+/// reproducible (upstream proptest persists failing seeds instead).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    s: [u64; 4],
+}
+
+impl TestRng {
+    fn from_seed(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut splitmix = move || {
+            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        let s = [splitmix(), splitmix(), splitmix(), splitmix()];
+        TestRng { s }
+    }
+
+    /// Returns the next random `u64`.
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// Returns a uniform `f64` in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Runs a property over many sampled inputs.
+pub struct TestRunner {
+    config: Config,
+    rng: TestRng,
+}
+
+impl TestRunner {
+    /// Creates a runner with the given configuration and the fixed seed.
+    pub fn new(config: Config) -> Self {
+        TestRunner {
+            config,
+            rng: TestRng::from_seed(0x4c32_5235_6f75_7465),
+        }
+    }
+
+    /// Runs `test` on `config.cases` inputs sampled from `strategy`.
+    ///
+    /// Returns `Err` with a human-readable report on the first failing case
+    /// (no shrinking) or when too many inputs are rejected.
+    pub fn run<S, F>(&mut self, strategy: &S, test: F) -> Result<(), String>
+    where
+        S: Strategy,
+        S::Value: Clone + fmt::Debug,
+        F: Fn(S::Value) -> Result<(), TestCaseError>,
+    {
+        let mut passed = 0u32;
+        let mut rejected = 0u32;
+        while passed < self.config.cases {
+            let input = strategy.sample(&mut self.rng);
+            match test(input.clone()) {
+                Ok(()) => passed += 1,
+                Err(TestCaseError::Reject(_)) => {
+                    rejected += 1;
+                    if rejected > self.config.max_global_rejects {
+                        return Err(format!(
+                            "too many global rejects ({rejected}) after {passed} passed cases"
+                        ));
+                    }
+                }
+                Err(TestCaseError::Fail(reason)) => {
+                    return Err(format!(
+                        "property failed after {passed} passed cases: {reason}\ninput: {input:#?}\n\
+                         (minimal-counterexample shrinking is not implemented in the vendored stand-in)"
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn failing_property_reports_input() {
+        let mut runner = TestRunner::new(ProptestConfig::with_cases(16));
+        let result = runner.run(&(0u32..100), |n| {
+            if n >= 50 {
+                return Err(TestCaseError::fail("n too large"));
+            }
+            Ok(())
+        });
+        assert!(result.is_err());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_samples_within_range(x in 0usize..10, pair in (0.0f64..1.0, 5u8..6)) {
+            prop_assert!(x < 10);
+            prop_assert!((0.0..1.0).contains(&pair.0));
+            prop_assert_eq!(pair.1, 5);
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(x in 0u32..4) {
+            prop_assume!(x != 3);
+            prop_assert!(x < 3);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn vec_strategy_respects_size(v in crate::collection::vec(0u8..4, 1..9)) {
+            prop_assert!(!v.is_empty() && v.len() < 9);
+            prop_assert!(v.iter().all(|&b| b < 4));
+        }
+    }
+}
