@@ -1,5 +1,6 @@
 //! Offline processing bench (Section VII-C): the full `L2r::fit` pipeline and
-//! its individual stages.
+//! its individual stages.  Honours the `L2R_THREADS` override; run with
+//! `L2R_THREADS=1` to measure the serial (allocation-free) baseline.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
@@ -7,9 +8,11 @@ use l2r_bench::bench_scale;
 use l2r_core::L2r;
 use l2r_datagen::{generate_network, generate_workload};
 use l2r_eval::{offline_times, DatasetSpec};
+use l2r_road_network::searches_performed;
 
 fn bench_offline(c: &mut Criterion) {
     let scale = bench_scale();
+    println!("[offline] worker threads: {}", l2r_par::max_threads());
     let mut group = c.benchmark_group("offline_pipeline");
     group.sample_size(10);
     for spec in [DatasetSpec::d1(scale), DatasetSpec::d2(scale)] {
@@ -23,14 +26,26 @@ fn bench_offline(c: &mut Criterion) {
                 b.iter(|| L2r::fit(&syn.net, train, spec.l2r.clone()).expect("fit"));
             },
         );
-        // Print the per-stage breakdown once (the Section VII-C numbers).
+        // Print the per-stage breakdown once (the Section VII-C numbers),
+        // plus the search throughput of a single fit.
+        let searches_before = searches_performed();
+        let t0 = std::time::Instant::now();
         let model = L2r::fit(&syn.net, &train, spec.l2r.clone()).expect("fit");
+        let fit_s = t0.elapsed().as_secs_f64();
+        let searches = searches_performed() - searches_before;
         for row in offline_times(&model) {
             println!(
                 "[offline/{}] {:<20} {:.1} ms",
                 spec.name, row.stage, row.time_ms
             );
         }
+        println!(
+            "[offline/{}] {:<20} {} ({:.0}/s)",
+            spec.name,
+            "searches",
+            searches,
+            searches as f64 / fit_s.max(1e-9)
+        );
     }
     group.finish();
 }

@@ -8,9 +8,20 @@
 //! # a single experiment:
 //! cargo run --release -p l2r-bench --bin reproduce -- fig10
 //! ```
+//!
+//! The `offline` experiment additionally writes a machine-readable
+//! `BENCH_offline.json` (per-stage wall times, thread count,
+//! searches/second, measured around the single `L2r::fit` performed while
+//! building each dataset) to `target/BENCH_offline.json` — override the
+//! path with `L2R_BENCH_JSON=<path>`.  CI uploads this file as an artifact
+//! so the offline-performance trajectory is tracked across commits; the
+//! copy checked in at the repo root is refreshed deliberately with
+//! `L2R_BENCH_JSON=BENCH_offline.json ... -- --full offline`.
 
 use l2r_baselines::{Dom, ExternalRouter, FastestRouter, ShortestRouter, Trip};
-use l2r_bench::{datasets, DatasetChoice};
+use l2r_bench::{
+    datasets, offline_bench_json, offline_report_for, DatasetChoice, OfflineBenchReport,
+};
 use l2r_eval::{
     build_test_queries, compare_methods, compare_with_external, fig6a, fig6b, fig9a, fig9b,
     offline_times, preference_recovery, report_accuracy, report_fig13, report_fig6a, report_fig6b,
@@ -36,6 +47,7 @@ fn main() {
     );
 
     let sets = datasets(DatasetChoice::Both, scale);
+    let mut offline_entries = Vec::new();
     for ds in &sets {
         println!(
             "=== dataset {} — {} vertices, {} edges, {} trajectories ({} train / {} test), {} regions ===\n",
@@ -73,9 +85,31 @@ fn main() {
         }
         if run("offline") {
             run_offline(ds);
+            offline_entries.push(offline_report_for(ds));
         }
         if run("recovery") {
             run_recovery(ds);
+        }
+    }
+
+    if !offline_entries.is_empty() {
+        let report = OfflineBenchReport {
+            scale,
+            threads: l2r_par::max_threads(),
+            datasets: offline_entries,
+        };
+        // Default under target/ so casual quick-scale runs do not clobber
+        // the full-scale report checked in at the repo root.
+        let path = std::env::var("L2R_BENCH_JSON")
+            .unwrap_or_else(|_| "target/BENCH_offline.json".to_string());
+        if let Some(parent) = std::path::Path::new(&path).parent() {
+            if !parent.as_os_str().is_empty() {
+                let _ = std::fs::create_dir_all(parent);
+            }
+        }
+        match std::fs::write(&path, offline_bench_json(&report)) {
+            Ok(()) => println!("wrote {path}"),
+            Err(e) => eprintln!("failed to write {path}: {e}"),
         }
     }
 }

@@ -13,7 +13,7 @@
 
 #![warn(missing_docs)]
 
-use l2r_eval::{build_dataset, Dataset, DatasetSpec, Scale};
+use l2r_eval::{build_dataset, offline_times, Dataset, DatasetSpec, OfflineRow, Scale};
 
 /// Which datasets an experiment runs on.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -47,6 +47,116 @@ pub fn bench_scale() -> Scale {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Machine-readable offline benchmark report (BENCH_offline.json)
+// ---------------------------------------------------------------------------
+
+/// Offline-pipeline measurements for one dataset: total fit wall time, the
+/// per-stage breakdown, and the Dijkstra search throughput.
+#[derive(Debug, Clone)]
+pub struct OfflineBenchDataset {
+    /// Dataset name (`D1` / `D2`).
+    pub name: String,
+    /// Total `L2r::fit` wall time in milliseconds.
+    pub fit_ms: f64,
+    /// Per-stage wall times (pipeline order).
+    pub stages: Vec<OfflineRow>,
+    /// Number of Dijkstra searches (all variants) the fit performed.
+    pub searches: u64,
+    /// Search throughput over the whole fit.
+    pub searches_per_sec: f64,
+    /// Region-graph sizes, for context.
+    pub num_regions: usize,
+    /// Number of T-edges.
+    pub num_t_edges: usize,
+    /// Number of B-edges.
+    pub num_b_edges: usize,
+}
+
+/// The full offline benchmark report serialised to `BENCH_offline.json`.
+#[derive(Debug, Clone)]
+pub struct OfflineBenchReport {
+    /// `quick` or `full`.
+    pub scale: Scale,
+    /// Worker thread count the run used (`L2R_THREADS` or hardware).
+    pub threads: usize,
+    /// One entry per dataset.
+    pub datasets: Vec<OfflineBenchDataset>,
+}
+
+/// The per-dataset report entry, from the instrumentation `build_dataset`
+/// recorded around the dataset's (single) `L2r::fit` call.
+pub fn offline_report_for(ds: &Dataset) -> OfflineBenchDataset {
+    let fit_ms = ds.fit_time.as_secs_f64() * 1000.0;
+    let searches_per_sec = if fit_ms > 0.0 {
+        ds.fit_searches as f64 / (fit_ms / 1000.0)
+    } else {
+        0.0
+    };
+    let stats = ds.model.stats();
+    OfflineBenchDataset {
+        name: ds.spec.name.to_string(),
+        fit_ms,
+        stages: offline_times(&ds.model),
+        searches: ds.fit_searches,
+        searches_per_sec,
+        num_regions: stats.num_regions,
+        num_t_edges: stats.num_t_edges,
+        num_b_edges: stats.num_b_edges,
+    }
+}
+
+/// Renders the report as pretty-printed JSON (hand-rolled; the build
+/// environment has no serde).
+pub fn offline_bench_json(report: &OfflineBenchReport) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"bench\": \"offline_pipeline\",\n");
+    out.push_str(&format!(
+        "  \"scale\": \"{}\",\n",
+        if report.scale == Scale::Full {
+            "full"
+        } else {
+            "quick"
+        }
+    ));
+    out.push_str(&format!("  \"threads\": {},\n", report.threads));
+    out.push_str("  \"datasets\": [\n");
+    for (i, ds) in report.datasets.iter().enumerate() {
+        out.push_str("    {\n");
+        out.push_str(&format!("      \"name\": \"{}\",\n", ds.name));
+        out.push_str(&format!("      \"fit_ms\": {:.3},\n", ds.fit_ms));
+        out.push_str("      \"stages_ms\": {\n");
+        for (j, row) in ds.stages.iter().enumerate() {
+            out.push_str(&format!(
+                "        \"{}\": {:.3}{}\n",
+                row.stage.replace('-', "_"),
+                row.time_ms,
+                if j + 1 < ds.stages.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("      },\n");
+        out.push_str(&format!("      \"searches\": {},\n", ds.searches));
+        out.push_str(&format!(
+            "      \"searches_per_sec\": {:.0},\n",
+            ds.searches_per_sec
+        ));
+        out.push_str(&format!("      \"num_regions\": {},\n", ds.num_regions));
+        out.push_str(&format!("      \"num_t_edges\": {},\n", ds.num_t_edges));
+        out.push_str(&format!("      \"num_b_edges\": {}\n", ds.num_b_edges));
+        out.push_str(&format!(
+            "    }}{}\n",
+            if i + 1 < report.datasets.len() {
+                ","
+            } else {
+                ""
+            }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -60,7 +170,41 @@ mod tests {
 
     #[test]
     fn bench_scale_defaults_to_quick() {
-        std::env::remove_var("L2R_BENCH_FULL");
+        // Read-only on purpose: mutating the environment here would race
+        // with concurrently running tests whose fits read `L2R_THREADS`
+        // (concurrent getenv/unsetenv is undefined behaviour on glibc).
+        if std::env::var("L2R_BENCH_FULL").is_ok() {
+            return;
+        }
         assert_eq!(bench_scale(), Scale::Quick);
+    }
+
+    #[test]
+    fn offline_report_measures_a_fit_and_renders_json() {
+        let ds = &datasets(DatasetChoice::D1, Scale::Quick)[0];
+        let entry = offline_report_for(ds);
+        assert_eq!(entry.name, "D1");
+        assert!(entry.fit_ms > 0.0);
+        assert!(entry.searches > 0, "a fit performs Dijkstra searches");
+        assert!(entry.searches_per_sec > 0.0);
+        assert_eq!(entry.stages.len(), 5);
+        let report = OfflineBenchReport {
+            scale: Scale::Quick,
+            threads: l2r_par::max_threads(),
+            datasets: vec![entry],
+        };
+        let json = offline_bench_json(&report);
+        assert!(json.contains("\"bench\": \"offline_pipeline\""));
+        assert!(json.contains("\"scale\": \"quick\""));
+        assert!(json.contains("\"name\": \"D1\""));
+        assert!(json.contains("\"preference_learning\""));
+        assert!(json.contains("\"searches_per_sec\""));
+        // Balanced braces / brackets as a cheap well-formedness check.
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "unbalanced braces in {json}"
+        );
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
     }
 }

@@ -5,12 +5,23 @@
 //! computed with the preference-constrained search of Algorithm 2 under the
 //! edge's transferred preference.  Edges whose transferred preference is null
 //! fall back to fastest paths, exactly as the paper does (Section VII-B).
+//!
+//! Because sparsity makes B-edges vastly outnumber T-edges, this is the most
+//! search-heavy offline stage (Section VII-C).  Two optimisations keep it
+//! fast without changing its output: each transfer center `ca` issues **one**
+//! one-to-many search that settles every center of the opposite region
+//! (instead of `|centers_b|` full searches), and the per-edge path
+//! collection fans out across threads (`L2R_THREADS`), with results applied
+//! to the region graph serially in edge order so the outcome is bit-identical
+//! to a serial run.
 
 use std::collections::HashMap;
 
 use l2r_preference::Preference;
 use l2r_region_graph::{RegionEdgeId, RegionGraph, SupportedPath};
-use l2r_road_network::{fastest_path, preference_constrained_path, Path, RoadNetwork, VertexId};
+use l2r_road_network::{
+    fastest_path, preference_constrained_path, CostType, Path, RoadNetwork, SearchSpace, VertexId,
+};
 
 /// Computes a path between two concrete vertices under an optional
 /// preference (`None` = fastest path).
@@ -49,44 +60,97 @@ pub fn apply_preferences_to_b_edges(
     preferences: &HashMap<RegionEdgeId, Option<Preference>>,
     max_center_pairs: usize,
 ) -> ApplyStats {
+    // Resolve the per-edge inputs up front (cheap, needs `rg`), then collect
+    // paths in parallel with one reusable search space per worker, and
+    // finally mutate `rg` serially in edge-id order.
+    struct EdgeJob {
+        id: RegionEdgeId,
+        pref: Option<Preference>,
+        centers_a: Vec<VertexId>,
+        centers_b: Vec<VertexId>,
+    }
+    let jobs: Vec<EdgeJob> = rg
+        .b_edges()
+        .map(|e| EdgeJob {
+            id: e.id,
+            pref: preferences.get(&e.id).and_then(|p| p.as_ref()).copied(),
+            centers_a: rg.transfer_centers_or_default(net, e.a),
+            centers_b: rg.transfer_centers_or_default(net, e.b),
+        })
+        .collect();
+
+    let collected: Vec<Vec<SupportedPath>> =
+        l2r_par::par_map_init(&jobs, SearchSpace::new, |space, _, job| {
+            collect_center_pair_paths(
+                space,
+                net,
+                &job.centers_a,
+                &job.centers_b,
+                job.pref.as_ref(),
+                max_center_pairs,
+            )
+        });
+
     let mut stats = ApplyStats::default();
-    let b_edges: Vec<RegionEdgeId> = rg.b_edges().map(|e| e.id).collect();
-    for eid in b_edges {
-        let (ra, rb) = {
-            let e = rg.edge(eid);
-            (e.a, e.b)
-        };
-        let pref = preferences.get(&eid).and_then(|p| p.as_ref()).copied();
-        let centers_a = rg.transfer_centers_or_default(net, ra);
-        let centers_b = rg.transfer_centers_or_default(net, rb);
-        let mut paths: Vec<SupportedPath> = Vec::new();
-        'outer: for ca in &centers_a {
-            for cb in &centers_b {
-                if paths.len() >= max_center_pairs.max(1) {
-                    break 'outer;
-                }
-                if ca == cb {
-                    continue;
-                }
-                if let Some(p) = path_under_preference(net, *ca, *cb, pref.as_ref()) {
-                    if !p.is_trivial() && !paths.iter().any(|sp| sp.path == p) {
-                        paths.push(SupportedPath {
-                            path: p,
-                            support: 1,
-                        });
-                    }
-                }
-            }
-        }
+    for (job, paths) in jobs.iter().zip(collected) {
         stats.total_paths += paths.len();
         if paths.is_empty() {
             stats.edges_without_paths += 1;
         } else {
             stats.edges_with_paths += 1;
-            rg.set_edge_paths(eid, paths);
+            rg.set_edge_paths(job.id, paths);
         }
     }
     stats
+}
+
+/// Collects up to `max_center_pairs` distinct, non-trivial paths between the
+/// transfer centers of two regions under an optional preference.  For every
+/// source center one single search settles *all* destination centers
+/// (`dijkstra_to_many`), which is equivalent to — but much cheaper than —
+/// the historical per-pair searches: Dijkstra parents of settled vertices do
+/// not change when the search keeps running past them.
+fn collect_center_pair_paths(
+    space: &mut SearchSpace,
+    net: &RoadNetwork,
+    centers_a: &[VertexId],
+    centers_b: &[VertexId],
+    pref: Option<&Preference>,
+    max_center_pairs: usize,
+) -> Vec<SupportedPath> {
+    let cap = max_center_pairs.max(1);
+    let mut paths: Vec<SupportedPath> = Vec::new();
+    for ca in centers_a {
+        if paths.len() >= cap {
+            break;
+        }
+        if ca.idx() >= net.num_vertices() {
+            continue;
+        }
+        match pref {
+            Some(p) => space.constrained_to_many(net, *ca, centers_b, p.master, p.slave),
+            None => {
+                space.dijkstra_to_many(net, *ca, centers_b, |e| e.cost(CostType::TravelTime));
+            }
+        }
+        for cb in centers_b {
+            if paths.len() >= cap {
+                break;
+            }
+            if ca == cb {
+                continue;
+            }
+            if let Some(p) = space.path_to(*cb) {
+                if !p.is_trivial() && !paths.iter().any(|sp| sp.path == p) {
+                    paths.push(SupportedPath {
+                        path: p,
+                        support: 1,
+                    });
+                }
+            }
+        }
+    }
+    paths
 }
 
 #[cfg(test)]

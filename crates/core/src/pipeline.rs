@@ -7,9 +7,11 @@
 use std::collections::HashMap;
 use std::time::{Duration, Instant};
 
-use l2r_preference::{learn_edge_preference, transfer_preferences, LearnedPreference, Preference};
+use l2r_preference::{
+    learn_edge_preference_in, transfer_preferences, LearnedPreference, Preference,
+};
 use l2r_region_graph::{bottom_up_clustering, RegionEdgeId, RegionGraph, TrajectoryGraph};
-use l2r_road_network::{RoadNetwork, VertexId};
+use l2r_road_network::{RoadNetwork, SearchSpace, VertexId};
 use l2r_trajectory::MatchedTrajectory;
 
 use crate::apply::{apply_preferences_to_b_edges, ApplyStats};
@@ -83,17 +85,27 @@ impl L2r {
         stats.region_graph_time = t0.elapsed();
         stats.num_regions = region_graph.num_regions();
 
-        // Step 2a: learn preferences for T-edges.
+        // Step 2a: learn preferences for T-edges.  Each T-edge is
+        // independent, so learning fans out across threads (`L2R_THREADS`
+        // workers, each with its own reusable search space); results are
+        // collected in T-edge order, making the outcome identical to a
+        // serial run.
         let t0 = Instant::now();
-        let mut learned: HashMap<RegionEdgeId, LearnedPreference> = HashMap::new();
-        for edge in region_graph.t_edges() {
-            if let Some(lp) = learn_edge_preference(net, &edge.paths, &config.learn) {
+        let t_edges: Vec<&l2r_region_graph::RegionEdge> = region_graph.t_edges().collect();
+        let learned_per_edge: Vec<Option<LearnedPreference>> =
+            l2r_par::par_map_init(&t_edges, SearchSpace::new, |space, _, edge| {
+                learn_edge_preference_in(space, net, &edge.paths, &config.learn)
+            });
+        let mut learned: HashMap<RegionEdgeId, LearnedPreference> =
+            HashMap::with_capacity(t_edges.len());
+        for (edge, lp) in t_edges.iter().zip(learned_per_edge) {
+            if let Some(lp) = lp {
                 learned.insert(edge.id, lp);
             }
         }
         stats.learning_time = t0.elapsed();
-        stats.num_t_edges = region_graph.t_edges().count();
-        stats.num_b_edges = region_graph.b_edges().count();
+        stats.num_t_edges = t_edges.len();
+        drop(t_edges);
 
         // Step 2b: transfer preferences to B-edges.
         let t0 = Instant::now();
@@ -105,6 +117,7 @@ impl L2r {
         let transfer = transfer_preferences(&region_graph, &labeled, &targets, &config.transfer);
         stats.transfer_time = t0.elapsed();
         stats.null_rate = transfer.null_rate;
+        stats.num_b_edges = targets.len();
 
         // Step 3: apply preferences to B-edges.
         let t0 = Instant::now();

@@ -1,0 +1,76 @@
+//! The parallel offline pipeline must be bit-identical to a serial run:
+//! `L2r::fit` with `L2R_THREADS=1` and `L2R_THREADS=4` has to produce the
+//! same learned preferences, the same transferred preferences and the same
+//! B-edge paths.
+//!
+//! This file intentionally contains a single `#[test]` so the process-global
+//! `L2R_THREADS` variable is not raced by other tests in the same binary.
+
+use std::collections::HashMap;
+
+use l2r_core::{L2r, L2rConfig};
+use l2r_datagen::{generate_network, generate_workload, SyntheticNetworkConfig, WorkloadConfig};
+use l2r_preference::{LearnedPreference, Preference};
+use l2r_region_graph::{RegionEdgeId, SupportedPath};
+
+fn fit() -> L2r {
+    let syn = generate_network(&SyntheticNetworkConfig::tiny());
+    let wl = generate_workload(&syn, &WorkloadConfig::tiny(250));
+    let (train, _) = wl.temporal_split(0.8);
+    L2r::fit(&syn.net, &train, L2rConfig::fast()).expect("fit")
+}
+
+#[test]
+fn parallel_fit_is_bit_identical_to_serial_fit() {
+    std::env::set_var(l2r_par::THREADS_ENV, "1");
+    let serial = fit();
+    std::env::set_var(l2r_par::THREADS_ENV, "4");
+    let parallel = fit();
+    std::env::remove_var(l2r_par::THREADS_ENV);
+
+    // Identical learned T-edge preferences (including the f64 similarity).
+    let learned_serial: &HashMap<RegionEdgeId, LearnedPreference> = serial.learned_preferences();
+    let learned_parallel = parallel.learned_preferences();
+    assert_eq!(learned_serial, learned_parallel, "learned preferences");
+    assert!(!learned_serial.is_empty(), "test needs learned preferences");
+
+    // Identical transferred B-edge preferences.
+    let transferred_serial: &HashMap<RegionEdgeId, Option<Preference>> =
+        serial.transferred_preferences();
+    assert_eq!(
+        transferred_serial,
+        parallel.transferred_preferences(),
+        "transferred preferences"
+    );
+    assert!(!transferred_serial.is_empty(), "test needs B-edges");
+
+    // Identical region-graph shape and identical paths on every edge
+    // (B-edge paths are assigned by the parallel apply step).
+    assert_eq!(
+        serial.region_graph().num_edges(),
+        parallel.region_graph().num_edges()
+    );
+    let mut b_edges_with_paths = 0usize;
+    for (es, ep) in serial
+        .region_graph()
+        .edges()
+        .iter()
+        .zip(parallel.region_graph().edges())
+    {
+        assert_eq!(es.id, ep.id);
+        assert_eq!(es.kind, ep.kind);
+        let ps: &[SupportedPath] = &es.paths;
+        assert_eq!(ps, &ep.paths[..], "paths of edge {:?}", es.id);
+        if es.is_b_edge() && es.has_paths() {
+            b_edges_with_paths += 1;
+        }
+    }
+    assert!(b_edges_with_paths > 0, "test needs B-edge paths to compare");
+
+    // Same aggregate statistics.
+    assert_eq!(serial.stats().num_regions, parallel.stats().num_regions);
+    assert_eq!(serial.stats().num_t_edges, parallel.stats().num_t_edges);
+    assert_eq!(serial.stats().num_b_edges, parallel.stats().num_b_edges);
+    assert_eq!(serial.stats().apply, parallel.stats().apply);
+    assert_eq!(serial.stats().null_rate, parallel.stats().null_rate);
+}

@@ -2,6 +2,8 @@
 //! mirroring the two data sets of the paper (D1 = Denmark-like, D2 =
 //! Chengdu-like) at two scales (quick for tests, full for benchmarks).
 
+use std::time::Duration;
+
 use l2r_core::{L2r, L2rConfig};
 use l2r_datagen::{
     generate_network, generate_workload, SyntheticNetwork, SyntheticNetworkConfig, Workload,
@@ -104,6 +106,11 @@ pub struct Dataset {
     pub test: Vec<MatchedTrajectory>,
     /// The fitted learn-to-route model.
     pub model: L2r,
+    /// Wall time of the `L2r::fit` call that produced `model`.
+    pub fit_time: Duration,
+    /// Number of Dijkstra searches that fit performed (from
+    /// `l2r_road_network::searches_performed`).
+    pub fit_searches: u64,
 }
 
 /// Builds a dataset: generates the network and workload, splits temporally
@@ -112,8 +119,12 @@ pub fn build_dataset(spec: DatasetSpec) -> Dataset {
     let synthetic = generate_network(&spec.network);
     let workload = generate_workload(&synthetic, &spec.workload);
     let (train, test) = workload.temporal_split(spec.train_fraction);
+    let searches_before = l2r_road_network::searches_performed();
+    let t0 = std::time::Instant::now();
     let model = L2r::fit(&synthetic.net, &train, spec.l2r.clone())
         .expect("fitting on a generated workload never fails");
+    let fit_time = t0.elapsed();
+    let fit_searches = l2r_road_network::searches_performed() - searches_before;
     Dataset {
         spec,
         synthetic,
@@ -121,6 +132,8 @@ pub fn build_dataset(spec: DatasetSpec) -> Dataset {
         train,
         test,
         model,
+        fit_time,
+        fit_searches,
     }
 }
 

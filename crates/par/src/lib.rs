@@ -1,0 +1,224 @@
+//! # l2r-par
+//!
+//! A minimal, dependency-free parallel map built on [`std::thread::scope`],
+//! used to fan the embarrassingly parallel stages of the L2R offline pipeline
+//! (per-T-edge preference learning, per-B-edge path assignment) across cores.
+//!
+//! Design points:
+//!
+//! * **Deterministic output** — results come back in input order regardless
+//!   of thread scheduling, so callers can produce output bit-identical to a
+//!   serial run.
+//! * **Per-thread state** — [`par_map_init`] gives every worker its own
+//!   scratch state (e.g. a reusable Dijkstra search space), created once per
+//!   thread rather than once per item.
+//! * **Chunked work stealing** — workers grab fixed-size chunks of the index
+//!   range from a shared atomic cursor, so uneven item costs still balance.
+//! * **`L2R_THREADS` override** — the thread count defaults to the available
+//!   hardware parallelism and can be pinned with the `L2R_THREADS`
+//!   environment variable (`L2R_THREADS=1` forces a fully serial run on the
+//!   calling thread).
+//!
+//! The build environment has no crates.io access, hence no rayon; this covers
+//! the small API surface the pipeline needs.
+
+#![warn(missing_docs)]
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Name of the environment variable overriding the worker thread count.
+pub const THREADS_ENV: &str = "L2R_THREADS";
+
+/// The number of worker threads parallel maps use: the value of
+/// [`THREADS_ENV`] when it parses to a positive integer, otherwise the
+/// available hardware parallelism (1 when that cannot be determined).
+pub fn max_threads() -> usize {
+    if let Ok(v) = std::env::var(THREADS_ENV) {
+        if let Ok(t) = v.trim().parse::<usize>() {
+            if t >= 1 {
+                return t;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Parallel map preserving input order: `f(index, &item)` for every item,
+/// using [`max_threads`] workers.
+pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    par_map_with(max_threads(), items, || (), |(), i, t| f(i, t))
+}
+
+/// Parallel map with per-thread state: every worker calls `init` once and
+/// passes the state to each `f(&mut state, index, &item)` call.  Use this to
+/// amortise expensive scratch structures (search spaces, buffers) across the
+/// items a thread processes.  Results are returned in input order.
+pub fn par_map_init<T, R, S, I, F>(items: &[T], init: I, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize, &T) -> R + Sync,
+{
+    par_map_with(max_threads(), items, init, f)
+}
+
+/// [`par_map_init`] with an explicit thread count (mainly for tests; normal
+/// callers should respect the `L2R_THREADS` override via [`par_map_init`]).
+///
+/// `threads <= 1` (or a single-item input) runs serially on the calling
+/// thread with no thread spawned at all.  A panic in `f` propagates to the
+/// caller.
+pub fn par_map_with<T, R, S, I, F>(threads: usize, items: &[T], init: I, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize, &T) -> R + Sync,
+{
+    let threads = threads.max(1).min(items.len());
+    if threads <= 1 {
+        let mut state = init();
+        return items
+            .iter()
+            .enumerate()
+            .map(|(i, t)| f(&mut state, i, t))
+            .collect();
+    }
+
+    // Chunked work stealing: 4 chunks per thread balances stealing overhead
+    // against tail latency from uneven item costs.
+    let chunk = items.len().div_ceil(threads * 4).max(1);
+    let cursor = AtomicUsize::new(0);
+    let mut collected: Vec<(usize, R)> = Vec::with_capacity(items.len());
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(threads);
+        for _ in 0..threads {
+            handles.push(scope.spawn(|| {
+                let mut state = init();
+                let mut out: Vec<(usize, R)> = Vec::new();
+                loop {
+                    let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                    if start >= items.len() {
+                        break;
+                    }
+                    let end = (start + chunk).min(items.len());
+                    for (i, item) in items.iter().enumerate().take(end).skip(start) {
+                        out.push((i, f(&mut state, i, item)));
+                    }
+                }
+                out
+            }));
+        }
+        for handle in handles {
+            match handle.join() {
+                Ok(part) => collected.extend(part),
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+    });
+    debug_assert_eq!(collected.len(), items.len());
+    collected.sort_unstable_by_key(|(i, _)| *i);
+    collected.into_iter().map(|(_, r)| r).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn results_preserve_input_order() {
+        let items: Vec<usize> = (0..1000).collect();
+        for threads in [1, 2, 3, 8] {
+            let out = par_map_with(
+                threads,
+                &items,
+                || (),
+                |(), i, v| {
+                    assert_eq!(i, *v);
+                    v * 2
+                },
+            );
+            let expected: Vec<usize> = items.iter().map(|v| v * 2).collect();
+            assert_eq!(out, expected, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(par_map_with(4, &empty, || (), |(), _, v| *v).is_empty());
+        assert_eq!(par_map_with(4, &[7u32], || (), |(), _, v| *v), vec![7]);
+    }
+
+    #[test]
+    fn init_runs_once_per_worker_and_state_is_reused() {
+        let inits = AtomicUsize::new(0);
+        let items: Vec<u32> = (0..64).collect();
+        let out = par_map_with(
+            3,
+            &items,
+            || {
+                inits.fetch_add(1, Ordering::Relaxed);
+                0usize // per-thread item counter
+            },
+            |count, _, v| {
+                *count += 1;
+                *v
+            },
+        );
+        assert_eq!(out, items);
+        let n = inits.load(Ordering::Relaxed);
+        assert!((1..=3).contains(&n), "one init per worker, got {n}");
+    }
+
+    #[test]
+    fn matches_serial_run_bit_for_bit() {
+        let items: Vec<f64> = (0..257).map(|i| i as f64 * 0.1).collect();
+        let work = |v: &f64| (v.sin() * 1e6).to_bits();
+        let serial: Vec<u64> = items.iter().map(work).collect();
+        let parallel = par_map_with(5, &items, || (), |(), _, v| work(v));
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn worker_panics_propagate() {
+        let items: Vec<u32> = (0..32).collect();
+        let result = std::panic::catch_unwind(|| {
+            par_map_with(
+                2,
+                &items,
+                || (),
+                |(), _, v| {
+                    assert!(*v != 17, "boom");
+                    *v
+                },
+            )
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn env_override_controls_thread_count() {
+        // This is the only test touching the environment variable; run every
+        // variant in one test to avoid races with parallel test execution.
+        std::env::set_var(THREADS_ENV, "3");
+        assert_eq!(max_threads(), 3);
+        std::env::set_var(THREADS_ENV, "1");
+        assert_eq!(max_threads(), 1);
+        std::env::set_var(THREADS_ENV, "not-a-number");
+        assert!(max_threads() >= 1);
+        std::env::set_var(THREADS_ENV, "0");
+        assert!(max_threads() >= 1);
+        std::env::remove_var(THREADS_ENV);
+        assert!(max_threads() >= 1);
+    }
+}

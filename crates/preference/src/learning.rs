@@ -10,8 +10,7 @@
 
 use l2r_region_graph::SupportedPath;
 use l2r_road_network::{
-    lowest_cost_path, path_similarity, preference_constrained_path, CostType, Path, RoadNetwork,
-    RoadType, RoadTypeSet,
+    CostType, OverlapIndex, Path, RoadNetwork, RoadType, RoadTypeSet, SearchSpace,
 };
 
 use crate::model::Preference;
@@ -71,25 +70,36 @@ pub struct LearnedPreference {
 }
 
 /// Mean support-weighted similarity of paths constructed under
-/// `(master, slave)` against the observed paths.
+/// `(master, slave)` against the observed paths, searching through the
+/// caller's reusable `space`.  `overlaps[i]` is the precomputed Equation 1
+/// index of `paths[i]` (built once per observed path, reused across every
+/// candidate preference).
 fn evaluate(
+    space: &mut SearchSpace,
     net: &RoadNetwork,
     paths: &[&SupportedPath],
+    overlaps: &[OverlapIndex],
     master: CostType,
     slave: Option<RoadTypeSet>,
 ) -> f64 {
     let mut total_weight = 0.0;
     let mut total_sim = 0.0;
-    for sp in paths {
+    for (sp, overlap) in paths.iter().zip(overlaps) {
         let gt = &sp.path;
         let constructed: Option<Path> = match slave {
-            Some(s) => {
-                preference_constrained_path(net, gt.source(), gt.destination(), master, Some(s))
-            }
-            None => lowest_cost_path(net, gt.source(), gt.destination(), master),
+            Some(s) => space.preference_constrained_path(
+                net,
+                gt.source(),
+                gt.destination(),
+                master,
+                Some(s),
+            ),
+            None => space.lowest_cost_path(net, gt.source(), gt.destination(), master),
         };
+        // Constructed paths come from shortest-path trees and never repeat a
+        // segment, so the precomputed index applies.
         let sim = constructed
-            .map(|p| path_similarity(net, gt, &p))
+            .map(|p| overlap.similarity_to_simple(&p))
             .unwrap_or(0.0);
         let w = sp.support as f64;
         total_sim += sim * w;
@@ -104,7 +114,23 @@ fn evaluate(
 
 /// Learns the representative routing preference of one T-edge from its
 /// observed path set.  Returns `None` when the path set is empty.
+///
+/// Thin wrapper over [`learn_edge_preference_in`] using the calling thread's
+/// shared search space; loops learning many edges (or worker threads) should
+/// hold their own [`SearchSpace`] and call the `_in` variant.
 pub fn learn_edge_preference(
+    net: &RoadNetwork,
+    paths: &[SupportedPath],
+    config: &LearnConfig,
+) -> Option<LearnedPreference> {
+    SearchSpace::with_thread_local(|space| learn_edge_preference_in(space, net, paths, config))
+}
+
+/// [`learn_edge_preference`] with an explicit, reusable [`SearchSpace`]: all
+/// candidate-preference searches run through `space` without per-query
+/// allocation.
+pub fn learn_edge_preference_in(
+    space: &mut SearchSpace,
     net: &RoadNetwork,
     paths: &[SupportedPath],
     config: &LearnConfig,
@@ -116,23 +142,37 @@ pub fn learn_edge_preference(
     let mut ordered: Vec<&SupportedPath> = paths.iter().collect();
     ordered.sort_by_key(|p| std::cmp::Reverse(p.support));
     ordered.truncate(config.max_paths.max(1));
+    let overlaps: Vec<OverlapIndex> = ordered
+        .iter()
+        .map(|sp| OverlapIndex::new(net, &sp.path))
+        .collect();
 
-    // Step 1: choose the master (travel cost) feature.
+    // Step 1: choose the master (travel cost) feature.  Similarity is capped
+    // at 1.0, so a perfect master cannot be strictly beaten — stop early.
     let mut best_master = CostType::Distance;
     let mut best_master_sim = f64::NEG_INFINITY;
     for master in CostType::ALL {
-        let sim = evaluate(net, &ordered, master, None);
+        let sim = evaluate(space, net, &ordered, &overlaps, master, None);
         if sim > best_master_sim {
             best_master_sim = sim;
             best_master = master;
         }
+        if best_master_sim >= 1.0 {
+            break;
+        }
     }
 
     // Step 2: test slave (road condition) features on top of the master.
+    // A slave is only adopted when it beats `best_sim + min_improvement`;
+    // once that bar exceeds the 1.0 similarity cap no candidate can qualify,
+    // so the remaining (search-heavy) evaluations are skipped.
     let mut best_slave: Option<RoadTypeSet> = None;
     let mut best_sim = best_master_sim;
     for slave in &config.candidate_slaves {
-        let sim = evaluate(net, &ordered, best_master, Some(*slave));
+        if best_sim + config.min_improvement >= 1.0 {
+            break;
+        }
+        let sim = evaluate(space, net, &ordered, &overlaps, best_master, Some(*slave));
         if sim > best_sim + config.min_improvement {
             best_sim = sim;
             best_slave = Some(*slave);
@@ -156,16 +196,18 @@ pub fn learn_per_path_preferences(
     paths: &[SupportedPath],
     config: &LearnConfig,
 ) -> Vec<LearnedPreference> {
-    paths
-        .iter()
-        .filter_map(|sp| learn_edge_preference(net, std::slice::from_ref(sp), config))
-        .collect()
+    SearchSpace::with_thread_local(|space| {
+        paths
+            .iter()
+            .filter_map(|sp| learn_edge_preference_in(space, net, std::slice::from_ref(sp), config))
+            .collect()
+    })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use l2r_road_network::{fastest_path, Point, RoadNetworkBuilder, VertexId};
+    use l2r_road_network::{fastest_path, lowest_cost_path, Point, RoadNetworkBuilder, VertexId};
 
     /// Two routes from 0 to 3: short residential via 2, long motorway via 1.
     fn two_route_network() -> RoadNetwork {

@@ -17,7 +17,7 @@ use l2r_region_graph::{RegionEdgeId, RegionGraph};
 
 use crate::model::{Preference, NUM_FEATURES};
 use crate::re_sim::RegionEdgeDescriptor;
-use crate::solver::{solve, SolverKind};
+use crate::solver::{solve, SolveResult, SolverKind};
 use crate::sparse::SparseMatrix;
 
 /// Configuration of the transfer step.
@@ -113,21 +113,30 @@ pub fn transfer_preferences(
         };
     }
 
-    // Descriptors and the thresholded similarity (adjacency) matrix M.
-    let descriptors: Vec<RegionEdgeDescriptor> = ids
-        .iter()
-        .map(|id| RegionEdgeDescriptor::build(rg, rg.edge(*id)))
-        .collect();
-    let mut m = SparseMatrix::zeros(n);
-    let mut similarity_edges = 0usize;
-    for i in 0..n {
+    // Descriptors and the thresholded similarity (adjacency) matrix M.  Both
+    // are embarrassingly parallel: descriptors per edge, similarities per
+    // row; the rows are merged into M serially in row order so the matrix is
+    // identical to a serial construction.
+    let descriptors: Vec<RegionEdgeDescriptor> =
+        l2r_par::par_map(&ids, |_, id| RegionEdgeDescriptor::build(rg, rg.edge(*id)));
+    let row_indices: Vec<usize> = (0..n).collect();
+    let rows: Vec<Vec<(usize, f64)>> = l2r_par::par_map(&row_indices, |_, &i| {
+        let mut row = Vec::new();
         for j in (i + 1)..n {
             let s = descriptors[i].normalized_similarity(&descriptors[j]);
             if s >= config.amr {
-                m.add(i, j, s);
-                m.add(j, i, s);
-                similarity_edges += 1;
+                row.push((j, s));
             }
+        }
+        row
+    });
+    let mut m = SparseMatrix::zeros(n);
+    let mut similarity_edges = 0usize;
+    for (i, row) in rows.iter().enumerate() {
+        for &(j, s) in row {
+            m.add(i, j, s);
+            m.add(j, i, s);
+            similarity_edges += 1;
         }
     }
 
@@ -144,10 +153,11 @@ pub fn transfer_preferences(
         }
     }
 
-    // Solve one system per feature column.
+    // Solve one system per feature column; the columns are independent, so
+    // they run in parallel and are written back in column order.
     let mut y_hat = vec![[0.0f64; NUM_FEATURES]; n];
-    let mut solver_iterations = 0usize;
-    for x in 0..NUM_FEATURES {
+    let columns: Vec<usize> = (0..NUM_FEATURES).collect();
+    let solutions: Vec<Option<SolveResult>> = l2r_par::par_map(&columns, |_, &x| {
         let mut b = vec![0.0; n];
         let mut any = false;
         for (i, id) in ids.iter().take(num_labeled).enumerate() {
@@ -158,29 +168,32 @@ pub fn transfer_preferences(
             }
         }
         if !any {
-            continue;
+            return None;
         }
-        let res = solve(
+        Some(solve(
             config.solver,
             &a,
             &b,
             config.tolerance,
             config.max_iterations,
-        );
+        ))
+    });
+    let mut solver_iterations = 0usize;
+    for (x, res) in solutions.into_iter().enumerate() {
+        let Some(res) = res else { continue };
         solver_iterations += res.iterations;
         for (row, &value) in y_hat.iter_mut().zip(res.x.iter()).take(n) {
             row[x] = value;
         }
     }
 
-    // Decode the target rows.
+    // Decode the target rows: targets occupy the tail of `ids` in
+    // `target_ids` order (labelled-only edges come first).
     let mut preferences = HashMap::with_capacity(target_ids.len());
     let mut nulls = 0usize;
-    for id in &target_ids {
-        let idx = ids
-            .iter()
-            .position(|x| x == id)
-            .expect("target is in the id list");
+    for (i, id) in target_ids.iter().enumerate() {
+        let idx = num_labeled + i;
+        debug_assert_eq!(ids[idx], *id);
         let pref = Preference::from_feature_row(&y_hat[idx], config.slave_threshold);
         if pref.is_none() {
             nulls += 1;

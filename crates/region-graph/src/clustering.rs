@@ -151,8 +151,15 @@ pub fn bottom_up_clustering(tg: &TrajectoryGraph) -> Vec<Cluster> {
             continue;
         }
 
-        // Adjacent alive nodes (VA).
-        let neighbors: Vec<usize> = adj[k].keys().copied().filter(|j| nodes[*j].alive).collect();
+        // Adjacent alive nodes (VA), in index order: HashMap iteration order
+        // varies between runs, and the neighbour order influences merge
+        // order (and through float summation the exact popularity values),
+        // so it must be deterministic.
+        let neighbors: Vec<usize> = {
+            let mut v: Vec<usize> = adj[k].keys().copied().filter(|j| nodes[*j].alive).collect();
+            v.sort_unstable();
+            v
+        };
         if neighbors.is_empty() {
             nodes[k].finished = true;
             clusters.push(Cluster {
@@ -241,11 +248,15 @@ pub fn bottom_up_clustering(tg: &TrajectoryGraph) -> Vec<Cluster> {
         for &j in &selected {
             let j_vertices = std::mem::take(&mut nodes[j].vertices);
             let j_pop = nodes[j].popularity;
-            let j_neighbors: Vec<(usize, Connection)> = adj[j]
-                .iter()
-                .map(|(n, c)| (*n, *c))
-                .filter(|(n, _)| *n != k)
-                .collect();
+            let j_neighbors: Vec<(usize, Connection)> = {
+                let mut v: Vec<(usize, Connection)> = adj[j]
+                    .iter()
+                    .map(|(n, c)| (*n, *c))
+                    .filter(|(n, _)| *n != k)
+                    .collect();
+                v.sort_unstable_by_key(|(n, _)| *n);
+                v
+            };
             nodes[j].alive = false;
             adj[j].clear();
             adj[k].remove(&j);

@@ -292,6 +292,11 @@ impl RegionGraph {
                     }
                 }
             }
+            // Sort so B-edge ids are assigned deterministically (HashSet
+            // iteration order varies between runs and would otherwise leak
+            // into edge numbering and everything keyed on it downstream).
+            let mut reached: Vec<RegionId> = reached.into_iter().collect();
+            reached.sort_unstable();
             for rj in reached {
                 self.ensure_edge(ri, rj, RegionEdgeKind::BEdge);
             }

@@ -8,44 +8,21 @@
 //! explored; otherwise (no satisfying edge exists) all outgoing edges are
 //! explored so that the search never gets stuck.
 
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
-
 use crate::graph::{RoadNetwork, VertexId};
 use crate::path::Path;
 use crate::road_type::RoadTypeSet;
+use crate::search_space::SearchSpace;
 use crate::weights::CostType;
-
-/// Frontier entry ordered as a min-heap over cost.
-#[derive(Debug, Clone, Copy, PartialEq)]
-struct Entry {
-    cost: f64,
-    vertex: VertexId,
-}
-
-impl Eq for Entry {}
-
-impl Ord for Entry {
-    fn cmp(&self, other: &Self) -> Ordering {
-        other
-            .cost
-            .partial_cmp(&self.cost)
-            .unwrap_or(Ordering::Equal)
-            .then_with(|| other.vertex.0.cmp(&self.vertex.0))
-    }
-}
-
-impl PartialOrd for Entry {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
 
 /// Algorithm 2: minimise `master` while preferring edges whose road type is
 /// in `slave` (when `slave` is `None` or empty, this is plain Dijkstra on the
 /// master cost).
 ///
 /// Returns `None` when `target` is unreachable from `source`.
+///
+/// This is a thin compatibility wrapper over
+/// [`SearchSpace::preference_constrained_path`] using the calling thread's
+/// shared search space; hot loops should hold their own [`SearchSpace`].
 pub fn preference_constrained_path(
     net: &RoadNetwork,
     source: VertexId,
@@ -53,78 +30,9 @@ pub fn preference_constrained_path(
     master: CostType,
     slave: Option<RoadTypeSet>,
 ) -> Option<Path> {
-    let n = net.num_vertices();
-    if source.idx() >= n || target.idx() >= n {
-        return None;
-    }
-    if source == target {
-        return Some(Path::single(source));
-    }
-    let slave = match slave {
-        Some(s) if !s.is_empty() => Some(s),
-        _ => None,
-    };
-
-    let mut dist = vec![f64::INFINITY; n];
-    let mut parent: Vec<Option<VertexId>> = vec![None; n];
-    let mut settled = vec![false; n];
-    let mut heap = BinaryHeap::new();
-    dist[source.idx()] = 0.0;
-    heap.push(Entry {
-        cost: 0.0,
-        vertex: source,
-    });
-
-    while let Some(Entry { cost, vertex }) = heap.pop() {
-        if settled[vertex.idx()] {
-            continue;
-        }
-        settled[vertex.idx()] = true;
-        if vertex == target {
-            break;
-        }
-
-        // Case split of Algorithm 2, lines 7–11: does any outgoing edge
-        // satisfy the slave preference?
-        let none_satisfies = match slave {
-            Some(s) => !net.out_edges(vertex).any(|e| s.contains(e.road_type)),
-            None => true,
-        };
-
-        for edge in net.out_edges(vertex) {
-            let allowed = match slave {
-                Some(s) => s.contains(edge.road_type) || none_satisfies,
-                None => true,
-            };
-            if !allowed {
-                continue;
-            }
-            let next = cost + edge.cost(master);
-            if next < dist[edge.to.idx()] {
-                dist[edge.to.idx()] = next;
-                parent[edge.to.idx()] = Some(vertex);
-                heap.push(Entry {
-                    cost: next,
-                    vertex: edge.to,
-                });
-            }
-        }
-    }
-
-    if !dist[target.idx()].is_finite() {
-        return None;
-    }
-    let mut vertices = vec![target];
-    let mut cur = target;
-    while let Some(p) = parent[cur.idx()] {
-        vertices.push(p);
-        cur = p;
-    }
-    vertices.reverse();
-    if vertices[0] != source {
-        return None;
-    }
-    Path::new(vertices).ok()
+    SearchSpace::with_thread_local(|space| {
+        space.preference_constrained_path(net, source, target, master, slave)
+    })
 }
 
 #[cfg(test)]

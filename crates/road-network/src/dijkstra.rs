@@ -2,42 +2,20 @@
 //! used throughout the paper: shortest, fastest and fuel-optimal paths, plus
 //! a search that reports the settle order (used by L2R routing Case 2 to find
 //! candidate regions along the fastest path).
-
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+//!
+//! The functions here are thin compatibility wrappers over the reusable
+//! [`SearchSpace`] of [`crate::search_space`]: each call borrows the calling
+//! thread's shared space, so repeated queries do not re-allocate the O(|V|)
+//! search arrays.  Hot loops that issue many searches should hold their own
+//! [`SearchSpace`] and use its methods directly.
 
 use crate::graph::{Edge, RoadNetwork, VertexId};
 use crate::path::Path;
+use crate::search_space::SearchSpace;
 use crate::weights::CostType;
 
-/// A search frontier entry; ordered so the smallest cost pops first.
-#[derive(Debug, Clone, Copy, PartialEq)]
-struct QueueEntry {
-    cost: f64,
-    vertex: VertexId,
-}
-
-impl Eq for QueueEntry {}
-
-impl Ord for QueueEntry {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // Reverse order for a min-heap on cost; tie-break on vertex id for
-        // determinism.
-        other
-            .cost
-            .partial_cmp(&self.cost)
-            .unwrap_or(Ordering::Equal)
-            .then_with(|| other.vertex.0.cmp(&self.vertex.0))
-    }
-}
-
-impl PartialOrd for QueueEntry {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-/// Result of a Dijkstra run from a single source.
+/// Result of a Dijkstra run from a single source, with owned search arrays
+/// (detached from any [`SearchSpace`]).
 #[derive(Debug, Clone)]
 pub struct SearchResult {
     source: VertexId,
@@ -79,6 +57,26 @@ impl SearchResult {
         debug_assert_eq!(vertices[0], self.source);
         Path::new(vertices).ok()
     }
+
+    /// Copies a finished search out of a [`SearchSpace`] into owned arrays
+    /// sized for a network with `n` vertices.
+    fn from_space(space: &SearchSpace, n: usize) -> SearchResult {
+        let mut dist = vec![f64::INFINITY; n];
+        let mut parent: Vec<Option<VertexId>> = vec![None; n];
+        for v in 0..n {
+            let v = VertexId(v as u32);
+            if let Some(d) = space.cost_to(v) {
+                dist[v.idx()] = d;
+                parent[v.idx()] = space.parent_of(v);
+            }
+        }
+        SearchResult {
+            source: space.source(),
+            dist,
+            parent,
+            settle_order: space.settle_order().to_vec(),
+        }
+    }
 }
 
 /// Generic Dijkstra from `source`.
@@ -90,58 +88,15 @@ pub fn dijkstra<F>(
     net: &RoadNetwork,
     source: VertexId,
     target: Option<VertexId>,
-    mut edge_cost: F,
+    edge_cost: F,
 ) -> SearchResult
 where
     F: FnMut(&Edge) -> f64,
 {
-    let n = net.num_vertices();
-    let mut dist = vec![f64::INFINITY; n];
-    let mut parent: Vec<Option<VertexId>> = vec![None; n];
-    let mut settled = vec![false; n];
-    let mut settle_order = Vec::new();
-    let mut heap = BinaryHeap::new();
-
-    if source.idx() < n {
-        dist[source.idx()] = 0.0;
-        heap.push(QueueEntry {
-            cost: 0.0,
-            vertex: source,
-        });
-    }
-
-    while let Some(QueueEntry { cost, vertex }) = heap.pop() {
-        if settled[vertex.idx()] {
-            continue;
-        }
-        settled[vertex.idx()] = true;
-        settle_order.push(vertex);
-        if Some(vertex) == target {
-            break;
-        }
-        for edge in net.out_edges(vertex) {
-            let w = edge_cost(edge);
-            if !w.is_finite() || w < 0.0 {
-                continue;
-            }
-            let next = cost + w;
-            if next < dist[edge.to.idx()] {
-                dist[edge.to.idx()] = next;
-                parent[edge.to.idx()] = Some(vertex);
-                heap.push(QueueEntry {
-                    cost: next,
-                    vertex: edge.to,
-                });
-            }
-        }
-    }
-
-    SearchResult {
-        source,
-        dist,
-        parent,
-        settle_order,
-    }
+    SearchSpace::with_thread_local(|space| {
+        space.dijkstra(net, source, target, edge_cost);
+        SearchResult::from_space(space, net.num_vertices())
+    })
 }
 
 /// Lowest-cost path between `source` and `target` under `cost_type`.
@@ -151,13 +106,7 @@ pub fn lowest_cost_path(
     target: VertexId,
     cost_type: CostType,
 ) -> Option<Path> {
-    if source.idx() >= net.num_vertices() || target.idx() >= net.num_vertices() {
-        return None;
-    }
-    if source == target {
-        return Some(Path::single(source));
-    }
-    dijkstra(net, source, Some(target), |e| e.cost(cost_type)).path_to(target)
+    SearchSpace::with_thread_local(|space| space.lowest_cost_path(net, source, target, cost_type))
 }
 
 /// Shortest (minimum distance) path.
@@ -186,8 +135,10 @@ pub fn fastest_path_with_settle_order(
     if source.idx() >= net.num_vertices() || target.idx() >= net.num_vertices() {
         return (None, Vec::new());
     }
-    let result = dijkstra(net, source, Some(target), |e| e.cost(CostType::TravelTime));
-    (result.path_to(target), result.settle_order)
+    SearchSpace::with_thread_local(|space| {
+        space.dijkstra(net, source, Some(target), |e| e.cost(CostType::TravelTime));
+        (space.path_to(target), space.settle_order().to_vec())
+    })
 }
 
 /// One-to-all search under a cost type (no early termination).
@@ -207,12 +158,14 @@ pub fn weighted_path(
     if source == target {
         return Some(Path::single(source));
     }
-    dijkstra(net, source, Some(target), |e| {
-        weights[0] * e.cost(CostType::Distance)
-            + weights[1] * e.cost(CostType::TravelTime)
-            + weights[2] * e.cost(CostType::Fuel)
+    SearchSpace::with_thread_local(|space| {
+        space.dijkstra(net, source, Some(target), |e| {
+            weights[0] * e.cost(CostType::Distance)
+                + weights[1] * e.cost(CostType::TravelTime)
+                + weights[2] * e.cost(CostType::Fuel)
+        });
+        space.path_to(target)
     })
-    .path_to(target)
 }
 
 #[cfg(test)]

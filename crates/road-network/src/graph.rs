@@ -7,8 +7,6 @@
 //! many graph searches performed by the routing algorithms stay cache
 //! friendly.
 
-use std::collections::HashMap;
-
 use crate::error::NetworkError;
 use crate::road_type::RoadType;
 use crate::spatial::{BoundingBox, GridIndex, Point};
@@ -79,14 +77,15 @@ pub struct RoadNetwork {
     edges: Vec<Edge>,
     /// CSR offsets into `out_edges`, length `num_vertices + 1`.
     out_offsets: Vec<u32>,
-    /// Outgoing edge ids, grouped by tail vertex.
+    /// Outgoing edge ids, grouped by tail vertex and sorted by
+    /// `(head vertex, edge id)` within each group, so
+    /// [`RoadNetwork::edge_between`] is a binary search over the group
+    /// instead of a separate hash map.
     out_edges: Vec<EdgeId>,
     /// CSR offsets into `in_edges`, length `num_vertices + 1`.
     in_offsets: Vec<u32>,
     /// Incoming edge ids, grouped by head vertex.
     in_edges: Vec<EdgeId>,
-    /// Lookup of a directed edge between two vertices.
-    edge_index: HashMap<(VertexId, VertexId), EdgeId>,
     /// Bounding box of all vertex positions.
     bbox: BoundingBox,
 }
@@ -161,9 +160,21 @@ impl RoadNetwork {
         (self.out_offsets[v.idx() + 1] - self.out_offsets[v.idx()]) as usize
     }
 
-    /// The directed edge from `from` to `to`, if it exists.
+    /// The directed edge from `from` to `to`, if it exists — an O(log deg)
+    /// binary search over `from`'s sorted out-edge group.  With parallel
+    /// edges between the same pair, the lowest edge id is returned.
     pub fn edge_between(&self, from: VertexId, to: VertexId) -> Option<EdgeId> {
-        self.edge_index.get(&(from, to)).copied()
+        if from.idx() >= self.vertices.len() {
+            return None;
+        }
+        let start = self.out_offsets[from.idx()] as usize;
+        let end = self.out_offsets[from.idx() + 1] as usize;
+        let group = &self.out_edges[start..end];
+        let pos = group.partition_point(|eid| self.edges[eid.idx()].to < to);
+        group
+            .get(pos)
+            .copied()
+            .filter(|eid| self.edges[eid.idx()].to == to)
     }
 
     /// Neighbours reachable by one outgoing edge.
@@ -338,13 +349,18 @@ impl RoadNetworkBuilder {
         let mut in_edges = vec![EdgeId(0); self.edges.len()];
         let mut out_cursor = out_counts.clone();
         let mut in_cursor = in_counts.clone();
-        let mut edge_index = HashMap::with_capacity(self.edges.len());
         for e in &self.edges {
             out_edges[out_cursor[e.from.idx()] as usize] = e.id;
             out_cursor[e.from.idx()] += 1;
             in_edges[in_cursor[e.to.idx()] as usize] = e.id;
             in_cursor[e.to.idx()] += 1;
-            edge_index.insert((e.from, e.to), e.id);
+        }
+        // Sort each out-edge group by (head, id) so edge lookups are binary
+        // searches and neighbour iteration order is deterministic.
+        for v in 0..n {
+            let start = out_counts[v] as usize;
+            let end = out_counts[v + 1] as usize;
+            out_edges[start..end].sort_unstable_by_key(|eid| (self.edges[eid.idx()].to, *eid));
         }
         let bbox = BoundingBox::from_points(self.vertices.iter().map(|v| &v.point));
         RoadNetwork {
@@ -354,7 +370,6 @@ impl RoadNetworkBuilder {
             out_edges,
             in_offsets: in_counts,
             in_edges,
-            edge_index,
             bbox,
         }
     }

@@ -13,7 +13,8 @@
 //!   [`similarity`];
 //! * routing primitives: Dijkstra variants ([`mod@dijkstra`]), the
 //!   preference-constrained search of Algorithm 2 ([`constrained`]) and the
-//!   multi-objective skyline search used by the Dom baseline ([`skyline`]);
+//!   multi-objective skyline search used by the Dom baseline ([`skyline`]),
+//!   all built on the reusable zero-allocation [`search_space`];
 //! * planar geometry helpers and a grid spatial index ([`spatial`]).
 //!
 //! Everything is deterministic and free of I/O; higher layers (trajectories,
@@ -27,6 +28,7 @@ pub mod error;
 pub mod graph;
 pub mod path;
 pub mod road_type;
+pub mod search_space;
 pub mod similarity;
 pub mod skyline;
 pub mod spatial;
@@ -41,9 +43,10 @@ pub use error::NetworkError;
 pub use graph::{Edge, EdgeId, RoadNetwork, RoadNetworkBuilder, Vertex, VertexId};
 pub use path::Path;
 pub use road_type::{RoadType, RoadTypeSet};
+pub use search_space::{searches_performed, SearchSpace};
 pub use similarity::{
     band_match_similarity, band_match_similarity_10m, path_similarity, path_similarity_jaccard,
-    path_to_waypoints, SimilarityKind,
+    path_to_waypoints, OverlapIndex, SimilarityKind,
 };
 pub use skyline::{skyline_paths, CostVector, SkylinePath};
 pub use spatial::{

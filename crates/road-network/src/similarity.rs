@@ -10,7 +10,9 @@
 //!   output is a sparse sequence of coordinates rather than a road-network
 //!   path.
 
-use crate::graph::RoadNetwork;
+use std::collections::HashMap;
+
+use crate::graph::{RoadNetwork, VertexId};
 use crate::path::Path;
 use crate::spatial::{point_segment_distance, Point};
 
@@ -56,6 +58,77 @@ pub fn path_similarity(net: &RoadNetwork, ground_truth: &Path, candidate: &Path)
         return 0.0;
     }
     (shared_length(net, ground_truth, candidate) / gt_len).clamp(0.0, 1.0)
+}
+
+/// Precomputed Equation 1 view of a ground-truth path, for evaluating many
+/// candidate paths against the same ground truth (the preference learner
+/// scores every candidate preference against each observed path).
+///
+/// Building the segment weights and the total length once amortises the
+/// per-comparison hash-set construction and length recomputation of
+/// [`path_similarity`].
+#[derive(Debug, Clone)]
+pub struct OverlapIndex {
+    /// Total ground-truth segment length summed per undirected segment key.
+    weights: HashMap<(VertexId, VertexId), f64>,
+    /// Total ground-truth length.
+    gt_len: f64,
+    /// Source vertex of a trivial (single-vertex) ground truth.
+    trivial_source: Option<VertexId>,
+}
+
+impl OverlapIndex {
+    /// Builds the index for `ground_truth`.
+    pub fn new(net: &RoadNetwork, ground_truth: &Path) -> OverlapIndex {
+        if ground_truth.is_trivial() {
+            return OverlapIndex {
+                weights: HashMap::new(),
+                gt_len: 0.0,
+                trivial_source: Some(ground_truth.source()),
+            };
+        }
+        let mut weights: HashMap<(VertexId, VertexId), f64> = HashMap::new();
+        let mut gt_len = 0.0;
+        for w in ground_truth.vertices().windows(2) {
+            let key = if w[0] <= w[1] {
+                (w[0], w[1])
+            } else {
+                (w[1], w[0])
+            };
+            let len = net.euclidean(w[0], w[1]);
+            *weights.entry(key).or_insert(0.0) += len;
+            gt_len += len;
+        }
+        OverlapIndex {
+            weights,
+            gt_len,
+            trivial_source: None,
+        }
+    }
+
+    /// Equation 1 similarity of a candidate that visits no segment twice
+    /// (Dijkstra-constructed paths always qualify: shortest-path trees never
+    /// repeat a vertex).  Equals [`path_similarity`] on such candidates.
+    pub fn similarity_to_simple(&self, candidate: &Path) -> f64 {
+        if let Some(source) = self.trivial_source {
+            return if candidate.contains(source) { 1.0 } else { 0.0 };
+        }
+        if self.gt_len <= 0.0 {
+            return 0.0;
+        }
+        let mut shared = 0.0;
+        for w in candidate.vertices().windows(2) {
+            let key = if w[0] <= w[1] {
+                (w[0], w[1])
+            } else {
+                (w[1], w[0])
+            };
+            if let Some(len) = self.weights.get(&key) {
+                shared += len;
+            }
+        }
+        (shared / self.gt_len).clamp(0.0, 1.0)
+    }
 }
 
 /// Equation 4: `Σ len(shared edges) / Σ len(union of edges)` (weighted
@@ -332,6 +405,33 @@ mod tests {
         assert_eq!(wps.first().copied(), Some(net.vertex(VertexId(0)).point));
         assert_eq!(wps.last().copied(), Some(net.vertex(VertexId(8)).point));
         assert!(wps.len() < gt.len());
+    }
+
+    #[test]
+    fn overlap_index_matches_path_similarity() {
+        let net = grid3x3();
+        let gt = Path::new(vec![VertexId(0), VertexId(1), VertexId(2), VertexId(5)]).unwrap();
+        let index = OverlapIndex::new(&net, &gt);
+        let candidates = [
+            Path::new(vec![VertexId(0), VertexId(1), VertexId(2), VertexId(5)]).unwrap(),
+            Path::new(vec![VertexId(0), VertexId(1), VertexId(4), VertexId(5)]).unwrap(),
+            Path::new(vec![VertexId(6), VertexId(7), VertexId(8)]).unwrap(),
+            gt.reversed(),
+        ];
+        for cand in &candidates {
+            assert!(
+                (index.similarity_to_simple(cand) - path_similarity(&net, &gt, cand)).abs() < 1e-12
+            );
+        }
+        // Trivial ground truth handling matches too.
+        let trivial = Path::single(VertexId(4));
+        let tindex = OverlapIndex::new(&net, &trivial);
+        for cand in &candidates {
+            assert_eq!(
+                tindex.similarity_to_simple(cand),
+                path_similarity(&net, &trivial, cand)
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,127 @@
+//! Property tests for the reusable [`SearchSpace`]: on random networks, a
+//! search space reused across many queries must return exactly the same
+//! costs and paths as a freshly allocated space per query (the generation
+//! stamping must never leak state between searches), and the one-to-many
+//! search must agree with individual single-target searches.
+
+use proptest::prelude::*;
+
+use l2r_road_network::{
+    CostType, Path, Point, RoadNetwork, RoadNetworkBuilder, RoadType, RoadTypeSet, SearchSpace,
+    VertexId,
+};
+
+const ROAD_TYPES: [RoadType; 4] = [
+    RoadType::Motorway,
+    RoadType::Primary,
+    RoadType::Tertiary,
+    RoadType::Residential,
+];
+
+/// Builds a random network from a vertex count and raw edge pairs (invalid
+/// pairs — self loops, out-of-range endpoints — are skipped, so any input
+/// yields a valid, possibly disconnected network).
+fn build_network(num_vertices: u32, edges: &[(u32, u32, usize)]) -> RoadNetwork {
+    let mut b = RoadNetworkBuilder::new();
+    for i in 0..num_vertices {
+        // Spread the vertices on a deterministic pseudo-grid.
+        let x = f64::from(i % 7) * 900.0 + f64::from(i) * 13.0;
+        let y = f64::from(i / 7) * 1100.0 + f64::from(i % 3) * 70.0;
+        b.add_vertex(Point::new(x, y));
+    }
+    for (from, to, rt) in edges {
+        let (from, to) = (from % num_vertices, to % num_vertices);
+        if from == to {
+            continue;
+        }
+        let road_type = ROAD_TYPES[rt % ROAD_TYPES.len()];
+        b.add_two_way(VertexId(from), VertexId(to), road_type)
+            .expect("in-range, non-loop edge");
+    }
+    b.build()
+}
+
+fn fresh_query(
+    net: &RoadNetwork,
+    source: VertexId,
+    target: VertexId,
+    cost: CostType,
+) -> (Option<f64>, Option<Path>) {
+    let mut space = SearchSpace::new();
+    space.dijkstra(net, source, Some(target), |e| e.cost(cost));
+    (space.cost_to(target), space.path_to(target))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// A reused search space answers a sequence of random queries exactly
+    /// like a fresh allocation per query.
+    #[test]
+    fn reused_space_matches_fresh_space(
+        num_vertices in 2u32..40,
+        edges in proptest::collection::vec((0u32..40, 0u32..40, 0usize..4), 1..120),
+        queries in proptest::collection::vec((0u32..40, 0u32..40, 0usize..3), 1..12),
+    ) {
+        let net = build_network(num_vertices, &edges);
+        let mut reused = SearchSpace::new();
+        for (s, t, c) in &queries {
+            let source = VertexId(s % num_vertices);
+            let target = VertexId(t % num_vertices);
+            let cost = CostType::ALL[c % CostType::ALL.len()];
+            let (fresh_cost, fresh_path) = fresh_query(&net, source, target, cost);
+            reused.dijkstra(&net, source, Some(target), |e| e.cost(cost));
+            prop_assert_eq!(reused.cost_to(target), fresh_cost);
+            prop_assert_eq!(reused.path_to(target), fresh_path);
+        }
+    }
+
+    /// One one-to-many search agrees with individual single-target searches
+    /// for every target, on the same reused space.
+    #[test]
+    fn to_many_matches_single_target_searches(
+        num_vertices in 2u32..30,
+        edges in proptest::collection::vec((0u32..30, 0u32..30, 0usize..4), 1..90),
+        source in 0u32..30,
+        targets in proptest::collection::vec(0u32..30, 1..8),
+    ) {
+        let net = build_network(num_vertices, &edges);
+        let source = VertexId(source % num_vertices);
+        let targets: Vec<VertexId> = targets.iter().map(|t| VertexId(t % num_vertices)).collect();
+        let mut space = SearchSpace::new();
+        space.dijkstra_to_many(&net, source, &targets, |e| e.cost(CostType::TravelTime));
+        let many: Vec<(Option<f64>, Option<Path>)> = targets
+            .iter()
+            .map(|t| (space.cost_to(*t), space.path_to(*t)))
+            .collect();
+        for (i, t) in targets.iter().enumerate() {
+            let (cost, path) = fresh_query(&net, source, *t, CostType::TravelTime);
+            prop_assert_eq!(&many[i].0, &cost);
+            prop_assert_eq!(&many[i].1, &path);
+        }
+    }
+
+    /// The constrained search through a reused space matches the free
+    /// compatibility function (which allocates via the thread-local space).
+    #[test]
+    fn constrained_reuse_matches_free_function(
+        num_vertices in 2u32..30,
+        edges in proptest::collection::vec((0u32..30, 0u32..30, 0usize..4), 1..90),
+        queries in proptest::collection::vec((0u32..30, 0u32..30, 0usize..4), 1..8),
+    ) {
+        let net = build_network(num_vertices, &edges);
+        let mut reused = SearchSpace::new();
+        for (s, t, rt) in &queries {
+            let source = VertexId(s % num_vertices);
+            let target = VertexId(t % num_vertices);
+            let slave = Some(RoadTypeSet::single(ROAD_TYPES[rt % ROAD_TYPES.len()]));
+            let expected = l2r_road_network::preference_constrained_path(
+                &net, source, target, CostType::Distance, slave,
+            );
+            let got = reused.preference_constrained_path(
+                &net, source, target, CostType::Distance, slave,
+            );
+            prop_assert_eq!(got, expected);
+        }
+    }
+}

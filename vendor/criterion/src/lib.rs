@@ -91,6 +91,18 @@ impl BenchmarkGroup<'_> {
 }
 
 fn run_one(label: &str, samples: usize, f: &mut dyn FnMut(&mut Bencher)) {
+    // Upstream criterion's `--test` mode (`cargo bench ... -- --test`): run
+    // each routine exactly once to check it works, with no warm-up and no
+    // timed samples.  Used by CI as a cheap bench smoke.
+    if std::env::args().any(|a| a == "--test") {
+        let mut once = Bencher {
+            elapsed: Duration::ZERO,
+        };
+        f(&mut once);
+        eprintln!("bench {label:<50} ok (--test mode, 1 run)");
+        return;
+    }
+
     // Warm-up run, untimed.
     let mut warmup = Bencher {
         elapsed: Duration::ZERO,
