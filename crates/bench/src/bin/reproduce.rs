@@ -17,10 +17,20 @@
 //! so the offline-performance trajectory is tracked across commits; the
 //! copy checked in at the repo root is refreshed deliberately with
 //! `L2R_BENCH_JSON=BENCH_offline.json ... -- --full offline`.
+//!
+//! The `online` experiment does the same for the serving path: it answers
+//! the held-out query workload with both the free `route` function and a
+//! compiled `PreparedRouter` (same run, same queries — a built-in
+//! comparison mode), then writes `BENCH_online.json` (p50/p95/p99 latency,
+//! queries/sec, strategy mix, per-coverage breakdown) to
+//! `target/BENCH_online.json` — override with
+//! `L2R_BENCH_ONLINE_JSON=<path>`.  The checked-in copy is refreshed with
+//! `L2R_BENCH_ONLINE_JSON=BENCH_online.json ... -- --full online`.
 
 use l2r_baselines::{Dom, ExternalRouter, FastestRouter, ShortestRouter, Trip};
 use l2r_bench::{
-    datasets, offline_bench_json, offline_report_for, DatasetChoice, OfflineBenchReport,
+    datasets, offline_bench_json, offline_report_for, online_bench_for, online_bench_json,
+    DatasetChoice, OfflineBenchReport, OnlineBenchDataset, OnlineBenchReport,
 };
 use l2r_eval::{
     build_test_queries, compare_methods, compare_with_external, fig6a, fig6b, fig9a, fig9b,
@@ -48,6 +58,7 @@ fn main() {
 
     let sets = datasets(DatasetChoice::Both, scale);
     let mut offline_entries = Vec::new();
+    let mut online_entries = Vec::new();
     for ds in &sets {
         println!(
             "=== dataset {} — {} vertices, {} edges, {} trajectories ({} train / {} test), {} regions ===\n",
@@ -87,6 +98,9 @@ fn main() {
             run_offline(ds);
             offline_entries.push(offline_report_for(ds));
         }
+        if run("online") {
+            online_entries.push(run_online(ds, if full { 3 } else { 2 }));
+        }
         if run("recovery") {
             run_recovery(ds);
         }
@@ -110,6 +124,41 @@ fn main() {
         match std::fs::write(&path, offline_bench_json(&report)) {
             Ok(()) => println!("wrote {path}"),
             Err(e) => eprintln!("failed to write {path}: {e}"),
+        }
+    }
+
+    if !online_entries.is_empty() {
+        let report = OnlineBenchReport {
+            scale,
+            threads: l2r_par::max_threads(),
+            datasets: online_entries,
+        };
+        let path = std::env::var("L2R_BENCH_ONLINE_JSON")
+            .unwrap_or_else(|_| "target/BENCH_online.json".to_string());
+        if let Some(parent) = std::path::Path::new(&path).parent() {
+            if !parent.as_os_str().is_empty() {
+                let _ = std::fs::create_dir_all(parent);
+            }
+        }
+        match std::fs::write(&path, online_bench_json(&report)) {
+            Ok(()) => println!("wrote {path}"),
+            Err(e) => eprintln!("failed to write {path}: {e}"),
+        }
+        // A speedup comparing non-identical answers is meaningless: fail the
+        // run (and thereby CI) instead of silently publishing it.
+        let broken: Vec<&str> = report
+            .datasets
+            .iter()
+            .filter(|d| !d.equivalent)
+            .map(|d| d.name.as_str())
+            .collect();
+        if !broken.is_empty() {
+            eprintln!(
+                "ERROR: prepared/free/pre-PR answers diverged on {} — \
+                 the online report is invalid",
+                broken.join(", ")
+            );
+            std::process::exit(1);
         }
     }
 }
@@ -242,6 +291,59 @@ fn run_fig13(ds: &Dataset) {
 fn run_offline(ds: &Dataset) {
     let rows = offline_times(&ds.model);
     print!("{}", report_offline(ds.spec.name, &rows));
+}
+
+fn run_online(ds: &Dataset, rounds: usize) -> OnlineBenchDataset {
+    let entry = online_bench_for(ds, rounds);
+    println!(
+        "## Online serving ({}) — {} queries × {} rounds, prepare {:.1} ms",
+        entry.name, entry.queries, entry.rounds, entry.prepare_ms
+    );
+    println!(
+        "pre-PR baseline: mean {:8.1} µs  p50 {:8.1}  p95 {:8.1}  p99 {:8.1}  ({:.0} qps)",
+        entry.baseline.mean_us,
+        entry.baseline.p50_us,
+        entry.baseline.p95_us,
+        entry.baseline.p99_us,
+        entry.baseline.qps
+    );
+    println!(
+        "free route:      mean {:8.1} µs  p50 {:8.1}  p95 {:8.1}  p99 {:8.1}  ({:.0} qps)",
+        entry.free.mean_us, entry.free.p50_us, entry.free.p95_us, entry.free.p99_us, entry.free.qps
+    );
+    println!(
+        "prepared router: mean {:8.1} µs  p50 {:8.1}  p95 {:8.1}  p99 {:8.1}  ({:.0} qps)",
+        entry.prepared.mean_us,
+        entry.prepared.p50_us,
+        entry.prepared.p95_us,
+        entry.prepared.p99_us,
+        entry.prepared.qps
+    );
+    println!(
+        "speedup {:.2}x vs pre-PR baseline, {:.2}x vs current free route (equivalent: {})",
+        entry.speedup_mean, entry.speedup_vs_free, entry.equivalent,
+    );
+    println!(
+        "route_many batch: {:.1} ms, {:.0} qps over {} threads",
+        entry.batch_ms,
+        entry.batch_qps,
+        l2r_par::max_threads()
+    );
+    for row in &entry.coverage {
+        if row.count > 0 {
+            println!(
+                "  {:<12} {:5} queries  baseline {:8.1} µs  free {:8.1} µs  prepared {:8.1} µs  ({:.2}x)",
+                row.label,
+                row.count,
+                row.baseline_mean_us,
+                row.free_mean_us,
+                row.prepared_mean_us,
+                row.speedup
+            );
+        }
+    }
+    println!();
+    entry
 }
 
 fn run_recovery(ds: &Dataset) {

@@ -1,0 +1,369 @@
+//! The **pre-PR online serving path, frozen verbatim** as the benchmark
+//! baseline of `BENCH_online.json`.
+//!
+//! The compiled `PreparedRouter` claims a speedup over "the free `route`
+//! path as it existed before the online-serving work".  To keep that
+//! comparison honest and reproducible inside one run, this module preserves
+//! the historical implementation byte-for-byte in behaviour **and in cost
+//! profile**: full Dijkstra searches whose settle order is materialised into
+//! a fresh `Vec` and then scanned for an anchor, per-call allocation of
+//! `visited`/`parent` arrays in the region-graph search, per-call
+//! transfer-center `Vec`s (including the per-call centroid-distance scan for
+//! regions without observed centers), candidate scans that clone / reverse /
+//! re-validate attached paths on every query, and O(n²) `Path::concat`
+//! stitching.
+//!
+//! It must never be "improved": its only job is to be the measured baseline.
+//! Results stay bit-identical to both the current free `route` function and
+//! the `PreparedRouter` (asserted by `online_bench_for` on every run).
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use l2r_core::{RegionPath, RouteResult, RouteStrategy};
+use l2r_region_graph::{RegionEdgeId, RegionGraph, RegionId};
+use l2r_road_network::{fastest_path, fastest_path_with_settle_order, Path, RoadNetwork, VertexId};
+
+/// Routes exactly like the pre-PR free `route` function (same results, same
+/// per-query allocation behaviour).
+pub fn legacy_route(
+    net: &RoadNetwork,
+    rg: &RegionGraph,
+    source: VertexId,
+    destination: VertexId,
+) -> Option<RouteResult> {
+    if source == destination {
+        return Some(RouteResult {
+            path: Path::single(source),
+            strategy: RouteStrategy::FastestFallback,
+        });
+    }
+    match (rg.region_of(source), rg.region_of(destination)) {
+        (Some(rs), Some(rd)) => route_case1(net, rg, source, destination, rs, rd),
+        _ => route_case2(net, rg, source, destination),
+    }
+}
+
+fn route_case1(
+    net: &RoadNetwork,
+    rg: &RegionGraph,
+    source: VertexId,
+    destination: VertexId,
+    rs: RegionId,
+    rd: RegionId,
+) -> Option<RouteResult> {
+    if rs == rd {
+        if let Some(path) = inner_region_route(rg, rs, source, destination) {
+            return Some(RouteResult {
+                path,
+                strategy: RouteStrategy::InnerRegionTrajectory,
+            });
+        }
+        return fastest_path(net, source, destination).map(|path| RouteResult {
+            path,
+            strategy: RouteStrategy::InnerRegionFastest,
+        });
+    }
+    let region_path = legacy_find_region_path(rg, rs, rd)?;
+    match region_path_to_road_path(net, rg, &region_path, source, destination) {
+        Some(path) => Some(RouteResult {
+            path,
+            strategy: RouteStrategy::RegionPath,
+        }),
+        None => fastest_path(net, source, destination).map(|path| RouteResult {
+            path,
+            strategy: RouteStrategy::FastestFallback,
+        }),
+    }
+}
+
+fn route_case2(
+    net: &RoadNetwork,
+    rg: &RegionGraph,
+    source: VertexId,
+    destination: VertexId,
+) -> Option<RouteResult> {
+    let source_anchor = match rg.region_of(source) {
+        Some(_) => Some(source),
+        None => find_anchor(net, rg, source, destination),
+    };
+    let dest_anchor = match rg.region_of(destination) {
+        Some(_) => Some(destination),
+        None => find_anchor(net, rg, destination, source),
+    };
+    let (Some(sa), Some(da)) = (source_anchor, dest_anchor) else {
+        return fastest_path(net, source, destination).map(|path| RouteResult {
+            path,
+            strategy: RouteStrategy::FastestFallback,
+        });
+    };
+    let rs = rg.region_of(sa)?;
+    let rd = rg.region_of(da)?;
+    let middle = route_case1(net, rg, sa, da, rs, rd)?;
+    let mut full = if sa == source {
+        Path::single(source)
+    } else {
+        fastest_path(net, source, sa)?
+    };
+    full = full.concat(&middle.path);
+    if da != destination {
+        full = full.concat(&fastest_path(net, da, destination)?);
+    }
+    Some(RouteResult {
+        path: full,
+        strategy: RouteStrategy::Stitched,
+    })
+}
+
+/// The historical anchor search: a full fastest-path search whose settle
+/// order is copied into a fresh `Vec` and then scanned.
+fn find_anchor(
+    net: &RoadNetwork,
+    rg: &RegionGraph,
+    from: VertexId,
+    towards: VertexId,
+) -> Option<VertexId> {
+    let (_, settle_order) = fastest_path_with_settle_order(net, from, towards);
+    settle_order
+        .into_iter()
+        .find(|v| rg.region_of(*v).is_some())
+}
+
+/// The historical inner-region routing: `subpath` on every stored path, in
+/// both orientations (each reversal materialised).
+fn inner_region_route(
+    rg: &RegionGraph,
+    region: RegionId,
+    source: VertexId,
+    destination: VertexId,
+) -> Option<Path> {
+    let mut best: Option<(Path, usize)> = None;
+    for sp in rg.inner_paths(region) {
+        if let Some(sub) = sp.path.subpath(source, destination) {
+            if !sub.is_trivial() && best.as_ref().map(|(_, s)| sp.support > *s).unwrap_or(true) {
+                best = Some((sub, sp.support));
+            }
+        }
+        let rev = sp.path.reversed();
+        if let Some(sub) = rev.subpath(source, destination) {
+            if !sub.is_trivial() && best.as_ref().map(|(_, s)| sp.support > *s).unwrap_or(true) {
+                best = Some((sub, sp.support));
+            }
+        }
+    }
+    best.map(|(p, _)| p)
+}
+
+/// The historical per-call transfer-center resolution: clones the observed
+/// centers, or scans the region for the centroid-closest vertex.
+fn transfer_centers_or_default(net: &RoadNetwork, rg: &RegionGraph, r: RegionId) -> Vec<VertexId> {
+    let centers = rg.transfer_centers(r);
+    if !centers.is_empty() {
+        return centers.to_vec();
+    }
+    let region = rg.region(r);
+    region
+        .vertices
+        .iter()
+        .min_by(|a, b| {
+            let da = net.vertex(**a).point.distance(&region.centroid);
+            let db = net.vertex(**b).point.distance(&region.centroid);
+            da.partial_cmp(&db).unwrap_or(Ordering::Equal)
+        })
+        .map(|v| vec![*v])
+        .unwrap_or_default()
+}
+
+/// The historical stitching: per-query candidate scan (clone / reverse /
+/// validate) over every attached path, gaps bridged by fastest paths, all
+/// joined with `Path::concat`.
+fn region_path_to_road_path(
+    net: &RoadNetwork,
+    rg: &RegionGraph,
+    region_path: &RegionPath,
+    source: VertexId,
+    destination: VertexId,
+) -> Option<Path> {
+    let mut acc = Path::single(source);
+    let mut current = source;
+    for (i, eid) in region_path.edges.iter().enumerate() {
+        let from_region = region_path.regions[i];
+        let to_region = region_path.regions[i + 1];
+        let edge = rg.edge(*eid);
+
+        let mut candidate: Option<(Path, usize)> = None;
+        for sp in &edge.paths {
+            let src = rg.region_of(sp.path.source());
+            let dst = rg.region_of(sp.path.destination());
+            if src == Some(from_region) && dst == Some(to_region) {
+                if candidate
+                    .as_ref()
+                    .map(|(_, s)| sp.support > *s)
+                    .unwrap_or(true)
+                {
+                    candidate = Some((sp.path.clone(), sp.support));
+                }
+            } else if src == Some(to_region) && dst == Some(from_region) {
+                let rev = sp.path.reversed();
+                if rev.validate(net).is_ok()
+                    && candidate
+                        .as_ref()
+                        .map(|(_, s)| sp.support > *s)
+                        .unwrap_or(true)
+                {
+                    candidate = Some((rev, sp.support));
+                }
+            }
+        }
+
+        let segment = match candidate {
+            Some((p, _)) => p,
+            None => {
+                let target = transfer_centers_or_default(net, rg, to_region)
+                    .into_iter()
+                    .next()?;
+                fastest_path(net, current, target)?
+            }
+        };
+
+        if segment.source() != current {
+            let connector = fastest_path(net, current, segment.source())?;
+            acc = acc.concat(&connector);
+        }
+        current = segment.destination();
+        acc = acc.concat(&segment);
+    }
+    if current != destination {
+        let tail = fastest_path(net, current, destination)?;
+        acc = acc.concat(&tail);
+    }
+    Some(acc)
+}
+
+/// An entry of the historical best-first frontier.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Frontier {
+    distance_to_dest: f64,
+    hops: usize,
+    region: RegionId,
+}
+
+impl Eq for Frontier {}
+
+impl Ord for Frontier {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .distance_to_dest
+            .partial_cmp(&self.distance_to_dest)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.hops.cmp(&self.hops))
+            .then_with(|| other.region.0.cmp(&self.region.0))
+    }
+}
+
+impl PartialOrd for Frontier {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// The historical region-graph search: allocates fresh `visited`/`parent`
+/// arrays and a fresh heap on every call.
+fn legacy_find_region_path(
+    rg: &RegionGraph,
+    source: RegionId,
+    destination: RegionId,
+) -> Option<RegionPath> {
+    if source == destination {
+        return Some(RegionPath {
+            regions: vec![source],
+            edges: Vec::new(),
+        });
+    }
+    if let Some(e) = rg.edge_between(source, destination) {
+        return Some(RegionPath {
+            regions: vec![source, destination],
+            edges: vec![e],
+        });
+    }
+
+    let n = rg.num_regions();
+    let mut visited = vec![false; n];
+    let mut parent: Vec<Option<(RegionId, RegionEdgeId)>> = vec![None; n];
+    let mut heap = BinaryHeap::new();
+    visited[source.idx()] = true;
+    heap.push(Frontier {
+        distance_to_dest: rg.region_distance_m(source, destination),
+        hops: 0,
+        region: source,
+    });
+
+    while let Some(Frontier { hops, region, .. }) = heap.pop() {
+        if region == destination {
+            break;
+        }
+        if let Some(e) = rg.edge_between(region, destination) {
+            if !visited[destination.idx()] {
+                visited[destination.idx()] = true;
+                parent[destination.idx()] = Some((region, e));
+                break;
+            }
+        }
+        for eid in rg.adjacent_edges(region) {
+            let next = rg.edge(*eid).other(region);
+            if visited[next.idx()] {
+                continue;
+            }
+            visited[next.idx()] = true;
+            parent[next.idx()] = Some((region, *eid));
+            heap.push(Frontier {
+                distance_to_dest: rg.region_distance_m(next, destination),
+                hops: hops + 1,
+                region: next,
+            });
+        }
+    }
+
+    if !visited[destination.idx()] {
+        return None;
+    }
+    let mut regions = vec![destination];
+    let mut edges = Vec::new();
+    let mut cur = destination;
+    while let Some((prev, e)) = parent[cur.idx()] {
+        edges.push(e);
+        regions.push(prev);
+        cur = prev;
+    }
+    regions.reverse();
+    edges.reverse();
+    Some(RegionPath { regions, edges })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{datasets, DatasetChoice};
+    use l2r_eval::Scale;
+
+    #[test]
+    fn legacy_route_matches_the_current_router() {
+        let ds = &datasets(DatasetChoice::D1, Scale::Quick)[0];
+        let net = &ds.synthetic.net;
+        let rg = ds.model.region_graph();
+        let n = net.num_vertices() as u32;
+        let mut compared = 0usize;
+        for i in (0..n).step_by(9) {
+            for j in (1..n).step_by(7) {
+                let (s, d) = (VertexId(i), VertexId(j));
+                assert_eq!(
+                    legacy_route(net, rg, s, d),
+                    l2r_core::route(net, rg, s, d),
+                    "query {s:?} -> {d:?}"
+                );
+                compared += 1;
+            }
+        }
+        assert!(compared > 50);
+    }
+}

@@ -13,7 +13,18 @@
 
 #![warn(missing_docs)]
 
-use l2r_eval::{build_dataset, offline_times, Dataset, DatasetSpec, OfflineRow, Scale};
+pub mod legacy;
+
+pub use legacy::legacy_route;
+
+use std::time::Instant;
+
+use l2r_core::{QueryScratch, RouteStrategy};
+use l2r_eval::{
+    build_dataset, build_test_queries, coverage_label, offline_times, Dataset, DatasetSpec,
+    OfflineRow, Scale, TestQuery, COVERAGE_CATEGORIES,
+};
+use l2r_road_network::VertexId;
 
 /// Which datasets an experiment runs on.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -157,6 +168,350 @@ pub fn offline_bench_json(report: &OfflineBenchReport) -> String {
     out
 }
 
+// ---------------------------------------------------------------------------
+// Machine-readable online serving benchmark report (BENCH_online.json)
+// ---------------------------------------------------------------------------
+
+/// Latency distribution of one serving path over a query workload.
+#[derive(Debug, Clone, Default)]
+pub struct OnlineLatencyStats {
+    /// Mean per-query latency in microseconds.
+    pub mean_us: f64,
+    /// Median per-query latency.
+    pub p50_us: f64,
+    /// 95th-percentile per-query latency.
+    pub p95_us: f64,
+    /// 99th-percentile per-query latency.
+    pub p99_us: f64,
+    /// Single-threaded queries per second implied by the mean.
+    pub qps: f64,
+}
+
+impl OnlineLatencyStats {
+    /// Computes the stats from raw per-query samples (microseconds).
+    fn from_samples(samples: &mut [f64]) -> OnlineLatencyStats {
+        if samples.is_empty() {
+            return OnlineLatencyStats::default();
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let mean_us = samples.iter().sum::<f64>() / samples.len() as f64;
+        OnlineLatencyStats {
+            mean_us,
+            p50_us: percentile(samples, 50.0),
+            p95_us: percentile(samples, 95.0),
+            p99_us: percentile(samples, 99.0),
+            qps: if mean_us > 0.0 { 1e6 / mean_us } else { 0.0 },
+        }
+    }
+}
+
+/// Nearest-rank percentile of an ascending-sorted sample slice.
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// Per-bucket latency of the three serving paths.
+#[derive(Debug, Clone)]
+pub struct OnlineCoverageRow {
+    /// Coverage label (`InRegion` / `InOutRegion` / `OutRegion`).
+    pub label: &'static str,
+    /// Number of queries in the bucket.
+    pub count: usize,
+    /// Mean pre-PR baseline latency (µs).
+    pub baseline_mean_us: f64,
+    /// Mean current free-`route` latency (µs).
+    pub free_mean_us: f64,
+    /// Mean `PreparedRouter` latency (µs).
+    pub prepared_mean_us: f64,
+    /// `baseline_mean_us / prepared_mean_us` (0 when the bucket is empty).
+    pub speedup: f64,
+}
+
+/// Online serving measurements for one dataset: the same query workload
+/// answered by the free `route` function and by a compiled
+/// [`l2r_core::PreparedRouter`], plus the batched `route_many` throughput.
+#[derive(Debug, Clone)]
+pub struct OnlineBenchDataset {
+    /// Dataset name (`D1` / `D2`).
+    pub name: String,
+    /// Number of distinct queries in the workload.
+    pub queries: usize,
+    /// Timed rounds over the workload (samples = queries × rounds).
+    pub rounds: usize,
+    /// Whether every prepared answer was bit-identical to both the current
+    /// free answer and the frozen pre-PR baseline answer.
+    pub equivalent: bool,
+    /// One-time `PreparedRouter::prepare` compilation cost in milliseconds.
+    pub prepare_ms: f64,
+    /// Latency of the frozen pre-PR `route` implementation
+    /// ([`legacy_route`]): full settle-order materialisation, per-call
+    /// allocations, candidate re-scans, `concat` stitching.
+    pub baseline: OnlineLatencyStats,
+    /// Latency of the current free `route` function (early-exit anchors,
+    /// thread-local scratch reuse, borrowed transfer centers — but still
+    /// per-query scans and `concat`).
+    pub free: OnlineLatencyStats,
+    /// Latency of `PreparedRouter::route` through one reused scratch.
+    pub prepared: OnlineLatencyStats,
+    /// `baseline.mean_us / prepared.mean_us` — the headline acceptance
+    /// number: compiled serving vs the pre-PR query path, same run.
+    pub speedup_mean: f64,
+    /// `free.mean_us / prepared.mean_us` — what compiling adds on top of the
+    /// satellite fixes that already landed in the free path.
+    pub speedup_vs_free: f64,
+    /// Wall time of one `route_many` batch over the whole workload.
+    pub batch_ms: f64,
+    /// Batched throughput (all `L2R_THREADS` workers together).
+    pub batch_qps: f64,
+    /// Per-strategy result counts of the prepared router (report order).
+    pub strategies: Vec<(&'static str, usize)>,
+    /// Free-vs-prepared latency per region-coverage bucket.
+    pub coverage: Vec<OnlineCoverageRow>,
+}
+
+/// The full online benchmark report serialised to `BENCH_online.json`.
+#[derive(Debug, Clone)]
+pub struct OnlineBenchReport {
+    /// `quick` or `full`.
+    pub scale: Scale,
+    /// Worker thread count used by `route_many` (`L2R_THREADS` or hardware).
+    pub threads: usize,
+    /// One entry per dataset.
+    pub datasets: Vec<OnlineBenchDataset>,
+}
+
+/// Measures the online serving trajectory of one dataset: per-query latency
+/// of the free `route` path versus a compiled `PreparedRouter` (same
+/// queries, same run — the acceptance comparison), the strategy mix, a
+/// per-coverage breakdown, and the batched `route_many` throughput.
+pub fn online_bench_for(ds: &Dataset, rounds: usize) -> OnlineBenchDataset {
+    let rounds = rounds.max(1);
+    let net = &ds.synthetic.net;
+    let model = &ds.model;
+    let queries: Vec<TestQuery> =
+        build_test_queries(net, model, &ds.test, ds.spec.max_test_queries);
+
+    let t0 = Instant::now();
+    let prepared = model.prepare();
+    let prepare_ms = t0.elapsed().as_secs_f64() * 1000.0;
+    let mut scratch = QueryScratch::new();
+
+    // Warm-up pass: populates thread-local and scratch buffers, checks
+    // baseline/free/prepared equivalence and records the strategy mix.
+    let net_graph = model.region_graph();
+    let mut equivalent = true;
+    let mut strategy_counts = vec![0usize; RouteStrategy::ALL.len()];
+    for q in &queries {
+        let baseline = legacy_route(net, net_graph, q.source, q.destination);
+        let free = model.route(q.source, q.destination);
+        let fast = prepared.route(&mut scratch, q.source, q.destination);
+        if free != fast || baseline != fast {
+            equivalent = false;
+        }
+        if let Some(r) = &fast {
+            let slot = RouteStrategy::ALL
+                .iter()
+                .position(|s| *s == r.strategy)
+                .expect("strategy is always in ALL");
+            strategy_counts[slot] += 1;
+        }
+    }
+
+    // Timed rounds: identical query order on all three paths, each
+    // implementation measured in its own full pass over the workload so no
+    // path runs on caches warmed by another implementation answering the
+    // same query an instant earlier.
+    let mut baseline_samples: Vec<f64> = Vec::with_capacity(queries.len() * rounds);
+    let mut free_samples: Vec<f64> = Vec::with_capacity(queries.len() * rounds);
+    let mut prepared_samples: Vec<f64> = Vec::with_capacity(queries.len() * rounds);
+    let mut cov_acc = vec![(0usize, 0.0f64, 0.0f64, 0.0f64); COVERAGE_CATEGORIES.len()];
+    let bucket_of = |q: &TestQuery| {
+        COVERAGE_CATEGORIES
+            .iter()
+            .position(|c| *c == q.coverage)
+            .unwrap_or(0)
+    };
+    for _ in 0..rounds {
+        let round_base = baseline_samples.len();
+        for q in &queries {
+            let t0 = Instant::now();
+            let _ = legacy_route(net, net_graph, q.source, q.destination);
+            baseline_samples.push(t0.elapsed().as_secs_f64() * 1e6);
+        }
+        for q in &queries {
+            let t0 = Instant::now();
+            let _ = model.route(q.source, q.destination);
+            free_samples.push(t0.elapsed().as_secs_f64() * 1e6);
+        }
+        for q in &queries {
+            let t0 = Instant::now();
+            let _ = prepared.route(&mut scratch, q.source, q.destination);
+            prepared_samples.push(t0.elapsed().as_secs_f64() * 1e6);
+        }
+        for (i, q) in queries.iter().enumerate() {
+            let cb = bucket_of(q);
+            cov_acc[cb].0 += 1;
+            cov_acc[cb].1 += baseline_samples[round_base + i];
+            cov_acc[cb].2 += free_samples[round_base + i];
+            cov_acc[cb].3 += prepared_samples[round_base + i];
+        }
+    }
+
+    // Batched serving throughput.
+    let pairs: Vec<(VertexId, VertexId)> =
+        queries.iter().map(|q| (q.source, q.destination)).collect();
+    let t0 = Instant::now();
+    let batch = prepared.route_many(&pairs);
+    let batch_s = t0.elapsed().as_secs_f64();
+    debug_assert_eq!(batch.len(), pairs.len());
+
+    let baseline = OnlineLatencyStats::from_samples(&mut baseline_samples);
+    let free = OnlineLatencyStats::from_samples(&mut free_samples);
+    let prepared_stats = OnlineLatencyStats::from_samples(&mut prepared_samples);
+    OnlineBenchDataset {
+        name: ds.spec.name.to_string(),
+        queries: queries.len(),
+        rounds,
+        equivalent,
+        prepare_ms,
+        speedup_mean: if prepared_stats.mean_us > 0.0 {
+            baseline.mean_us / prepared_stats.mean_us
+        } else {
+            0.0
+        },
+        speedup_vs_free: if prepared_stats.mean_us > 0.0 {
+            free.mean_us / prepared_stats.mean_us
+        } else {
+            0.0
+        },
+        baseline,
+        free,
+        prepared: prepared_stats,
+        batch_ms: batch_s * 1000.0,
+        batch_qps: if batch_s > 0.0 {
+            pairs.len() as f64 / batch_s
+        } else {
+            0.0
+        },
+        strategies: RouteStrategy::ALL
+            .iter()
+            .zip(strategy_counts)
+            .map(|(s, c)| (s.label(), c))
+            .collect(),
+        coverage: COVERAGE_CATEGORIES
+            .iter()
+            .zip(cov_acc)
+            .map(|(c, (samples, baseline_us, free_us, prepared_us))| {
+                let n = samples.max(1) as f64;
+                let baseline_mean = baseline_us / n;
+                let free_mean = free_us / n;
+                let prepared_mean = prepared_us / n;
+                // `samples` counts every timed round; report distinct queries
+                // so bucket sizes line up with the workload and strategy mix.
+                let count = samples / rounds;
+                OnlineCoverageRow {
+                    label: coverage_label(*c),
+                    count,
+                    baseline_mean_us: baseline_mean,
+                    free_mean_us: free_mean,
+                    prepared_mean_us: prepared_mean,
+                    speedup: if count > 0 && prepared_mean > 0.0 {
+                        baseline_mean / prepared_mean
+                    } else {
+                        0.0
+                    },
+                }
+            })
+            .collect(),
+    }
+}
+
+/// Renders the online report as pretty-printed JSON (hand-rolled; the build
+/// environment has no serde).
+pub fn online_bench_json(report: &OnlineBenchReport) -> String {
+    fn stats(out: &mut String, key: &str, s: &OnlineLatencyStats, trailing_comma: bool) {
+        out.push_str(&format!(
+            "      \"{}\": {{ \"mean_us\": {:.3}, \"p50_us\": {:.3}, \"p95_us\": {:.3}, \"p99_us\": {:.3}, \"qps\": {:.0} }}{}\n",
+            key, s.mean_us, s.p50_us, s.p95_us, s.p99_us, s.qps,
+            if trailing_comma { "," } else { "" }
+        ));
+    }
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"bench\": \"online_serving\",\n");
+    out.push_str(&format!(
+        "  \"scale\": \"{}\",\n",
+        if report.scale == Scale::Full {
+            "full"
+        } else {
+            "quick"
+        }
+    ));
+    out.push_str(&format!("  \"threads\": {},\n", report.threads));
+    out.push_str("  \"datasets\": [\n");
+    for (i, ds) in report.datasets.iter().enumerate() {
+        out.push_str("    {\n");
+        out.push_str(&format!("      \"name\": \"{}\",\n", ds.name));
+        out.push_str(&format!("      \"queries\": {},\n", ds.queries));
+        out.push_str(&format!("      \"rounds\": {},\n", ds.rounds));
+        out.push_str(&format!("      \"equivalent\": {},\n", ds.equivalent));
+        out.push_str(&format!("      \"prepare_ms\": {:.3},\n", ds.prepare_ms));
+        stats(&mut out, "baseline_route_pre_pr", &ds.baseline, true);
+        stats(&mut out, "free_route", &ds.free, true);
+        stats(&mut out, "prepared", &ds.prepared, true);
+        out.push_str(&format!(
+            "      \"speedup_mean\": {:.2},\n",
+            ds.speedup_mean
+        ));
+        out.push_str(&format!(
+            "      \"speedup_vs_free\": {:.2},\n",
+            ds.speedup_vs_free
+        ));
+        out.push_str(&format!(
+            "      \"route_many\": {{ \"batch_ms\": {:.3}, \"qps\": {:.0} }},\n",
+            ds.batch_ms, ds.batch_qps
+        ));
+        out.push_str("      \"strategies\": {\n");
+        for (j, (label, count)) in ds.strategies.iter().enumerate() {
+            out.push_str(&format!(
+                "        \"{}\": {}{}\n",
+                label,
+                count,
+                if j + 1 < ds.strategies.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("      },\n");
+        out.push_str("      \"coverage\": [\n");
+        for (j, row) in ds.coverage.iter().enumerate() {
+            out.push_str(&format!(
+                "        {{ \"label\": \"{}\", \"count\": {}, \"baseline_mean_us\": {:.3}, \"free_mean_us\": {:.3}, \"prepared_mean_us\": {:.3}, \"speedup\": {:.2} }}{}\n",
+                row.label,
+                row.count,
+                row.baseline_mean_us,
+                row.free_mean_us,
+                row.prepared_mean_us,
+                row.speedup,
+                if j + 1 < ds.coverage.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("      ]\n");
+        out.push_str(&format!(
+            "    }}{}\n",
+            if i + 1 < report.datasets.len() {
+                ","
+            } else {
+                ""
+            }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -206,5 +561,57 @@ mod tests {
             "unbalanced braces in {json}"
         );
         assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn online_report_measures_serving_and_renders_json() {
+        let ds = &datasets(DatasetChoice::D1, Scale::Quick)[0];
+        let entry = online_bench_for(ds, 1);
+        assert_eq!(entry.name, "D1");
+        assert!(entry.queries > 0);
+        assert!(
+            entry.equivalent,
+            "prepared answers must be bit-identical to the free and pre-PR routes"
+        );
+        assert!(entry.baseline.mean_us > 0.0);
+        assert!(entry.free.mean_us > 0.0);
+        assert!(entry.prepared.mean_us > 0.0);
+        assert!(entry.prepared.p50_us <= entry.prepared.p99_us);
+        assert!(entry.batch_qps > 0.0);
+        let answered: usize = entry.strategies.iter().map(|(_, c)| c).sum();
+        assert!(answered > 0, "the strategy mix covers answered queries");
+        assert_eq!(entry.coverage.len(), 3);
+        assert_eq!(
+            entry.coverage.iter().map(|r| r.count).sum::<usize>(),
+            entry.queries,
+            "coverage buckets partition the distinct queries"
+        );
+
+        let report = OnlineBenchReport {
+            scale: Scale::Quick,
+            threads: l2r_par::max_threads(),
+            datasets: vec![entry],
+        };
+        let json = online_bench_json(&report);
+        assert!(json.contains("\"bench\": \"online_serving\""));
+        assert!(json.contains("\"baseline_route_pre_pr\""));
+        assert!(json.contains("\"free_route\""));
+        assert!(json.contains("\"prepared\""));
+        assert!(json.contains("\"speedup_mean\""));
+        assert!(json.contains("\"InnerRegionTrajectory\""));
+        assert!(json.contains("\"InRegion\""));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn percentiles_use_nearest_rank() {
+        let sorted: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        assert_eq!(percentile(&sorted, 50.0), 50.0);
+        assert_eq!(percentile(&sorted, 95.0), 95.0);
+        assert_eq!(percentile(&sorted, 99.0), 99.0);
+        assert_eq!(percentile(&sorted, 100.0), 100.0);
+        assert_eq!(percentile(&[42.0], 50.0), 42.0);
+        assert_eq!(percentile(&[], 50.0), 0.0);
     }
 }

@@ -74,8 +74,8 @@ pub fn apply_preferences_to_b_edges(
         .map(|e| EdgeJob {
             id: e.id,
             pref: preferences.get(&e.id).and_then(|p| p.as_ref()).copied(),
-            centers_a: rg.transfer_centers_or_default(net, e.a),
-            centers_b: rg.transfer_centers_or_default(net, e.b),
+            centers_a: rg.transfer_centers_or_default(e.a).to_vec(),
+            centers_b: rg.transfer_centers_or_default(e.b).to_vec(),
         })
         .collect();
 

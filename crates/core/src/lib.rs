@@ -27,6 +27,13 @@
 //! [`pipeline`] (orchestration and offline statistics), [`apply`] (Step 3),
 //! [`region_routing`] and [`router`] (Section VI), with Step 1 and Step 2
 //! living in the `l2r-region-graph` and `l2r-preference` crates.
+//!
+//! For serving traffic, compile the fitted model once into a
+//! [`prepared::PreparedRouter`] (`model.prepare()`): it answers queries
+//! bit-identically to [`L2r::route`] through reusable per-thread
+//! [`prepared::QueryScratch`] state — several times faster, without
+//! per-query allocation — and batches with
+//! [`prepared::PreparedRouter::route_many`].
 
 #![warn(missing_docs)]
 
@@ -34,6 +41,7 @@ pub mod apply;
 pub mod config;
 pub mod error;
 pub mod pipeline;
+pub mod prepared;
 pub mod region_routing;
 pub mod router;
 
@@ -41,5 +49,6 @@ pub use apply::{apply_preferences_to_b_edges, path_under_preference, ApplyStats}
 pub use config::L2rConfig;
 pub use error::L2rError;
 pub use pipeline::{L2r, OfflineStats};
-pub use region_routing::{find_region_path, RegionPath};
+pub use prepared::{PreparedRouter, QueryScratch};
+pub use region_routing::{find_region_path, RegionPath, RegionSearchSpace};
 pub use router::{region_coverage, route, RegionCoverage, RouteResult, RouteStrategy};

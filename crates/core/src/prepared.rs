@@ -1,0 +1,750 @@
+//! The compiled online query engine: [`PreparedRouter`].
+//!
+//! The free [`crate::router::route`] function recomputes per query what never
+//! changes between queries: it scans every attached path of every region edge
+//! (cloning, reversing and re-validating candidates), calls `subpath` on
+//! every stored inner-region path, allocates fresh transfer-center `Vec`s and
+//! stitches segments with an O(n²) `concat` chain.  A [`PreparedRouter`]
+//! compiles a `(RoadNetwork, RegionGraph)` pair **once** into
+//! query-optimised indexes:
+//!
+//! * per region edge, the best attached path pre-resolved for *both*
+//!   orientations (the reversed orientation already validated), so mapping a
+//!   region path back to roads is an array lookup per edge;
+//! * per region, an inner-path occurrence index `vertex → (path, positions)`,
+//!   so inner-region routing intersects two sorted occurrence lists instead
+//!   of scanning every stored path twice;
+//! * transfer centers borrowed from the region graph's build-time cache;
+//! * a **connector cache**: the fastest-path stubs a Case-1 query needs —
+//!   query source → attached-path entry, attached-path exit → query
+//!   destination, anchor → next-hop entry — always start or end at a region
+//!   vertex, so they are precomputed with one bounded one-to-many search per
+//!   region vertex.  Extracting a path from a search that ran longer is
+//!   bit-identical to the early-stopped per-query search (settled parents
+//!   never change), so cached connectors answer exactly like live Dijkstra —
+//!   without running one.
+//!
+//! Every query runs through a caller-owned [`QueryScratch`] — one reusable
+//! road-network `SearchSpace`, one `RegionSearchSpace` and one `PathBuilder`
+//! — so the steady-state serving path performs **no heap allocation besides
+//! the returned route** (scratch reuse is provable: the search-space
+//! generations advance by exactly the number of searches a workload
+//! performs).  [`PreparedRouter::route_many`] fans a query batch across
+//! `L2R_THREADS` workers (one scratch per worker) with deterministic
+//! index-ordered results.
+//!
+//! Results are **bit-identical** to the free `route` function — enforced by
+//! an equivalence test sweeping vertex-pair grids on the D1/D2 datasets.
+
+use std::collections::HashMap;
+
+use l2r_region_graph::{RegionGraph, RegionId};
+use l2r_road_network::{CostType, Path, PathBuilder, RoadNetwork, SearchSpace, VertexId};
+
+use crate::pipeline::L2r;
+use crate::region_routing::{RegionPath, RegionSearchSpace};
+use crate::router::{best_oriented_path, find_anchor_in, RouteResult, RouteStrategy};
+
+/// Best attached path of a region edge, pre-resolved per orientation exactly
+/// as the per-query scan would have (most supported path, first wins ties;
+/// opposite-orientation paths reversed and kept only when drivable).
+#[derive(Debug, Clone, Default)]
+struct OrientedPaths {
+    /// Best path oriented `a → b`.
+    forward: Option<Path>,
+    /// Best path oriented `b → a`.
+    backward: Option<Path>,
+}
+
+/// Positions of one vertex inside one stored inner-region path.
+#[derive(Debug, Clone)]
+struct VertexOccurrence {
+    /// Index into the region's `inner_paths` list.
+    path: u32,
+    /// Ascending positions of the vertex inside that path.
+    positions: Vec<u32>,
+}
+
+/// Per-region index: every vertex of every stored inner path, with its
+/// occurrence positions, keyed for O(1) lookup.  Occurrence lists are sorted
+/// by path index, enabling a linear-merge intersection per query.
+#[derive(Debug, Clone, Default)]
+struct InnerPathIndex {
+    occurrences: HashMap<VertexId, Vec<VertexOccurrence>>,
+}
+
+impl InnerPathIndex {
+    fn build(paths: &[l2r_region_graph::SupportedPath]) -> InnerPathIndex {
+        let mut occurrences: HashMap<VertexId, Vec<VertexOccurrence>> = HashMap::new();
+        for (pi, sp) in paths.iter().enumerate() {
+            for (pos, v) in sp.path.vertices().iter().enumerate() {
+                let occ = occurrences.entry(*v).or_default();
+                match occ.last_mut() {
+                    Some(last) if last.path == pi as u32 => last.positions.push(pos as u32),
+                    _ => occ.push(VertexOccurrence {
+                        path: pi as u32,
+                        positions: vec![pos as u32],
+                    }),
+                }
+            }
+        }
+        InnerPathIndex { occurrences }
+    }
+}
+
+/// Reusable per-query scratch state: one road-network search space, one
+/// region-graph search space, a region-path buffer and a path builder.  Keep
+/// one per serving thread ([`PreparedRouter::route_many`] does this for you);
+/// a `QueryScratch` is intentionally not shared between threads.
+#[derive(Debug, Clone, Default)]
+pub struct QueryScratch {
+    space: SearchSpace,
+    region_space: RegionSearchSpace,
+    region_path: RegionPath,
+    builder: PathBuilder,
+}
+
+impl QueryScratch {
+    /// Creates an empty scratch; all buffers grow on first use.
+    pub fn new() -> QueryScratch {
+        QueryScratch::default()
+    }
+
+    /// Generation of the road-network search space: advances by exactly one
+    /// per road search routed through this scratch.  Used (together with
+    /// [`l2r_road_network::searches_performed`]) to prove the serving path
+    /// allocates no hidden search state.
+    pub fn search_generation(&self) -> u32 {
+        self.space.generation()
+    }
+
+    /// Generation of the region-graph search space (one per non-trivial
+    /// region-path search).
+    pub fn region_generation(&self) -> u32 {
+        self.region_space.generation()
+    }
+}
+
+/// A compiled, immutable online query engine over a fitted model's road
+/// network and region graph.  Build once with [`PreparedRouter::prepare`]
+/// (or [`L2r::prepare`]), then serve queries through [`PreparedRouter::route`]
+/// / [`PreparedRouter::route_many`].
+///
+/// `PreparedRouter` is `Sync`: one instance serves any number of threads,
+/// each bringing its own [`QueryScratch`].
+#[derive(Debug, Clone)]
+pub struct PreparedRouter<'a> {
+    net: &'a RoadNetwork,
+    rg: &'a RegionGraph,
+    /// Indexed by `RegionEdgeId`.
+    oriented: Vec<OrientedPaths>,
+    /// Indexed by `RegionId`.
+    inner: Vec<InnerPathIndex>,
+    /// Pre-resolved fastest-path connectors `(from, to)` for every stub a
+    /// Case-1 query can need (`None` = proven unreachable).  Misses fall
+    /// back to a live scratch search with identical results.
+    connectors: HashMap<(VertexId, VertexId), Option<Path>>,
+}
+
+impl<'a> PreparedRouter<'a> {
+    /// Compiles the routing model into query-optimised indexes.
+    pub fn prepare(net: &'a RoadNetwork, rg: &'a RegionGraph) -> PreparedRouter<'a> {
+        let oriented: Vec<OrientedPaths> = rg
+            .edges()
+            .iter()
+            .map(|edge| OrientedPaths {
+                forward: best_oriented_path(net, rg, edge, edge.a, edge.b),
+                backward: best_oriented_path(net, rg, edge, edge.b, edge.a),
+            })
+            .collect();
+        let inner = rg
+            .regions()
+            .iter()
+            .map(|r| InnerPathIndex::build(rg.inner_paths(r.id)))
+            .collect();
+        let connectors = resolve_connectors(net, rg, &oriented);
+        PreparedRouter {
+            net,
+            rg,
+            oriented,
+            inner,
+            connectors,
+        }
+    }
+
+    /// Number of precomputed connector entries (diagnostics).
+    pub fn num_connectors(&self) -> usize {
+        self.connectors.len()
+    }
+
+    /// The underlying road network.
+    pub fn network(&self) -> &RoadNetwork {
+        self.net
+    }
+
+    /// The underlying region graph.
+    pub fn region_graph(&self) -> &RegionGraph {
+        self.rg
+    }
+
+    /// Routes from `source` to `destination`, reusing `scratch` across calls.
+    ///
+    /// Returns the same `RouteResult` (bit-identical path and strategy) as
+    /// the free [`crate::router::route`] function, while performing no heap
+    /// allocation besides the returned path once the scratch buffers have
+    /// warmed up.
+    pub fn route(
+        &self,
+        scratch: &mut QueryScratch,
+        source: VertexId,
+        destination: VertexId,
+    ) -> Option<RouteResult> {
+        if source == destination {
+            return Some(RouteResult {
+                path: Path::single(source),
+                strategy: RouteStrategy::FastestFallback,
+            });
+        }
+        let result = match (self.rg.region_of(source), self.rg.region_of(destination)) {
+            (Some(rs), Some(rd)) => {
+                scratch.builder.reset(source);
+                let strategy = self.case1_append(scratch, source, destination, rs, rd)?;
+                Some(RouteResult {
+                    path: scratch.builder.to_path(),
+                    strategy,
+                })
+            }
+            _ => self.route_case2(scratch, source, destination),
+        };
+        if let Some(r) = &result {
+            debug_assert!(r.path.validate(self.net).is_ok());
+            debug_assert_eq!(r.path.source(), source);
+            debug_assert_eq!(r.path.destination(), destination);
+        }
+        result
+    }
+
+    /// Routes a whole batch in parallel (`L2R_THREADS` workers, one scratch
+    /// per worker).  Results come back in query order and are bit-identical
+    /// to routing the batch serially through a single scratch.
+    pub fn route_many(&self, queries: &[(VertexId, VertexId)]) -> Vec<Option<RouteResult>> {
+        l2r_par::par_map_init(queries, QueryScratch::new, |scratch, _, &(s, d)| {
+            self.route(scratch, s, d)
+        })
+    }
+
+    /// Case 1 (both endpoints in regions): appends the route to the scratch
+    /// builder (which must currently end at `source`) and returns the
+    /// strategy used, or `None` when no route exists.
+    fn case1_append(
+        &self,
+        scratch: &mut QueryScratch,
+        source: VertexId,
+        destination: VertexId,
+        rs: RegionId,
+        rd: RegionId,
+    ) -> Option<RouteStrategy> {
+        if rs == rd {
+            if self.append_inner_route(&mut scratch.builder, rs, source, destination) {
+                return Some(RouteStrategy::InnerRegionTrajectory);
+            }
+            return self
+                .append_connector(
+                    &mut scratch.space,
+                    &mut scratch.builder,
+                    source,
+                    destination,
+                )
+                .then_some(RouteStrategy::InnerRegionFastest);
+        }
+        let QueryScratch {
+            space,
+            region_space,
+            region_path,
+            builder,
+        } = scratch;
+        if !region_space.find_region_path_into(self.rg, rs, rd, region_path) {
+            return None;
+        }
+        let checkpoint = builder.checkpoint();
+        if self.append_region_road_path(space, builder, region_path, source, destination) {
+            return Some(RouteStrategy::RegionPath);
+        }
+        builder.truncate(checkpoint);
+        self.append_connector(space, builder, source, destination)
+            .then_some(RouteStrategy::FastestFallback)
+    }
+
+    /// Case 2: at least one endpoint is outside every region.
+    fn route_case2(
+        &self,
+        scratch: &mut QueryScratch,
+        source: VertexId,
+        destination: VertexId,
+    ) -> Option<RouteResult> {
+        let source_anchor = match self.rg.region_of(source) {
+            Some(_) => Some(source),
+            None => self.find_anchor(scratch, source, destination),
+        };
+        let dest_anchor = match self.rg.region_of(destination) {
+            Some(_) => Some(destination),
+            None => self.find_anchor(scratch, destination, source),
+        };
+        let (Some(sa), Some(da)) = (source_anchor, dest_anchor) else {
+            // One or no candidate regions: plain fastest path (Section VI).
+            scratch.builder.reset(source);
+            return self
+                .append_connector(
+                    &mut scratch.space,
+                    &mut scratch.builder,
+                    source,
+                    destination,
+                )
+                .then(|| RouteResult {
+                    path: scratch.builder.to_path(),
+                    strategy: RouteStrategy::FastestFallback,
+                });
+        };
+        let rs = self.rg.region_of(sa)?;
+        let rd = self.rg.region_of(da)?;
+        // Fastest stub from the query source to its anchor, then the Case-1
+        // route between the anchors, then the stub to the destination — all
+        // appended in place (the historical implementation concatenated
+        // three materialised paths; the vertex sequence is identical).
+        scratch.builder.reset(source);
+        if sa != source
+            && !self.append_connector(&mut scratch.space, &mut scratch.builder, source, sa)
+        {
+            return None;
+        }
+        self.case1_append(scratch, sa, da, rs, rd)?;
+        if da != destination
+            && !self.append_connector(&mut scratch.space, &mut scratch.builder, da, destination)
+        {
+            return None;
+        }
+        Some(RouteResult {
+            path: scratch.builder.to_path(),
+            strategy: RouteStrategy::Stitched,
+        })
+    }
+
+    /// Finds the first region vertex settled by a fastest-path search from
+    /// `from` towards `towards` (early-exit settle hook, scratch space).
+    fn find_anchor(
+        &self,
+        scratch: &mut QueryScratch,
+        from: VertexId,
+        towards: VertexId,
+    ) -> Option<VertexId> {
+        if from.idx() >= self.net.num_vertices() {
+            return None;
+        }
+        find_anchor_in(&mut scratch.space, self.net, self.rg, from, towards)
+    }
+
+    /// Appends the fastest path `from → to` to the builder, consulting the
+    /// connector cache first: a hit (including a cached "unreachable") avoids
+    /// the Dijkstra search entirely; a miss runs a live search through the
+    /// scratch space.  Both produce the exact path the free `fastest_path`
+    /// would have.
+    fn append_connector(
+        &self,
+        space: &mut SearchSpace,
+        builder: &mut PathBuilder,
+        from: VertexId,
+        to: VertexId,
+    ) -> bool {
+        if from == to {
+            return true;
+        }
+        match self.connectors.get(&(from, to)) {
+            Some(Some(p)) => {
+                builder.append_slice(p.vertices());
+                true
+            }
+            Some(None) => false,
+            None => self.append_fastest(space, builder, from, to),
+        }
+    }
+
+    /// Appends the fastest path `from → to` to the builder (which must end at
+    /// `from`).  `from == to` is a no-op success, mirroring the trivial path
+    /// the free `fastest_path` returns.
+    fn append_fastest(
+        &self,
+        space: &mut SearchSpace,
+        builder: &mut PathBuilder,
+        from: VertexId,
+        to: VertexId,
+    ) -> bool {
+        let n = self.net.num_vertices();
+        if from.idx() >= n || to.idx() >= n {
+            return false;
+        }
+        if from == to {
+            return true;
+        }
+        space.dijkstra(self.net, from, Some(to), |e| e.cost(CostType::TravelTime));
+        builder.append_from_search(space, to)
+    }
+
+    /// Inner-region routing via the occurrence index: picks the most
+    /// supported stored path containing `source` before `destination` (in
+    /// either orientation, forward preferred on equal support — identical
+    /// tie-breaking to the historical full scan) and appends the sub-path.
+    fn append_inner_route(
+        &self,
+        builder: &mut PathBuilder,
+        region: RegionId,
+        source: VertexId,
+        destination: VertexId,
+    ) -> bool {
+        let index = &self.inner[region.idx()];
+        let (Some(src_occ), Some(dst_occ)) = (
+            index.occurrences.get(&source),
+            index.occurrences.get(&destination),
+        ) else {
+            return false;
+        };
+        let paths = self.rg.inner_paths(region);
+        // (support, path index, forward?, slice start, slice end)
+        let mut best: Option<(usize, u32, bool, usize, usize)> = None;
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < src_occ.len() && j < dst_occ.len() {
+            match src_occ[i].path.cmp(&dst_occ[j].path) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    let pi = src_occ[i].path;
+                    let support = paths[pi as usize].support;
+                    let sp = &src_occ[i].positions;
+                    let dp = &dst_occ[j].positions;
+                    let beats = |best: &Option<(usize, u32, bool, usize, usize)>,
+                                 support: usize| {
+                        best.as_ref().map(|(s, ..)| support > *s).unwrap_or(true)
+                    };
+                    // Forward orientation: the sub-path from the first
+                    // occurrence of `source` to the first occurrence of
+                    // `destination` at or after it.
+                    if beats(&best, support) {
+                        let start = sp[0] as usize;
+                        let k = dp.partition_point(|&p| (p as usize) < start);
+                        if k < dp.len() {
+                            let end = dp[k] as usize;
+                            if end > start {
+                                best = Some((support, pi, true, start, end));
+                            }
+                        }
+                    }
+                    // Reversed orientation: on the reversed path this is the
+                    // sub-path from the *last* occurrence of `source` back to
+                    // the closest preceding occurrence of `destination`.
+                    if beats(&best, support) {
+                        let last_src = *sp.last().expect("occurrences are non-empty") as usize;
+                        let k = dp.partition_point(|&p| (p as usize) <= last_src);
+                        if k > 0 {
+                            let pd = dp[k - 1] as usize;
+                            if pd < last_src {
+                                best = Some((support, pi, false, pd, last_src));
+                            }
+                        }
+                    }
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        match best {
+            Some((_, pi, true, start, end)) => {
+                builder.append_slice(&paths[pi as usize].path.vertices()[start..=end]);
+                true
+            }
+            Some((_, pi, false, lo, hi)) => {
+                builder.append_reversed_slice(&paths[pi as usize].path.vertices()[lo..=hi]);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Maps the scratch region path back to a road-network path, appending to
+    /// the builder (which must end at `source`).  Returns `false` on any gap
+    /// the road network cannot bridge; the caller rolls the builder back and
+    /// falls back to a fastest path.
+    fn append_region_road_path(
+        &self,
+        space: &mut SearchSpace,
+        builder: &mut PathBuilder,
+        region_path: &RegionPath,
+        source: VertexId,
+        destination: VertexId,
+    ) -> bool {
+        let mut current = source;
+        for (i, eid) in region_path.edges.iter().enumerate() {
+            let from_region = region_path.regions[i];
+            let to_region = region_path.regions[i + 1];
+            let edge = self.rg.edge(*eid);
+            let oriented = &self.oriented[eid.idx()];
+            let candidate = if from_region == edge.a {
+                oriented.forward.as_ref()
+            } else {
+                oriented.backward.as_ref()
+            };
+            match candidate {
+                Some(segment) => {
+                    // Connect the current position to the segment start if
+                    // needed, then take the pre-resolved attached path.
+                    if segment.source() != current
+                        && !self.append_connector(space, builder, current, segment.source())
+                    {
+                        return false;
+                    }
+                    builder.append_slice(segment.vertices());
+                    current = segment.destination();
+                }
+                None => {
+                    // No usable attached path (e.g. a B-edge whose apply step
+                    // found nothing): route to a transfer center of the next
+                    // region directly.
+                    let Some(target) = self
+                        .rg
+                        .transfer_centers_or_default(to_region)
+                        .first()
+                        .copied()
+                    else {
+                        return false;
+                    };
+                    if !self.append_connector(space, builder, current, target) {
+                        return false;
+                    }
+                    current = target;
+                }
+            }
+        }
+        if current != destination && !self.append_connector(space, builder, current, destination) {
+            return false;
+        }
+        true
+    }
+}
+
+impl L2r {
+    /// Compiles this fitted model into a [`PreparedRouter`] borrowing its
+    /// road network and region graph.
+    pub fn prepare(&self) -> PreparedRouter<'_> {
+        PreparedRouter::prepare(self.network(), self.region_graph())
+    }
+}
+
+/// Precomputes the fastest-path connectors the Case-1 serving path can need.
+///
+/// Every such stub starts or ends at a region vertex:
+///
+/// * **head** — query source (∈ `r`) → entry vertex of the attached path an
+///   adjacent edge uses out of `r` (also ∈ `r`), or the fallback transfer
+///   center of the neighbouring region when the orientation has no path;
+/// * **tail / next hop** — exit vertex of an attached path into `r` (or a
+///   fallback center of `r`) → any vertex of `r` (the query destination, or
+///   the entry of the next leg).
+///
+/// One `dijkstra_to_many` per source covers all of its targets; extracting
+/// `path_to(t)` from that search is bit-identical to the early-stopped
+/// per-query search the free router runs, because a settled vertex's parent
+/// never changes after it settles.  Cache size and prepare cost stay linear
+/// in `Σ |region| × (adjacent edges)` — no all-pairs blowup.
+fn resolve_connectors(
+    net: &RoadNetwork,
+    rg: &RegionGraph,
+    oriented: &[OrientedPaths],
+) -> HashMap<(VertexId, VertexId), Option<Path>> {
+    let nr = rg.num_regions();
+    // Per region: the connector targets its vertices may route *out* to.
+    let mut out_targets: Vec<Vec<VertexId>> = vec![Vec::new(); nr];
+    // Per region: the anchors where legs *enter* the region (tail sources).
+    let mut entry_anchors: Vec<Vec<VertexId>> = vec![Vec::new(); nr];
+    for edge in rg.edges() {
+        let o = &oriented[edge.id.idx()];
+        let orientations = [
+            (edge.a, edge.b, o.forward.as_ref()),
+            (edge.b, edge.a, o.backward.as_ref()),
+        ];
+        for (from, to, seg) in orientations {
+            match seg {
+                Some(p) => {
+                    out_targets[from.idx()].push(p.source());
+                    entry_anchors[to.idx()].push(p.destination());
+                }
+                None => {
+                    // The stitching falls back to the first transfer center
+                    // of the next region for orientations without a path.
+                    if let Some(&t) = rg.transfer_centers_or_default(to).first() {
+                        out_targets[from.idx()].push(t);
+                        entry_anchors[to.idx()].push(t);
+                    }
+                }
+            }
+        }
+    }
+
+    let n = net.num_vertices();
+    let mut connectors: HashMap<(VertexId, VertexId), Option<Path>> = HashMap::new();
+    let mut space = SearchSpace::new();
+    for region in rg.regions() {
+        let r = region.id.idx();
+        out_targets[r].sort_unstable();
+        out_targets[r].dedup();
+        entry_anchors[r].sort_unstable();
+        entry_anchors[r].dedup();
+        // Head connectors: every region vertex reaches every out-target.
+        if !out_targets[r].is_empty() {
+            for &v in &region.vertices {
+                if v.idx() >= n {
+                    continue;
+                }
+                space.dijkstra_to_many(net, v, &out_targets[r], |e| e.cost(CostType::TravelTime));
+                for &t in &out_targets[r] {
+                    if t != v {
+                        connectors.insert((v, t), space.path_to(t));
+                    }
+                }
+            }
+        }
+        // Tail / next-hop connectors: every entry anchor reaches every
+        // region vertex.
+        for &a in &entry_anchors[r] {
+            if a.idx() >= n {
+                continue;
+            }
+            space.dijkstra_to_many(net, a, &region.vertices, |e| e.cost(CostType::TravelTime));
+            for &t in &region.vertices {
+                if t != a {
+                    connectors.entry((a, t)).or_insert_with(|| space.path_to(t));
+                }
+            }
+        }
+    }
+    connectors
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apply::apply_preferences_to_b_edges;
+    use crate::router::route;
+    use l2r_datagen::{
+        generate_network, generate_workload, SyntheticNetworkConfig, WorkloadConfig,
+    };
+    use l2r_region_graph::{bottom_up_clustering, TrajectoryGraph};
+
+    fn build() -> (RoadNetwork, RegionGraph) {
+        let syn = generate_network(&SyntheticNetworkConfig::tiny());
+        let wl = generate_workload(&syn, &WorkloadConfig::tiny(250));
+        let tg = TrajectoryGraph::build(&syn.net, &wl.trajectories);
+        let clusters = bottom_up_clustering(&tg);
+        let mut rg = RegionGraph::build(&syn.net, &clusters, &wl.trajectories, 2);
+        apply_preferences_to_b_edges(&syn.net, &mut rg, &std::collections::HashMap::new(), 2);
+        (syn.net.clone(), rg)
+    }
+
+    #[test]
+    fn prepared_route_matches_free_route_on_a_vertex_grid() {
+        let (net, rg) = build();
+        let prepared = PreparedRouter::prepare(&net, &rg);
+        let mut scratch = QueryScratch::new();
+        let n = net.num_vertices() as u32;
+        let mut compared = 0usize;
+        for i in (0..n).step_by(5) {
+            for j in (1..n).step_by(11) {
+                let (s, d) = (VertexId(i), VertexId(j));
+                let free = route(&net, &rg, s, d);
+                let fast = prepared.route(&mut scratch, s, d);
+                assert_eq!(free, fast, "query {s:?} -> {d:?}");
+                compared += 1;
+            }
+        }
+        assert!(compared > 50, "the sweep should cover many pairs");
+    }
+
+    #[test]
+    fn route_many_matches_serial_routing() {
+        let (net, rg) = build();
+        let prepared = PreparedRouter::prepare(&net, &rg);
+        let n = net.num_vertices() as u32;
+        let queries: Vec<(VertexId, VertexId)> = (0..n)
+            .step_by(3)
+            .map(|i| (VertexId(i), VertexId((i * 7 + 13) % n)))
+            .collect();
+        let batch = prepared.route_many(&queries);
+        let mut scratch = QueryScratch::new();
+        for (q, b) in queries.iter().zip(&batch) {
+            assert_eq!(&prepared.route(&mut scratch, q.0, q.1), b);
+        }
+    }
+
+    #[test]
+    fn same_vertex_query_is_trivial() {
+        let (net, rg) = build();
+        let prepared = PreparedRouter::prepare(&net, &rg);
+        let mut scratch = QueryScratch::new();
+        let r = prepared
+            .route(&mut scratch, VertexId(0), VertexId(0))
+            .unwrap();
+        assert!(r.path.is_trivial());
+        assert_eq!(r.strategy, RouteStrategy::FastestFallback);
+    }
+
+    #[test]
+    fn out_of_range_endpoints_are_rejected_like_the_free_router() {
+        let (net, rg) = build();
+        let prepared = PreparedRouter::prepare(&net, &rg);
+        let mut scratch = QueryScratch::new();
+        let big = VertexId(net.num_vertices() as u32 + 17);
+        assert_eq!(
+            prepared.route(&mut scratch, VertexId(0), big),
+            route(&net, &rg, VertexId(0), big)
+        );
+        assert_eq!(
+            prepared.route(&mut scratch, big, VertexId(0)),
+            route(&net, &rg, big, VertexId(0))
+        );
+    }
+
+    #[test]
+    fn cached_connectors_match_live_fastest_paths() {
+        let (net, rg) = build();
+        let prepared = PreparedRouter::prepare(&net, &rg);
+        assert!(prepared.num_connectors() > 0);
+        for ((from, to), cached) in prepared.connectors.iter().take(500) {
+            let live = l2r_road_network::fastest_path(&net, *from, *to);
+            assert_eq!(cached, &live, "connector {from:?} -> {to:?}");
+        }
+    }
+
+    #[test]
+    fn oriented_paths_cover_both_directions_of_t_edges() {
+        let (net, rg) = build();
+        let prepared = PreparedRouter::prepare(&net, &rg);
+        // Every edge with attached paths resolves at least one orientation.
+        for e in rg.edges() {
+            if e.has_paths() {
+                let o = &prepared.oriented[e.id.idx()];
+                assert!(
+                    o.forward.is_some() || o.backward.is_some(),
+                    "edge {:?} has paths but no oriented resolution",
+                    e.id
+                );
+                if let Some(p) = &o.forward {
+                    assert_eq!(rg.region_of(p.source()), Some(e.a));
+                    assert_eq!(rg.region_of(p.destination()), Some(e.b));
+                    assert!(p.validate(&net).is_ok());
+                }
+                if let Some(p) = &o.backward {
+                    assert_eq!(rg.region_of(p.source()), Some(e.b));
+                    assert_eq!(rg.region_of(p.destination()), Some(e.a));
+                    assert!(p.validate(&net).is_ok());
+                }
+            }
+        }
+    }
+}

@@ -7,7 +7,15 @@
 //! realise this as a best-first search whose priority is the Euclidean
 //! distance between a region's centroid and the destination region's
 //! centroid, with the number of hops as a tie breaker.
+//!
+//! The search state lives in a reusable [`RegionSearchSpace`] mirroring
+//! `l2r_road_network::SearchSpace`: generation-stamped `visited`/`parent`
+//! arrays invalidated in O(1) per search, so the serving path performs no
+//! per-query allocation for region-level routing.  The free
+//! [`find_region_path`] function is a thread-local-reuse wrapper, exactly
+//! like the free Dijkstra functions of `l2r_road_network`.
 
+use std::cell::RefCell;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
@@ -45,7 +53,7 @@ impl PartialOrd for Frontier {
 
 /// A path on the region graph: the region sequence and the region edges
 /// connecting consecutive regions.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct RegionPath {
     /// Visited regions from source to destination (inclusive).
     pub regions: Vec<RegionId>,
@@ -64,6 +72,153 @@ impl RegionPath {
     pub fn is_empty(&self) -> bool {
         self.edges.is_empty()
     }
+
+    /// Clears both sequences, retaining capacity (scratch reuse).
+    pub fn clear(&mut self) {
+        self.regions.clear();
+        self.edges.clear();
+    }
+}
+
+/// Sentinel for "no parent recorded".
+const NO_PARENT: u32 = u32::MAX;
+
+/// Reusable best-first search state for the region graph, mirroring
+/// `l2r_road_network::SearchSpace`: a slot of `visited`/`parent` is only
+/// meaningful when its generation stamp matches the current generation, so
+/// starting a new search is a counter increment instead of an O(|V_R|)
+/// clear.  One instance per thread; the serving path keeps one inside its
+/// per-query scratch.
+#[derive(Debug, Clone, Default)]
+pub struct RegionSearchSpace {
+    generation: u32,
+    /// Stamp marking visited regions.
+    visited: Vec<u32>,
+    /// Parent region (by index) and connecting edge; valid iff the matching
+    /// `parent_stamp` slot equals the current generation.
+    parent: Vec<(u32, RegionEdgeId)>,
+    parent_stamp: Vec<u32>,
+    heap: BinaryHeap<Frontier>,
+}
+
+thread_local! {
+    /// Shared per-thread space backing the free [`find_region_path`].
+    static THREAD_REGION_SPACE: RefCell<RegionSearchSpace> =
+        RefCell::new(RegionSearchSpace::new());
+}
+
+impl RegionSearchSpace {
+    /// Creates an empty space; arrays grow on first use.
+    pub fn new() -> RegionSearchSpace {
+        RegionSearchSpace::default()
+    }
+
+    /// The current search generation (incremented once per search); exposed
+    /// so scratch-reuse tests can assert every region search went through
+    /// this space.
+    pub fn generation(&self) -> u32 {
+        self.generation
+    }
+
+    /// Starts a new search generation sized for `n` regions.
+    fn begin(&mut self, n: usize) {
+        if self.visited.len() < n {
+            self.visited.resize(n, 0);
+            self.parent.resize(n, (NO_PARENT, RegionEdgeId(0)));
+            self.parent_stamp.resize(n, 0);
+        }
+        if self.generation == u32::MAX {
+            self.visited.fill(0);
+            self.parent_stamp.fill(0);
+            self.generation = 0;
+        }
+        self.generation += 1;
+        self.heap.clear();
+    }
+
+    /// Finds a region path from `source` to `destination`, writing it into
+    /// `out` (cleared first).  Returns `false` — leaving `out` empty — when
+    /// the two regions are not connected in the region graph.
+    ///
+    /// The result is identical to the historical allocating implementation:
+    /// same frontier ordering, same tie-breaks, same reconstruction.
+    pub fn find_region_path_into(
+        &mut self,
+        rg: &RegionGraph,
+        source: RegionId,
+        destination: RegionId,
+        out: &mut RegionPath,
+    ) -> bool {
+        out.clear();
+        if source == destination {
+            out.regions.push(source);
+            return true;
+        }
+        // Direct edge: always preferred (Section VI).
+        if let Some(e) = rg.edge_between(source, destination) {
+            out.regions.push(source);
+            out.regions.push(destination);
+            out.edges.push(e);
+            return true;
+        }
+
+        let n = rg.num_regions();
+        self.begin(n);
+        let generation = self.generation;
+        self.visited[source.idx()] = generation;
+        self.heap.push(Frontier {
+            distance_to_dest: rg.region_distance_m(source, destination),
+            hops: 0,
+            region: source,
+        });
+
+        while let Some(Frontier { hops, region, .. }) = self.heap.pop() {
+            if region == destination {
+                break;
+            }
+            // If a direct edge to the destination exists, take it immediately.
+            if let Some(e) = rg.edge_between(region, destination) {
+                if self.visited[destination.idx()] != generation {
+                    self.visited[destination.idx()] = generation;
+                    self.parent[destination.idx()] = (region.0, e);
+                    self.parent_stamp[destination.idx()] = generation;
+                    break;
+                }
+            }
+            for eid in rg.adjacent_edges(region) {
+                let next = rg.edge(*eid).other(region);
+                if self.visited[next.idx()] == generation {
+                    continue;
+                }
+                self.visited[next.idx()] = generation;
+                self.parent[next.idx()] = (region.0, *eid);
+                self.parent_stamp[next.idx()] = generation;
+                self.heap.push(Frontier {
+                    distance_to_dest: rg.region_distance_m(next, destination),
+                    hops: hops + 1,
+                    region: next,
+                });
+            }
+        }
+
+        if self.visited[destination.idx()] != generation {
+            return false;
+        }
+        // Reconstruct backwards, then reverse in place.
+        out.regions.push(destination);
+        let mut cur = destination;
+        while self.parent_stamp[cur.idx()] == generation {
+            let (prev, e) = self.parent[cur.idx()];
+            let prev = RegionId(prev);
+            out.edges.push(e);
+            out.regions.push(prev);
+            cur = prev;
+        }
+        out.regions.reverse();
+        out.edges.reverse();
+        debug_assert_eq!(out.regions[0], source);
+        true
+    }
 }
 
 /// Finds a region path from `source` to `destination`.
@@ -71,79 +226,25 @@ impl RegionPath {
 /// Returns `None` when the two regions are not connected in the region graph
 /// (cannot happen after the BFS connectivity pass unless the road network
 /// itself is disconnected).
+///
+/// This is a thread-local-reuse wrapper over
+/// [`RegionSearchSpace::find_region_path_into`]; hot loops should hold their
+/// own space (and output buffer) instead.
 pub fn find_region_path(
     rg: &RegionGraph,
     source: RegionId,
     destination: RegionId,
 ) -> Option<RegionPath> {
-    if source == destination {
-        return Some(RegionPath {
-            regions: vec![source],
-            edges: Vec::new(),
-        });
-    }
-    // Direct edge: always preferred (Section VI).
-    if let Some(e) = rg.edge_between(source, destination) {
-        return Some(RegionPath {
-            regions: vec![source, destination],
-            edges: vec![e],
-        });
-    }
-
-    let n = rg.num_regions();
-    let mut visited = vec![false; n];
-    let mut parent: Vec<Option<(RegionId, RegionEdgeId)>> = vec![None; n];
-    let mut heap = BinaryHeap::new();
-    visited[source.idx()] = true;
-    heap.push(Frontier {
-        distance_to_dest: rg.region_distance_m(source, destination),
-        hops: 0,
-        region: source,
-    });
-
-    while let Some(Frontier { hops, region, .. }) = heap.pop() {
-        if region == destination {
-            break;
-        }
-        // If a direct edge to the destination exists, take it immediately.
-        if let Some(e) = rg.edge_between(region, destination) {
-            if !visited[destination.idx()] {
-                visited[destination.idx()] = true;
-                parent[destination.idx()] = Some((region, e));
-                break;
+    THREAD_REGION_SPACE.with(|cell| {
+        let mut out = RegionPath::default();
+        let found = match cell.try_borrow_mut() {
+            Ok(mut space) => space.find_region_path_into(rg, source, destination, &mut out),
+            Err(_) => {
+                RegionSearchSpace::new().find_region_path_into(rg, source, destination, &mut out)
             }
-        }
-        for eid in rg.adjacent_edges(region) {
-            let next = rg.edge(*eid).other(region);
-            if visited[next.idx()] {
-                continue;
-            }
-            visited[next.idx()] = true;
-            parent[next.idx()] = Some((region, *eid));
-            heap.push(Frontier {
-                distance_to_dest: rg.region_distance_m(next, destination),
-                hops: hops + 1,
-                region: next,
-            });
-        }
-    }
-
-    if !visited[destination.idx()] {
-        return None;
-    }
-    // Reconstruct.
-    let mut regions = vec![destination];
-    let mut edges = Vec::new();
-    let mut cur = destination;
-    while let Some((prev, e)) = parent[cur.idx()] {
-        edges.push(e);
-        regions.push(prev);
-        cur = prev;
-    }
-    regions.reverse();
-    edges.reverse();
-    debug_assert_eq!(regions[0], source);
-    Some(RegionPath { regions, edges })
+        };
+        found.then_some(out)
+    })
 }
 
 #[cfg(test)]
@@ -212,5 +313,34 @@ mod tests {
         let p = find_region_path(&rg, a, b).unwrap();
         let unique: std::collections::HashSet<_> = p.regions.iter().collect();
         assert_eq!(unique.len(), p.regions.len());
+    }
+
+    #[test]
+    fn reused_space_reproduces_fresh_results() {
+        let rg = build();
+        let regions = rg.regions();
+        let mut space = RegionSearchSpace::new();
+        let mut out = RegionPath::default();
+        let g0 = space.generation();
+        let mut searched = 0u32;
+        for a in regions.iter().take(6) {
+            for b in regions.iter().rev().take(6) {
+                let mut fresh_out = RegionPath::default();
+                let fresh =
+                    RegionSearchSpace::new().find_region_path_into(&rg, a.id, b.id, &mut fresh_out);
+                let trivial = a.id == b.id || rg.edge_between(a.id, b.id).is_some();
+                if !trivial {
+                    searched += 1;
+                }
+                assert_eq!(
+                    space.find_region_path_into(&rg, a.id, b.id, &mut out),
+                    fresh
+                );
+                assert_eq!(out, fresh_out, "{:?} -> {:?}", a.id, b.id);
+            }
+        }
+        // Non-trivial queries each consumed exactly one generation of the
+        // reused space (trivial/direct-edge answers never start a search).
+        assert_eq!(space.generation() - g0, searched);
     }
 }

@@ -14,7 +14,7 @@
 //!   When no candidate region exists the fastest path is returned.
 
 use l2r_region_graph::{RegionGraph, RegionId};
-use l2r_road_network::{fastest_path, fastest_path_with_settle_order, Path, RoadNetwork, VertexId};
+use l2r_road_network::{fastest_path, CostType, Path, RoadNetwork, SearchSpace, VertexId};
 
 use crate::region_routing::{find_region_path, RegionPath};
 
@@ -33,6 +33,28 @@ pub enum RouteStrategy {
     Stitched,
     /// No usable region information; plain fastest path.
     FastestFallback,
+}
+
+impl RouteStrategy {
+    /// All strategies in report order.
+    pub const ALL: [RouteStrategy; 5] = [
+        RouteStrategy::InnerRegionTrajectory,
+        RouteStrategy::InnerRegionFastest,
+        RouteStrategy::RegionPath,
+        RouteStrategy::Stitched,
+        RouteStrategy::FastestFallback,
+    ];
+
+    /// Stable display label (used by the serving benchmark report).
+    pub fn label(self) -> &'static str {
+        match self {
+            RouteStrategy::InnerRegionTrajectory => "InnerRegionTrajectory",
+            RouteStrategy::InnerRegionFastest => "InnerRegionFastest",
+            RouteStrategy::RegionPath => "RegionPath",
+            RouteStrategy::Stitched => "Stitched",
+            RouteStrategy::FastestFallback => "FastestFallback",
+        }
+    }
 }
 
 /// A route produced by L2R.
@@ -171,16 +193,50 @@ fn route_case2(
 
 /// Finds the first region vertex settled by a fastest-path search from
 /// `from` towards `towards`.
+///
+/// Runs through the calling thread's shared search space with an early-exit
+/// settle hook: the search aborts the moment the first in-region vertex
+/// settles instead of settling everything up to `towards` and materialising
+/// the full settle order.  (The search still stops once `towards` settles,
+/// so an anchor is only reported when a region vertex settles no later than
+/// the target — exactly the historical scan-the-settle-order semantics.)
 fn find_anchor(
     net: &RoadNetwork,
     rg: &RegionGraph,
     from: VertexId,
     towards: VertexId,
 ) -> Option<VertexId> {
-    let (_, settle_order) = fastest_path_with_settle_order(net, from, towards);
-    settle_order
-        .into_iter()
-        .find(|v| rg.region_of(*v).is_some())
+    if from.idx() >= net.num_vertices() {
+        return None;
+    }
+    SearchSpace::with_thread_local(|space| find_anchor_in(space, net, rg, from, towards))
+}
+
+/// [`find_anchor`] on an explicit search space (the prepared serving path
+/// passes its per-query scratch).
+pub(crate) fn find_anchor_in(
+    space: &mut SearchSpace,
+    net: &RoadNetwork,
+    rg: &RegionGraph,
+    from: VertexId,
+    towards: VertexId,
+) -> Option<VertexId> {
+    let mut anchor = None;
+    space.dijkstra_with_settle(
+        net,
+        from,
+        Some(towards),
+        |e| e.cost(CostType::TravelTime),
+        |v| {
+            if rg.region_of(v).is_some() {
+                anchor = Some(v);
+                true
+            } else {
+                false
+            }
+        },
+    );
+    anchor
 }
 
 /// Routing inside a single region: reuse the most supported inner-region
@@ -225,44 +281,13 @@ fn region_path_to_road_path(
         let to_region = region_path.regions[i + 1];
         let edge = rg.edge(*eid);
 
-        // Pick the most supported attached path oriented from `from_region`
-        // to `to_region` (reversing when only the opposite orientation is
-        // stored and the reverse is drivable).
-        let mut candidate: Option<(Path, usize)> = None;
-        for sp in &edge.paths {
-            let src = rg.region_of(sp.path.source());
-            let dst = rg.region_of(sp.path.destination());
-            if src == Some(from_region) && dst == Some(to_region) {
-                if candidate
-                    .as_ref()
-                    .map(|(_, s)| sp.support > *s)
-                    .unwrap_or(true)
-                {
-                    candidate = Some((sp.path.clone(), sp.support));
-                }
-            } else if src == Some(to_region) && dst == Some(from_region) {
-                let rev = sp.path.reversed();
-                if rev.validate(net).is_ok()
-                    && candidate
-                        .as_ref()
-                        .map(|(_, s)| sp.support > *s)
-                        .unwrap_or(true)
-                {
-                    candidate = Some((rev, sp.support));
-                }
-            }
-        }
-
-        let segment = match candidate {
-            Some((p, _)) => p,
+        let segment = match best_oriented_path(net, rg, edge, from_region, to_region) {
+            Some(p) => p,
             None => {
                 // No usable attached path (e.g. a B-edge whose apply step
                 // found nothing): route to a transfer center of the next
                 // region directly.
-                let target = rg
-                    .transfer_centers_or_default(net, to_region)
-                    .into_iter()
-                    .next()?;
+                let target = rg.transfer_centers_or_default(to_region).first().copied()?;
                 fastest_path(net, current, target)?
             }
         };
@@ -283,6 +308,47 @@ fn region_path_to_road_path(
     // debug builds to catch regressions.
     debug_assert!(acc.validate(net).is_ok());
     Some(acc)
+}
+
+/// Picks the most supported attached path of `edge` oriented `from → to`
+/// (first wins ties; opposite-orientation paths are reversed and kept only
+/// when the reverse is drivable).
+///
+/// Shared between the per-query scan above and the prepare-time resolution
+/// of `PreparedRouter` — one implementation, so the bit-identical guarantee
+/// between the two routers cannot drift.
+pub(crate) fn best_oriented_path(
+    net: &RoadNetwork,
+    rg: &RegionGraph,
+    edge: &l2r_region_graph::RegionEdge,
+    from: RegionId,
+    to: RegionId,
+) -> Option<Path> {
+    let mut candidate: Option<(Path, usize)> = None;
+    for sp in &edge.paths {
+        let src = rg.region_of(sp.path.source());
+        let dst = rg.region_of(sp.path.destination());
+        if src == Some(from) && dst == Some(to) {
+            if candidate
+                .as_ref()
+                .map(|(_, s)| sp.support > *s)
+                .unwrap_or(true)
+            {
+                candidate = Some((sp.path.clone(), sp.support));
+            }
+        } else if src == Some(to) && dst == Some(from) {
+            let rev = sp.path.reversed();
+            if rev.validate(net).is_ok()
+                && candidate
+                    .as_ref()
+                    .map(|(_, s)| sp.support > *s)
+                    .unwrap_or(true)
+            {
+                candidate = Some((rev, sp.support));
+            }
+        }
+    }
+    candidate.map(|(p, _)| p)
 }
 
 #[cfg(test)]
@@ -375,8 +441,8 @@ mod tests {
         let (net, rg) = build();
         // Take transfer centers of two different regions as endpoints.
         let regions = rg.regions();
-        let a = rg.transfer_centers_or_default(&net, regions.first().unwrap().id)[0];
-        let b = rg.transfer_centers_or_default(&net, regions.last().unwrap().id)[0];
+        let a = rg.transfer_centers_or_default(regions.first().unwrap().id)[0];
+        let b = rg.transfer_centers_or_default(regions.last().unwrap().id)[0];
         if a != b {
             let r = route(&net, &rg, a, b).unwrap();
             assert!(matches!(

@@ -27,6 +27,7 @@ pub mod dijkstra;
 pub mod error;
 pub mod graph;
 pub mod path;
+pub mod path_builder;
 pub mod road_type;
 pub mod search_space;
 pub mod similarity;
@@ -42,6 +43,7 @@ pub use dijkstra::{
 pub use error::NetworkError;
 pub use graph::{Edge, EdgeId, RoadNetwork, RoadNetworkBuilder, Vertex, VertexId};
 pub use path::Path;
+pub use path_builder::PathBuilder;
 pub use road_type::{RoadType, RoadTypeSet};
 pub use search_space::{searches_performed, SearchSpace};
 pub use similarity::{

@@ -1,0 +1,254 @@
+//! In-place path assembly for the online serving path.
+//!
+//! The router stitches a recommended route from many segments: fastest-path
+//! stubs, attached region-edge paths, connectors.  Joining those with
+//! [`Path::concat`] re-allocates and copies the accumulated prefix for every
+//! segment — O(n²) over a route with many segments.  A [`PathBuilder`] keeps
+//! one growable vertex buffer alive across queries and appends each segment
+//! in place with the same junction-deduplication rule as `concat`, so a whole
+//! route costs one final allocation (the returned [`Path`]) regardless of how
+//! many segments it was stitched from.
+
+use crate::graph::VertexId;
+use crate::path::Path;
+use crate::search_space::SearchSpace;
+
+/// A reusable, in-place route assembler.
+///
+/// The builder replicates [`Path::concat`] semantics segment by segment: when
+/// an appended segment starts at the current last vertex the junction vertex
+/// is not duplicated, otherwise the sequences are joined as-is.  Buffers are
+/// retained across [`PathBuilder::reset`] calls, so steady-state assembly
+/// performs no allocation until the final [`PathBuilder::to_path`].
+#[derive(Debug, Clone, Default)]
+pub struct PathBuilder {
+    vertices: Vec<VertexId>,
+}
+
+impl PathBuilder {
+    /// Creates an empty builder; the buffer grows on first use.
+    pub fn new() -> PathBuilder {
+        PathBuilder::default()
+    }
+
+    /// Clears the buffer (retaining capacity) and starts a new route at
+    /// `start`.
+    pub fn reset(&mut self, start: VertexId) {
+        self.vertices.clear();
+        self.vertices.push(start);
+    }
+
+    /// Number of vertices currently in the buffer.
+    pub fn len(&self) -> usize {
+        self.vertices.len()
+    }
+
+    /// Whether the buffer is empty (only before the first
+    /// [`PathBuilder::reset`]).
+    pub fn is_empty(&self) -> bool {
+        self.vertices.is_empty()
+    }
+
+    /// The last vertex of the route built so far.
+    pub fn last(&self) -> Option<VertexId> {
+        self.vertices.last().copied()
+    }
+
+    /// The vertices assembled so far.
+    pub fn vertices(&self) -> &[VertexId] {
+        &self.vertices
+    }
+
+    /// A checkpoint for [`PathBuilder::truncate`]: the current length.
+    pub fn checkpoint(&self) -> usize {
+        self.vertices.len()
+    }
+
+    /// Rolls the buffer back to a previous [`PathBuilder::checkpoint`] (used
+    /// when a partially appended stitching attempt fails and the caller falls
+    /// back to a different strategy).
+    pub fn truncate(&mut self, checkpoint: usize) {
+        self.vertices.truncate(checkpoint);
+    }
+
+    /// Appends a vertex sequence with [`Path::concat`] semantics: the first
+    /// vertex is skipped when it equals the current last vertex.
+    pub fn append_slice(&mut self, segment: &[VertexId]) {
+        let mut rest = segment;
+        if let (Some(last), Some(first)) = (self.last(), segment.first()) {
+            if last == *first {
+                rest = &segment[1..];
+            }
+        }
+        self.vertices.extend_from_slice(rest);
+    }
+
+    /// Appends a vertex sequence in reverse order (the equivalent of
+    /// `append_slice(&path.reversed())` without materialising the reversed
+    /// path), with the same junction deduplication.
+    pub fn append_reversed_slice(&mut self, segment: &[VertexId]) {
+        let mut rest = segment;
+        if let (Some(last), Some(first)) = (self.last(), segment.last()) {
+            if last == *first {
+                rest = &segment[..segment.len() - 1];
+            }
+        }
+        self.vertices.extend(rest.iter().rev());
+    }
+
+    /// Appends the path from the most recent search's source to `v`, read
+    /// straight out of `space`'s parent array (no intermediate [`Path`]
+    /// allocation), with junction deduplication.  Returns `false` — leaving
+    /// the buffer untouched — when `v` was not reached.
+    pub fn append_from_search(&mut self, space: &SearchSpace, v: VertexId) -> bool {
+        if space.cost_to(v).is_none() {
+            return false;
+        }
+        let start = self.vertices.len();
+        let mut current = v;
+        self.vertices.push(current);
+        while let Some(p) = space.parent_of(current) {
+            self.vertices.push(p);
+            current = p;
+        }
+        if current != space.source() {
+            self.vertices.truncate(start);
+            return false;
+        }
+        // The segment is currently reversed: `[v, …, source]`.  Junction
+        // deduplication drops the duplicated source (the last pushed element)
+        // before reversing in place.
+        if start > 0 && self.vertices[start - 1] == space.source() {
+            self.vertices.pop();
+        }
+        self.vertices[start..].reverse();
+        true
+    }
+
+    /// Materialises the assembled route as an owned [`Path`] (the single
+    /// allocation of a stitched query), leaving the buffer intact for reuse.
+    ///
+    /// # Panics
+    /// Panics when called before the first [`PathBuilder::reset`] — an empty
+    /// vertex sequence is not a valid path.
+    pub fn to_path(&self) -> Path {
+        Path::new(self.vertices.clone()).expect("builder holds at least the start vertex")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::RoadNetworkBuilder;
+    use crate::road_type::RoadType;
+    use crate::spatial::Point;
+    use crate::weights::CostType;
+
+    fn line_network(n: usize) -> crate::graph::RoadNetwork {
+        let mut b = RoadNetworkBuilder::new();
+        let vs: Vec<VertexId> = (0..n)
+            .map(|i| b.add_vertex(Point::new(i as f64 * 1000.0, 0.0)))
+            .collect();
+        for w in vs.windows(2) {
+            b.add_two_way(w[0], w[1], RoadType::Secondary).unwrap();
+        }
+        b.build()
+    }
+
+    #[test]
+    fn append_slice_matches_concat() {
+        let a = Path::new(vec![VertexId(0), VertexId(1)]).unwrap();
+        let b = Path::new(vec![VertexId(1), VertexId(2)]).unwrap();
+        let c = Path::new(vec![VertexId(5), VertexId(6)]).unwrap();
+        let concat = a.concat(&b).concat(&c);
+
+        let mut builder = PathBuilder::new();
+        builder.reset(VertexId(0));
+        builder.append_slice(&[VertexId(1)]);
+        builder.append_slice(b.vertices());
+        builder.append_slice(c.vertices());
+        assert_eq!(builder.to_path(), concat);
+    }
+
+    #[test]
+    fn append_reversed_slice_matches_reversed_concat() {
+        let stored = Path::new(vec![VertexId(3), VertexId(2), VertexId(1)]).unwrap();
+        let base = Path::new(vec![VertexId(0), VertexId(1)]).unwrap();
+        let expected = base.concat(&stored.reversed());
+
+        let mut builder = PathBuilder::new();
+        builder.reset(VertexId(0));
+        builder.append_slice(&[VertexId(1)]);
+        builder.append_reversed_slice(stored.vertices());
+        assert_eq!(builder.to_path(), expected);
+    }
+
+    #[test]
+    fn append_from_search_matches_path_to() {
+        let net = line_network(5);
+        let mut space = SearchSpace::new();
+        space.dijkstra(&net, VertexId(0), Some(VertexId(4)), |e| {
+            e.cost(CostType::TravelTime)
+        });
+        let direct = space.path_to(VertexId(4)).unwrap();
+
+        let mut builder = PathBuilder::new();
+        builder.reset(VertexId(0));
+        assert!(builder.append_from_search(&space, VertexId(4)));
+        assert_eq!(builder.to_path(), direct);
+
+        // A second leg continues from vertex 4 with junction deduplication.
+        space.dijkstra(&net, VertexId(4), Some(VertexId(2)), |e| {
+            e.cost(CostType::TravelTime)
+        });
+        assert!(builder.append_from_search(&space, VertexId(2)));
+        assert_eq!(
+            builder.to_path(),
+            direct.concat(&space.path_to(VertexId(2)).unwrap())
+        );
+    }
+
+    #[test]
+    fn append_from_search_rejects_unreachable_without_touching_buffer() {
+        let mut b = RoadNetworkBuilder::new();
+        let v0 = b.add_vertex(Point::new(0.0, 0.0));
+        b.add_vertex(Point::new(100.0, 0.0)); // isolated
+        let v2 = b.add_vertex(Point::new(200.0, 0.0));
+        b.add_edge(v0, v2, RoadType::Primary).unwrap();
+        let net = b.build();
+        let mut space = SearchSpace::new();
+        space.dijkstra(&net, VertexId(0), None, |e| e.cost(CostType::Distance));
+
+        let mut builder = PathBuilder::new();
+        builder.reset(VertexId(0));
+        let before = builder.checkpoint();
+        assert!(!builder.append_from_search(&space, VertexId(1)));
+        assert_eq!(builder.checkpoint(), before);
+        assert_eq!(builder.to_path(), Path::single(VertexId(0)));
+    }
+
+    #[test]
+    fn checkpoint_and_truncate_roll_back_partial_appends() {
+        let mut builder = PathBuilder::new();
+        builder.reset(VertexId(0));
+        builder.append_slice(&[VertexId(0), VertexId(1), VertexId(2)]);
+        let cp = builder.checkpoint();
+        builder.append_slice(&[VertexId(2), VertexId(3)]);
+        assert_eq!(builder.last(), Some(VertexId(3)));
+        builder.truncate(cp);
+        assert_eq!(builder.last(), Some(VertexId(2)));
+        assert_eq!(builder.len(), 3);
+    }
+
+    #[test]
+    fn reset_retains_capacity_and_restarts() {
+        let mut builder = PathBuilder::new();
+        assert!(builder.is_empty());
+        builder.reset(VertexId(7));
+        builder.append_slice(&[VertexId(7), VertexId(8), VertexId(9)]);
+        let cap = builder.vertices.capacity();
+        builder.reset(VertexId(1));
+        assert_eq!(builder.vertices(), &[VertexId(1)]);
+        assert_eq!(builder.vertices.capacity(), cap);
+    }
+}

@@ -158,6 +158,10 @@ impl SearchSpace {
     /// when every (in-range) target is settled, or exploring everything when
     /// `targets` is `None` or contains no in-range vertex (matching the
     /// historical behaviour of an unreachable explicit target).
+    ///
+    /// `on_settle`, when given, observes every settled vertex in settle order
+    /// and aborts the search early by returning `true` — the hook behind
+    /// [`SearchSpace::dijkstra_with_settle`].
     fn run<F>(
         &mut self,
         net: &RoadNetwork,
@@ -165,6 +169,7 @@ impl SearchSpace {
         targets: Option<&[VertexId]>,
         slave: Option<RoadTypeSet>,
         mut edge_cost: F,
+        mut on_settle: Option<&mut dyn FnMut(VertexId) -> bool>,
     ) where
         F: FnMut(&Edge) -> f64,
     {
@@ -200,6 +205,11 @@ impl SearchSpace {
             }
             self.settled[vi] = generation;
             self.settle_order.push(vertex);
+            if let Some(hook) = on_settle.as_deref_mut() {
+                if hook(vertex) {
+                    break;
+                }
+            }
             if bounded && self.target_stamp[vi] == generation {
                 remaining -= 1;
                 if remaining == 0 {
@@ -260,9 +270,45 @@ impl SearchSpace {
         match target {
             Some(t) => {
                 let targets = [t];
-                self.run(net, source, Some(&targets), None, edge_cost);
+                self.run(net, source, Some(&targets), None, edge_cost, None);
             }
-            None => self.run(net, source, None, None, edge_cost),
+            None => self.run(net, source, None, None, edge_cost, None),
+        }
+    }
+
+    /// Plain Dijkstra with an early-exit settle hook: `on_settle` observes
+    /// every settled vertex (in settle order) and returning `true` aborts the
+    /// search immediately.  The search also stops once `target` (when given)
+    /// is settled, exactly like [`SearchSpace::dijkstra`].
+    ///
+    /// This replaces the "run a full search, then scan the materialised
+    /// settle order" pattern: L2R's Case-2 anchor search stops at the *first*
+    /// settled region vertex instead of settling everything up to the target
+    /// and copying the whole settle order into a fresh `Vec`.
+    pub fn dijkstra_with_settle<F, C>(
+        &mut self,
+        net: &RoadNetwork,
+        source: VertexId,
+        target: Option<VertexId>,
+        edge_cost: F,
+        mut on_settle: C,
+    ) where
+        F: FnMut(&Edge) -> f64,
+        C: FnMut(VertexId) -> bool,
+    {
+        match target {
+            Some(t) => {
+                let targets = [t];
+                self.run(
+                    net,
+                    source,
+                    Some(&targets),
+                    None,
+                    edge_cost,
+                    Some(&mut on_settle),
+                );
+            }
+            None => self.run(net, source, None, None, edge_cost, Some(&mut on_settle)),
         }
     }
 
@@ -281,7 +327,7 @@ impl SearchSpace {
     ) where
         F: FnMut(&Edge) -> f64,
     {
-        self.run(net, source, Some(targets), None, edge_cost);
+        self.run(net, source, Some(targets), None, edge_cost, None);
     }
 
     /// Preference-constrained one-to-many search (Algorithm 2 semantics, see
@@ -295,7 +341,7 @@ impl SearchSpace {
         slave: Option<RoadTypeSet>,
     ) {
         let slave = slave.filter(|s| !s.is_empty());
-        self.run(net, source, Some(targets), slave, |e| e.cost(master));
+        self.run(net, source, Some(targets), slave, |e| e.cost(master), None);
     }
 
     /// Lowest-cost path under `cost_type` (allocation-free search; only the
@@ -337,7 +383,7 @@ impl SearchSpace {
         }
         let slave = slave.filter(|s| !s.is_empty());
         let targets = [target];
-        self.run(net, source, Some(&targets), slave, |e| e.cost(master));
+        self.run(net, source, Some(&targets), slave, |e| e.cost(master), None);
         self.path_to(target)
     }
 
@@ -348,6 +394,17 @@ impl SearchSpace {
     /// The source of the most recent search.
     pub fn source(&self) -> VertexId {
         self.source
+    }
+
+    /// The current search generation: incremented by exactly one every time a
+    /// search starts on this space (wrapping back to 1 after `u32::MAX`
+    /// searches).  Serving code uses this to *prove* scratch reuse: if every
+    /// search of a query workload went through one space, the generation
+    /// advances by exactly the number of searches performed — a fresh or
+    /// thread-local space being allocated behind the caller's back would
+    /// break that equality.
+    pub fn generation(&self) -> u32 {
+        self.generation
     }
 
     /// Final cost to `v` in the most recent search, or `None` when `v` was
@@ -516,6 +573,60 @@ mod tests {
             e.cost(CostType::Distance)
         });
         assert!(searches_performed() > before);
+    }
+
+    #[test]
+    fn settle_hook_sees_settle_order_and_can_stop_early() {
+        let net = two_route_network();
+        let mut space = SearchSpace::new();
+        // Without early exit the hook observes the full settle order.
+        let mut observed = Vec::new();
+        space.dijkstra_with_settle(
+            &net,
+            VertexId(0),
+            Some(VertexId(3)),
+            |e| e.cost(CostType::Distance),
+            |v| {
+                observed.push(v);
+                false
+            },
+        );
+        assert_eq!(observed, space.settle_order());
+        assert_eq!(observed.first(), Some(&VertexId(0)));
+        assert_eq!(observed.last(), Some(&VertexId(3)));
+
+        // Early exit: stop at the first settled vertex other than the source.
+        let mut count = 0usize;
+        space.dijkstra_with_settle(
+            &net,
+            VertexId(0),
+            None,
+            |e| e.cost(CostType::Distance),
+            |v| {
+                count += 1;
+                v != VertexId(0)
+            },
+        );
+        assert_eq!(count, 2, "source + the first non-source settle");
+        assert_eq!(space.settle_order().len(), 2);
+    }
+
+    #[test]
+    fn generation_advances_once_per_search() {
+        let net = two_route_network();
+        let mut space = SearchSpace::new();
+        let g0 = space.generation();
+        space.dijkstra(&net, VertexId(0), Some(VertexId(3)), |e| {
+            e.cost(CostType::Distance)
+        });
+        space.dijkstra_with_settle(
+            &net,
+            VertexId(1),
+            None,
+            |e| e.cost(CostType::TravelTime),
+            |_| true,
+        );
+        assert_eq!(space.generation(), g0 + 2);
     }
 
     #[test]
