@@ -176,8 +176,7 @@ impl BaselineRouter for Dom {
             .min_by(|a, b| {
                 a.cost
                     .weighted_sum(scaled)
-                    .partial_cmp(&b.cost.weighted_sum(scaled))
-                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .total_cmp(&b.cost.weighted_sum(scaled))
             })
             .map(|s| s.path);
         // Extremely large queries can exhaust the label cap before reaching

@@ -18,6 +18,14 @@
 //! copy checked in at the repo root is refreshed deliberately with
 //! `L2R_BENCH_JSON=BENCH_offline.json ... -- --full offline`.
 //!
+//! The `fit` experiment persists each dataset's fitted model as a versioned
+//! binary snapshot (`-- fit --snapshot target/model.l2r` writes
+//! `target/model.D1.l2r` / `target/model.D2.l2r`), and `online --snapshot`
+//! serves from those files instead of the in-process fit — recording the
+//! snapshot size and load time in `BENCH_online.json` and verifying that
+//! the loaded model answers bit-identically to the never-serialized one.
+//! Run both in one invocation with `-- fit online --snapshot <path>`.
+//!
 //! The `online` experiment does the same for the serving path: it answers
 //! the held-out query workload with both the free `route` function and a
 //! compiled `PreparedRouter` (same run, same queries — a built-in
@@ -30,7 +38,7 @@
 use l2r_baselines::{Dom, ExternalRouter, FastestRouter, ShortestRouter, Trip};
 use l2r_bench::{
     datasets, offline_bench_json, offline_report_for, online_bench_for, online_bench_json,
-    DatasetChoice, OfflineBenchReport, OnlineBenchDataset, OnlineBenchReport,
+    snapshot_path_for, DatasetChoice, OfflineBenchReport, OnlineBenchDataset, OnlineBenchReport,
 };
 use l2r_eval::{
     build_test_queries, compare_methods, compare_with_external, fig6a, fig6b, fig9a, fig9b,
@@ -40,16 +48,33 @@ use l2r_eval::{
 };
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let full = args.iter().any(|a| a == "--full");
+    let mut full = false;
+    let mut snapshot_base: Option<String> = None;
+    let mut wanted: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--full" => full = true,
+            "--snapshot" => match args.next() {
+                Some(path) => snapshot_base = Some(path),
+                None => {
+                    eprintln!("--snapshot requires a path argument");
+                    std::process::exit(2);
+                }
+            },
+            other if other.starts_with("--") => {
+                eprintln!("unknown flag {other}");
+                std::process::exit(2);
+            }
+            other => wanted.push(other.to_string()),
+        }
+    }
     let scale = if full { Scale::Full } else { Scale::Quick };
-    let wanted: Vec<&str> = args
-        .iter()
-        .filter(|a| !a.starts_with("--"))
-        .map(|s| s.as_str())
-        .collect();
-    let run_all = wanted.is_empty() || wanted.contains(&"all");
-    let run = |name: &str| run_all || wanted.contains(&name);
+    let run_all = wanted.is_empty() || wanted.iter().any(|w| w == "all");
+    let run = |name: &str| run_all || wanted.iter().any(|w| w == name);
+    if wanted.iter().any(|w| w == "fit") && snapshot_base.is_none() {
+        eprintln!("note: the `fit` experiment writes snapshots only with --snapshot <path>");
+    }
 
     println!(
         "learn-to-route reproduction — scale: {}\n",
@@ -70,6 +95,11 @@ fn main() {
             ds.test.len(),
             ds.model.stats().num_regions
         );
+        if run("fit") {
+            if let Some(base) = &snapshot_base {
+                run_fit_snapshot(ds, base);
+            }
+        }
         if run("table2") {
             run_table2(ds);
         }
@@ -99,7 +129,11 @@ fn main() {
             offline_entries.push(offline_report_for(ds));
         }
         if run("online") {
-            online_entries.push(run_online(ds, if full { 3 } else { 2 }));
+            online_entries.push(run_online(
+                ds,
+                if full { 3 } else { 2 },
+                snapshot_base.as_deref(),
+            ));
         }
         if run("recovery") {
             run_recovery(ds);
@@ -293,12 +327,67 @@ fn run_offline(ds: &Dataset) {
     print!("{}", report_offline(ds.spec.name, &rows));
 }
 
-fn run_online(ds: &Dataset, rounds: usize) -> OnlineBenchDataset {
-    let entry = online_bench_for(ds, rounds);
+/// Persists the fitted model of `ds` to the per-dataset snapshot path
+/// (`fit --snapshot <base>`): the offline cost is paid here once; `online
+/// --snapshot` and any future server serve from the file.
+fn run_fit_snapshot(ds: &Dataset, base: &str) {
+    let path = snapshot_path_for(base, ds.spec.name);
+    let t0 = std::time::Instant::now();
+    match l2r_core::save_model(&ds.model, &path) {
+        Ok(bytes) => println!(
+            "## Snapshot ({}) — wrote {} ({:.1} KiB) in {:.1} ms (fit took {:.1} ms)\n",
+            ds.spec.name,
+            path.display(),
+            bytes as f64 / 1024.0,
+            t0.elapsed().as_secs_f64() * 1000.0,
+            ds.fit_time.as_secs_f64() * 1000.0,
+        ),
+        Err(e) => {
+            eprintln!("failed to write snapshot {}: {e}", path.display());
+            std::process::exit(1);
+        }
+    }
+}
+
+fn run_online(ds: &Dataset, rounds: usize, snapshot_base: Option<&str>) -> OnlineBenchDataset {
+    let snapshot_path = snapshot_base.map(|base| snapshot_path_for(base, ds.spec.name));
+    if let Some(path) = &snapshot_path {
+        // Validate the file up front (`online_bench_for` panics on a bad
+        // snapshot) so a stale or truncated file gets a clean diagnostic,
+        // not a backtrace.  The validation load is a few milliseconds.
+        match l2r_core::load_model(path) {
+            Ok(_) => {}
+            Err(l2r_core::SnapshotError::Io(e)) if e.kind() == std::io::ErrorKind::NotFound => {
+                eprintln!(
+                    "snapshot {} not found — run `reproduce -- fit --snapshot <path>` first \
+                     (or `reproduce -- fit online --snapshot <path>` in one go)",
+                    path.display()
+                );
+                std::process::exit(2);
+            }
+            Err(e) => {
+                eprintln!(
+                    "snapshot {} is unusable ({e}) — regenerate it with \
+                     `reproduce -- fit --snapshot <path>`",
+                    path.display()
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    let entry = online_bench_for(ds, rounds, snapshot_path.as_deref());
     println!(
         "## Online serving ({}) — {} queries × {} rounds, prepare {:.1} ms",
         entry.name, entry.queries, entry.rounds, entry.prepare_ms
     );
+    if let Some(snap) = &entry.snapshot {
+        println!(
+            "served from snapshot {} — {:.1} KiB, loaded in {:.1} ms",
+            snap.path,
+            snap.bytes as f64 / 1024.0,
+            snap.load_ms
+        );
+    }
     println!(
         "pre-PR baseline: mean {:8.1} µs  p50 {:8.1}  p95 {:8.1}  p99 {:8.1}  ({:.0} qps)",
         entry.baseline.mean_us,

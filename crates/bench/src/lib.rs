@@ -49,6 +49,25 @@ pub fn datasets(choice: DatasetChoice, scale: Scale) -> Vec<Dataset> {
     specs.into_iter().map(build_dataset).collect()
 }
 
+/// Derives the per-dataset snapshot path from a base path by inserting the
+/// dataset name before the extension: `target/model.l2r` + `D1` →
+/// `target/model.D1.l2r` (no extension: `target/model` → `target/model.D1`).
+pub fn snapshot_path_for(base: &str, dataset: &str) -> std::path::PathBuf {
+    let base = std::path::Path::new(base);
+    let mut name = base
+        .file_stem()
+        .unwrap_or_default()
+        .to_string_lossy()
+        .into_owned();
+    name.push('.');
+    name.push_str(dataset);
+    if let Some(ext) = base.extension() {
+        name.push('.');
+        name.push_str(&ext.to_string_lossy());
+    }
+    base.with_file_name(name)
+}
+
 /// Scale used by the Criterion benches: quick by default, full when the
 /// `L2R_BENCH_FULL` environment variable is set (non-empty).
 pub fn bench_scale() -> Scale {
@@ -193,7 +212,7 @@ impl OnlineLatencyStats {
         if samples.is_empty() {
             return OnlineLatencyStats::default();
         }
-        samples.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        samples.sort_by(|a, b| a.total_cmp(b));
         let mean_us = samples.iter().sum::<f64>() / samples.len() as f64;
         OnlineLatencyStats {
             mean_us,
@@ -231,6 +250,19 @@ pub struct OnlineCoverageRow {
     pub speedup: f64,
 }
 
+/// Snapshot-serving measurements: size of the persisted model and the time
+/// to load it back (the warm-restart cost a server pays instead of re-running
+/// `L2r::fit`).
+#[derive(Debug, Clone)]
+pub struct OnlineSnapshotInfo {
+    /// Path the model was loaded from.
+    pub path: String,
+    /// Snapshot file size in bytes.
+    pub bytes: u64,
+    /// Wall time of `load_model` in milliseconds.
+    pub load_ms: f64,
+}
+
 /// Online serving measurements for one dataset: the same query workload
 /// answered by the free `route` function and by a compiled
 /// [`l2r_core::PreparedRouter`], plus the batched `route_many` throughput.
@@ -247,6 +279,9 @@ pub struct OnlineBenchDataset {
     pub equivalent: bool,
     /// One-time `PreparedRouter::prepare` compilation cost in milliseconds.
     pub prepare_ms: f64,
+    /// Set when the prepared router was built from a model loaded off disk
+    /// (`reproduce -- online --snapshot <path>`): snapshot size + load time.
+    pub snapshot: Option<OnlineSnapshotInfo>,
     /// Latency of the frozen pre-PR `route` implementation
     /// ([`legacy_route`]): full settle-order materialisation, per-call
     /// allocations, candidate re-scans, `concat` stitching.
@@ -288,15 +323,48 @@ pub struct OnlineBenchReport {
 /// of the free `route` path versus a compiled `PreparedRouter` (same
 /// queries, same run — the acceptance comparison), the strategy mix, a
 /// per-coverage breakdown, and the batched `route_many` throughput.
-pub fn online_bench_for(ds: &Dataset, rounds: usize) -> OnlineBenchDataset {
+///
+/// With `snapshot` set, the prepared router is built from the model *loaded
+/// from that file* instead of the in-memory fit, the load time and file size
+/// are recorded, and the equivalence flag additionally certifies that the
+/// loaded model answers bit-identically to the never-serialized one.
+///
+/// # Panics
+/// Panics if `snapshot` points at a missing or invalid file — callers
+/// wanting a diagnostic instead should validate with
+/// [`l2r_core::load_model`] first (the `reproduce` binary does).
+pub fn online_bench_for(
+    ds: &Dataset,
+    rounds: usize,
+    snapshot: Option<&std::path::Path>,
+) -> OnlineBenchDataset {
     let rounds = rounds.max(1);
     let net = &ds.synthetic.net;
     let model = &ds.model;
     let queries: Vec<TestQuery> =
         build_test_queries(net, model, &ds.test, ds.spec.max_test_queries);
 
+    let loaded: Option<(l2r_core::L2r, OnlineSnapshotInfo)> = snapshot.map(|path| {
+        let bytes = std::fs::metadata(path)
+            .unwrap_or_else(|e| panic!("snapshot {} is unreadable: {e}", path.display()))
+            .len();
+        let t0 = Instant::now();
+        let loaded = l2r_core::load_model(path)
+            .unwrap_or_else(|e| panic!("snapshot {} failed to load: {e}", path.display()));
+        let load_ms = t0.elapsed().as_secs_f64() * 1000.0;
+        (
+            loaded,
+            OnlineSnapshotInfo {
+                path: path.display().to_string(),
+                bytes,
+                load_ms,
+            },
+        )
+    });
+    let serving_model = loaded.as_ref().map(|(m, _)| m).unwrap_or(model);
+
     let t0 = Instant::now();
-    let prepared = model.prepare();
+    let prepared = serving_model.prepare();
     let prepare_ms = t0.elapsed().as_secs_f64() * 1000.0;
     let mut scratch = QueryScratch::new();
 
@@ -378,6 +446,7 @@ pub fn online_bench_for(ds: &Dataset, rounds: usize) -> OnlineBenchDataset {
         rounds,
         equivalent,
         prepare_ms,
+        snapshot: loaded.map(|(_, info)| info),
         speedup_mean: if prepared_stats.mean_us > 0.0 {
             baseline.mean_us / prepared_stats.mean_us
         } else {
@@ -430,6 +499,20 @@ pub fn online_bench_for(ds: &Dataset, rounds: usize) -> OnlineBenchDataset {
     }
 }
 
+/// Escapes a string for embedding in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
 /// Renders the online report as pretty-printed JSON (hand-rolled; the build
 /// environment has no serde).
 pub fn online_bench_json(report: &OnlineBenchReport) -> String {
@@ -460,6 +543,16 @@ pub fn online_bench_json(report: &OnlineBenchReport) -> String {
         out.push_str(&format!("      \"rounds\": {},\n", ds.rounds));
         out.push_str(&format!("      \"equivalent\": {},\n", ds.equivalent));
         out.push_str(&format!("      \"prepare_ms\": {:.3},\n", ds.prepare_ms));
+        if let Some(snap) = &ds.snapshot {
+            // The path is the one user-controlled string in this report;
+            // escape it so the hand-rolled JSON stays parseable.
+            out.push_str(&format!(
+                "      \"snapshot\": {{ \"path\": \"{}\", \"bytes\": {}, \"load_ms\": {:.3} }},\n",
+                json_escape(&snap.path),
+                snap.bytes,
+                snap.load_ms
+            ));
+        }
         stats(&mut out, "baseline_route_pre_pr", &ds.baseline, true);
         stats(&mut out, "free_route", &ds.free, true);
         stats(&mut out, "prepared", &ds.prepared, true);
@@ -524,6 +617,18 @@ mod tests {
     }
 
     #[test]
+    fn snapshot_paths_embed_the_dataset_name() {
+        assert_eq!(
+            snapshot_path_for("target/model.l2r", "D1"),
+            std::path::PathBuf::from("target/model.D1.l2r")
+        );
+        assert_eq!(
+            snapshot_path_for("model", "D2"),
+            std::path::PathBuf::from("model.D2")
+        );
+    }
+
+    #[test]
     fn bench_scale_defaults_to_quick() {
         // Read-only on purpose: mutating the environment here would race
         // with concurrently running tests whose fits read `L2R_THREADS`
@@ -566,8 +671,9 @@ mod tests {
     #[test]
     fn online_report_measures_serving_and_renders_json() {
         let ds = &datasets(DatasetChoice::D1, Scale::Quick)[0];
-        let entry = online_bench_for(ds, 1);
+        let entry = online_bench_for(ds, 1, None);
         assert_eq!(entry.name, "D1");
+        assert!(entry.snapshot.is_none());
         assert!(entry.queries > 0);
         assert!(
             entry.equivalent,
@@ -602,6 +708,42 @@ mod tests {
         assert!(json.contains("\"InRegion\""));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn online_report_can_serve_from_a_snapshot() {
+        let ds = &datasets(DatasetChoice::D1, Scale::Quick)[0];
+        let path = std::env::temp_dir().join(format!(
+            "l2r-bench-snapshot-test-{}.l2r",
+            std::process::id()
+        ));
+        let saved = l2r_core::save_model(&ds.model, &path).expect("save");
+        let entry = online_bench_for(ds, 1, Some(&path));
+        std::fs::remove_file(&path).ok();
+        let snap = entry.snapshot.as_ref().expect("snapshot info recorded");
+        assert_eq!(snap.bytes, saved);
+        assert!(snap.load_ms > 0.0);
+        assert!(
+            entry.equivalent,
+            "a loaded model must serve bit-identically to the in-memory fit"
+        );
+        let report = OnlineBenchReport {
+            scale: Scale::Quick,
+            threads: l2r_par::max_threads(),
+            datasets: vec![entry],
+        };
+        let json = online_bench_json(&report);
+        assert!(json.contains("\"snapshot\""));
+        assert!(json.contains("\"load_ms\""));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn json_escape_handles_special_characters() {
+        assert_eq!(json_escape("target/model.l2r"), "target/model.l2r");
+        assert_eq!(json_escape(r"C:\models\a.l2r"), r"C:\\models\\a.l2r");
+        assert_eq!(json_escape("a\"b"), "a\\\"b");
+        assert_eq!(json_escape("a\nb"), "a\\u000ab");
     }
 
     #[test]

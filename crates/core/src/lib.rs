@@ -34,6 +34,11 @@
 //! [`prepared::QueryScratch`] state — several times faster, without
 //! per-query allocation — and batches with
 //! [`prepared::PreparedRouter::route_many`].
+//!
+//! To pay the offline cost once *per fleet* rather than once per process,
+//! persist the fitted model with [`snapshot::save_model`] and serve it from
+//! disk with [`snapshot::load_model`]: a loaded model prepares and routes
+//! bit-identically to the in-memory original.
 
 #![warn(missing_docs)]
 
@@ -44,6 +49,7 @@ pub mod pipeline;
 pub mod prepared;
 pub mod region_routing;
 pub mod router;
+pub mod snapshot;
 
 pub use apply::{apply_preferences_to_b_edges, path_under_preference, ApplyStats};
 pub use config::L2rConfig;
@@ -52,3 +58,7 @@ pub use pipeline::{L2r, OfflineStats};
 pub use prepared::{PreparedRouter, QueryScratch};
 pub use region_routing::{find_region_path, RegionPath, RegionSearchSpace};
 pub use router::{region_coverage, route, RegionCoverage, RouteResult, RouteStrategy};
+pub use snapshot::{
+    decode_model, encode_model, load_model, save_model, SnapshotError, SNAPSHOT_MAGIC,
+    SNAPSHOT_VERSION,
+};

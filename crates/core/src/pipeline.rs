@@ -139,6 +139,26 @@ impl L2r {
         })
     }
 
+    /// Reassembles a model from its constituent parts (snapshot decoding);
+    /// the parts must describe a consistent fitted model.
+    pub(crate) fn from_parts(
+        net: RoadNetwork,
+        region_graph: RegionGraph,
+        learned: HashMap<RegionEdgeId, LearnedPreference>,
+        transferred: HashMap<RegionEdgeId, Option<Preference>>,
+        config: L2rConfig,
+        stats: OfflineStats,
+    ) -> L2r {
+        L2r {
+            net,
+            region_graph,
+            learned,
+            transferred,
+            config,
+            stats,
+        }
+    }
+
     /// Routes between two road-network vertices.
     pub fn route(&self, source: VertexId, destination: VertexId) -> Option<RouteResult> {
         route(&self.net, &self.region_graph, source, destination)

@@ -38,8 +38,7 @@ impl Ord for Frontier {
         // Min-heap on (distance, hops).
         other
             .distance_to_dest
-            .partial_cmp(&self.distance_to_dest)
-            .unwrap_or(Ordering::Equal)
+            .total_cmp(&self.distance_to_dest)
             .then_with(|| other.hops.cmp(&self.hops))
             .then_with(|| other.region.0.cmp(&self.region.0))
     }

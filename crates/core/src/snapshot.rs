@@ -1,0 +1,503 @@
+//! Versioned binary snapshots of a fitted [`L2r`] model.
+//!
+//! The paper's premise (Section VII-C) is that the offline cost is paid
+//! *once*; this module is the seam that makes that true across processes:
+//! [`save_model`] persists everything a fitted model owns — the road
+//! network, the region graph with its T/B-edge classification and attached
+//! paths, learned and transferred preference vectors, transfer centers,
+//! configuration and offline statistics — into a single file, and
+//! [`load_model`] brings it back with **bit-identical** serving behaviour
+//! (a [`crate::PreparedRouter`] built from a loaded model answers exactly
+//! like one built from the original; the vertex-grid sweeps in
+//! `tests/snapshot_equivalence.rs` enforce it the same way prepared-vs-free
+//! equivalence is enforced, and `crates/core/tests/snapshot_robustness.rs`
+//! covers the malformed-file surface).
+//!
+//! # File format
+//!
+//! Everything is little-endian (see [`l2r_road_network::codec`]):
+//!
+//! ```text
+//! offset  size  field
+//!      0     8  magic  b"L2RSNAP\0"
+//!      8     1  format version (currently 1)
+//!      9     8  payload length in bytes (u64)
+//!     17     4  CRC-32 (IEEE) of the payload (u32)
+//!     21     n  payload: network, region graph, learned preferences,
+//!               transferred preferences, config, offline stats
+//! ```
+//!
+//! Loading performs a single file read, decodes into preallocated vectors,
+//! and validates every embedded id against the counts stored in the same
+//! payload — a corrupt or truncated file produces a [`SnapshotError`],
+//! never a panic.  Encoding is deterministic (hash maps are written in
+//! sorted key order), so `encode → decode → encode` reproduces the exact
+//! bytes; the tests lean on that for cheap whole-model equality.
+
+use std::collections::HashMap;
+use std::path::Path;
+
+use l2r_preference::{LearnedPreference, Preference};
+use l2r_region_graph::{decode_region_graph, RegionEdgeId, RegionGraph};
+use l2r_road_network::{CodecError, Decode, Encode, Reader, RoadNetwork, Writer};
+
+use crate::config::L2rConfig;
+use crate::pipeline::{L2r, OfflineStats};
+
+/// Magic bytes identifying an L2R snapshot file.
+pub const SNAPSHOT_MAGIC: [u8; 8] = *b"L2RSNAP\0";
+
+/// Current snapshot format version.  Bumped on any wire-format change;
+/// loaders reject versions they do not know.
+pub const SNAPSHOT_VERSION: u8 = 1;
+
+/// Size of the fixed header preceding the payload.
+const HEADER_LEN: usize = 8 + 1 + 8 + 4;
+
+/// An error raised while saving or loading a snapshot.
+#[derive(Debug)]
+pub enum SnapshotError {
+    /// The underlying file could not be read or written.
+    Io(std::io::Error),
+    /// The file does not start with [`SNAPSHOT_MAGIC`].
+    BadMagic,
+    /// The file was written by a newer (or unknown) format version.
+    UnsupportedVersion(u8),
+    /// The file has the snapshot magic but ends inside the fixed header.
+    TruncatedHeader {
+        /// Total file length in bytes (less than the header size).
+        len: u64,
+    },
+    /// The file is shorter than its header claims.
+    Truncated {
+        /// Bytes the header promised.
+        expected: u64,
+        /// Bytes actually present after the header.
+        actual: u64,
+    },
+    /// The file is longer than its header claims.
+    TrailingBytes(u64),
+    /// The payload checksum does not match the header.
+    ChecksumMismatch {
+        /// Checksum stored in the header.
+        expected: u32,
+        /// Checksum of the payload as read.
+        actual: u32,
+    },
+    /// The payload failed structural validation.
+    Codec(CodecError),
+}
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapshotError::Io(e) => write!(f, "snapshot I/O error: {e}"),
+            SnapshotError::BadMagic => write!(f, "not an L2R snapshot (bad magic)"),
+            SnapshotError::UnsupportedVersion(v) => {
+                write!(
+                    f,
+                    "unsupported snapshot format version {v} (this build reads up to {SNAPSHOT_VERSION})"
+                )
+            }
+            SnapshotError::TruncatedHeader { len } => {
+                write!(
+                    f,
+                    "snapshot truncated inside the {HEADER_LEN}-byte header ({len} bytes total)"
+                )
+            }
+            SnapshotError::Truncated { expected, actual } => {
+                write!(
+                    f,
+                    "snapshot truncated: payload {actual} of {expected} bytes"
+                )
+            }
+            SnapshotError::TrailingBytes(n) => {
+                write!(f, "snapshot has {n} trailing bytes after the payload")
+            }
+            SnapshotError::ChecksumMismatch { expected, actual } => write!(
+                f,
+                "snapshot checksum mismatch: header {expected:#010x}, payload {actual:#010x}"
+            ),
+            SnapshotError::Codec(e) => write!(f, "snapshot payload invalid: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SnapshotError::Io(e) => Some(e),
+            SnapshotError::Codec(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for SnapshotError {
+    fn from(e: std::io::Error) -> Self {
+        SnapshotError::Io(e)
+    }
+}
+
+impl From<CodecError> for SnapshotError {
+    fn from(e: CodecError) -> Self {
+        SnapshotError::Codec(e)
+    }
+}
+
+/// CRC-32 (IEEE 802.3, reflected) of `data`; table built once per process.
+fn crc32(data: &[u8]) -> u32 {
+    use std::sync::OnceLock;
+    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+    let table = TABLE.get_or_init(|| {
+        let mut table = [0u32; 256];
+        for (i, slot) in table.iter_mut().enumerate() {
+            let mut crc = i as u32;
+            for _ in 0..8 {
+                crc = if crc & 1 != 0 {
+                    (crc >> 1) ^ 0xEDB8_8320
+                } else {
+                    crc >> 1
+                };
+            }
+            *slot = crc;
+        }
+        table
+    });
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in data {
+        crc = (crc >> 8) ^ table[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+fn encode_duration(w: &mut Writer, d: std::time::Duration) {
+    // Nanosecond resolution in a u64 covers ~584 years of offline time.
+    w.u64(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
+}
+
+fn decode_duration(
+    r: &mut Reader<'_>,
+    what: &'static str,
+) -> Result<std::time::Duration, CodecError> {
+    Ok(std::time::Duration::from_nanos(r.u64(what)?))
+}
+
+fn encode_stats(w: &mut Writer, s: &OfflineStats) {
+    encode_duration(w, s.clustering_time);
+    encode_duration(w, s.region_graph_time);
+    encode_duration(w, s.learning_time);
+    encode_duration(w, s.transfer_time);
+    encode_duration(w, s.apply_time);
+    w.length(s.num_regions);
+    w.length(s.num_t_edges);
+    w.length(s.num_b_edges);
+    w.f64(s.null_rate);
+    w.length(s.apply.edges_with_paths);
+    w.length(s.apply.edges_without_paths);
+    w.length(s.apply.total_paths);
+}
+
+fn decode_stats(r: &mut Reader<'_>) -> Result<OfflineStats, CodecError> {
+    Ok(OfflineStats {
+        clustering_time: decode_duration(r, "clustering time")?,
+        region_graph_time: decode_duration(r, "region graph time")?,
+        learning_time: decode_duration(r, "learning time")?,
+        transfer_time: decode_duration(r, "transfer time")?,
+        apply_time: decode_duration(r, "apply time")?,
+        num_regions: r.u64("num regions")? as usize,
+        num_t_edges: r.u64("num t-edges")? as usize,
+        num_b_edges: r.u64("num b-edges")? as usize,
+        null_rate: r.f64("null rate")?,
+        apply: crate::apply::ApplyStats {
+            edges_with_paths: r.u64("edges with paths")? as usize,
+            edges_without_paths: r.u64("edges without paths")? as usize,
+            total_paths: r.u64("total paths")? as usize,
+        },
+    })
+}
+
+/// Encodes the model payload (header not included).  Hash-map entries are
+/// written in ascending edge-id order, making the byte stream deterministic.
+fn encode_payload(model: &L2r) -> Vec<u8> {
+    let mut w = Writer::new();
+    model.network().encode(&mut w);
+    model.region_graph().encode(&mut w);
+
+    let mut learned: Vec<(&RegionEdgeId, &LearnedPreference)> =
+        model.learned_preferences().iter().collect();
+    learned.sort_by_key(|(id, _)| **id);
+    w.length(learned.len());
+    for (id, lp) in learned {
+        w.u32(id.0);
+        lp.encode(&mut w);
+    }
+
+    let mut transferred: Vec<(&RegionEdgeId, &Option<Preference>)> =
+        model.transferred_preferences().iter().collect();
+    transferred.sort_by_key(|(id, _)| **id);
+    w.length(transferred.len());
+    for (id, pref) in transferred {
+        w.u32(id.0);
+        match pref {
+            Some(p) => {
+                w.bool(true);
+                p.encode(&mut w);
+            }
+            None => w.bool(false),
+        }
+    }
+
+    let config = model.config();
+    config.learn.encode(&mut w);
+    config.transfer.encode(&mut w);
+    w.length(config.function_top_k);
+    w.length(config.max_transfer_center_pairs);
+
+    encode_stats(&mut w, model.stats());
+    w.into_vec()
+}
+
+fn decode_payload(payload: &[u8]) -> Result<L2r, SnapshotError> {
+    let mut r = Reader::new(payload);
+    let net = RoadNetwork::decode(&mut r)?;
+    let region_graph: RegionGraph = decode_region_graph(&mut r, &net)?;
+    let num_edges = region_graph.num_edges();
+
+    let learned_len = r.length("learned preference count", 14)?;
+    let mut learned: HashMap<RegionEdgeId, LearnedPreference> = HashMap::with_capacity(learned_len);
+    for _ in 0..learned_len {
+        let id = RegionEdgeId(r.index("learned edge id", num_edges)?);
+        let lp = LearnedPreference::decode(&mut r)?;
+        if learned.insert(id, lp).is_some() {
+            return Err(CodecError::Invalid("duplicate learned edge id").into());
+        }
+    }
+
+    let transferred_len = r.length("transferred preference count", 5)?;
+    let mut transferred: HashMap<RegionEdgeId, Option<Preference>> =
+        HashMap::with_capacity(transferred_len);
+    for _ in 0..transferred_len {
+        let id = RegionEdgeId(r.index("transferred edge id", num_edges)?);
+        let pref = if r.bool("transferred preference flag")? {
+            Some(Preference::decode(&mut r)?)
+        } else {
+            None
+        };
+        if transferred.insert(id, pref).is_some() {
+            return Err(CodecError::Invalid("duplicate transferred edge id").into());
+        }
+    }
+
+    let learn = l2r_preference::LearnConfig::decode(&mut r)?;
+    let transfer = l2r_preference::TransferConfig::decode(&mut r)?;
+    let function_top_k = r.u64("function top k")? as usize;
+    let max_transfer_center_pairs = r.u64("max transfer center pairs")? as usize;
+    let config = L2rConfig {
+        learn,
+        transfer,
+        function_top_k,
+        max_transfer_center_pairs,
+    };
+
+    let stats = decode_stats(&mut r)?;
+    if !r.is_exhausted() {
+        return Err(SnapshotError::TrailingBytes(r.remaining() as u64));
+    }
+    Ok(L2r::from_parts(
+        net,
+        region_graph,
+        learned,
+        transferred,
+        config,
+        stats,
+    ))
+}
+
+/// Serialises a fitted model into the framed snapshot byte stream
+/// (header + checksummed payload).  Deterministic: the same model always
+/// produces the same bytes.
+pub fn encode_model(model: &L2r) -> Vec<u8> {
+    let payload = encode_payload(model);
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+    out.extend_from_slice(&SNAPSHOT_MAGIC);
+    out.push(SNAPSHOT_VERSION);
+    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    out.extend_from_slice(&crc32(&payload).to_le_bytes());
+    out.extend_from_slice(&payload);
+    out
+}
+
+/// Decodes a framed snapshot byte stream back into a fitted model,
+/// validating the magic, version, length, checksum and every embedded id.
+pub fn decode_model(bytes: &[u8]) -> Result<L2r, SnapshotError> {
+    if bytes.len() < SNAPSHOT_MAGIC.len() || bytes[..SNAPSHOT_MAGIC.len()] != SNAPSHOT_MAGIC {
+        return Err(SnapshotError::BadMagic);
+    }
+    if bytes.len() < HEADER_LEN {
+        return Err(SnapshotError::TruncatedHeader {
+            len: bytes.len() as u64,
+        });
+    }
+    let version = bytes[8];
+    if version != SNAPSHOT_VERSION {
+        return Err(SnapshotError::UnsupportedVersion(version));
+    }
+    let payload_len = u64::from_le_bytes(bytes[9..17].try_into().expect("8-byte slice"));
+    let stored_crc = u32::from_le_bytes(bytes[17..21].try_into().expect("4-byte slice"));
+    let payload = &bytes[HEADER_LEN..];
+    if (payload.len() as u64) < payload_len {
+        return Err(SnapshotError::Truncated {
+            expected: payload_len,
+            actual: payload.len() as u64,
+        });
+    }
+    if (payload.len() as u64) > payload_len {
+        return Err(SnapshotError::TrailingBytes(
+            payload.len() as u64 - payload_len,
+        ));
+    }
+    let actual_crc = crc32(payload);
+    if actual_crc != stored_crc {
+        return Err(SnapshotError::ChecksumMismatch {
+            expected: stored_crc,
+            actual: actual_crc,
+        });
+    }
+    decode_payload(payload)
+}
+
+/// Writes a fitted model to `path`, returning the snapshot size in bytes.
+pub fn save_model(model: &L2r, path: &Path) -> Result<u64, SnapshotError> {
+    let bytes = encode_model(model);
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    std::fs::write(path, &bytes)?;
+    Ok(bytes.len() as u64)
+}
+
+/// Reads a fitted model from `path` in a single read.
+pub fn load_model(path: &Path) -> Result<L2r, SnapshotError> {
+    let bytes = std::fs::read(path)?;
+    decode_model(&bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use l2r_datagen::{
+        generate_network, generate_workload, SyntheticNetworkConfig, WorkloadConfig,
+    };
+    use l2r_road_network::RoadNetworkBuilder;
+
+    fn fitted() -> L2r {
+        let syn = generate_network(&SyntheticNetworkConfig::tiny());
+        let wl = generate_workload(&syn, &WorkloadConfig::tiny(250));
+        let (train, _) = wl.temporal_split(0.8);
+        L2r::fit(&syn.net, &train, L2rConfig::fast()).unwrap()
+    }
+
+    #[test]
+    fn encode_decode_encode_is_bit_stable() {
+        let model = fitted();
+        let bytes = encode_model(&model);
+        let loaded = decode_model(&bytes).unwrap();
+        assert_eq!(encode_model(&loaded), bytes);
+    }
+
+    #[test]
+    fn loaded_model_preserves_all_parts() {
+        let model = fitted();
+        let loaded = decode_model(&encode_model(&model)).unwrap();
+        assert_eq!(
+            loaded.network().num_vertices(),
+            model.network().num_vertices()
+        );
+        assert_eq!(
+            loaded.region_graph().num_edges(),
+            model.region_graph().num_edges()
+        );
+        assert_eq!(loaded.learned_preferences(), model.learned_preferences());
+        assert_eq!(
+            loaded.transferred_preferences(),
+            model.transferred_preferences()
+        );
+        assert_eq!(loaded.stats().num_regions, model.stats().num_regions);
+        assert_eq!(
+            loaded.stats().learning_time.as_nanos(),
+            model.stats().learning_time.as_nanos()
+        );
+        assert_eq!(
+            loaded.config().function_top_k,
+            model.config().function_top_k
+        );
+    }
+
+    #[test]
+    fn empty_model_roundtrips() {
+        // Zero regions cannot come out of `fit` (it errors), but the format
+        // must still round-trip the degenerate model.
+        let net = RoadNetworkBuilder::new().build();
+        let rg = RegionGraph::build(&net, &[], &[], 2);
+        let model = L2r::from_parts(
+            net,
+            rg,
+            HashMap::new(),
+            HashMap::new(),
+            L2rConfig::default(),
+            OfflineStats::default(),
+        );
+        let bytes = encode_model(&model);
+        let loaded = decode_model(&bytes).unwrap();
+        assert_eq!(loaded.region_graph().num_regions(), 0);
+        assert!(loaded.learned_preferences().is_empty());
+        assert_eq!(encode_model(&loaded), bytes);
+    }
+
+    #[test]
+    fn out_of_range_preference_edge_ids_error() {
+        let model = fitted();
+        let num_edges = model.region_graph().num_edges() as u32;
+
+        let mut learned = model.learned_preferences().clone();
+        let any = *learned.values().next().unwrap();
+        learned.insert(RegionEdgeId(num_edges + 40), any);
+        let bad = L2r::from_parts(
+            model.network().clone(),
+            model.region_graph().clone(),
+            learned,
+            model.transferred_preferences().clone(),
+            model.config().clone(),
+            model.stats().clone(),
+        );
+        assert!(matches!(
+            decode_model(&encode_model(&bad)),
+            Err(SnapshotError::Codec(CodecError::IndexOutOfRange { .. }))
+        ));
+
+        let mut transferred = model.transferred_preferences().clone();
+        transferred.insert(RegionEdgeId(num_edges), None);
+        let bad = L2r::from_parts(
+            model.network().clone(),
+            model.region_graph().clone(),
+            model.learned_preferences().clone(),
+            transferred,
+            model.config().clone(),
+            model.stats().clone(),
+        );
+        assert!(matches!(
+            decode_model(&encode_model(&bad)),
+            Err(SnapshotError::Codec(CodecError::IndexOutOfRange { .. }))
+        ));
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // The classic IEEE test vector.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+}

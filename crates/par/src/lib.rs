@@ -33,7 +33,15 @@ pub const THREADS_ENV: &str = "L2R_THREADS";
 /// [`THREADS_ENV`] when it parses to a positive integer, otherwise the
 /// available hardware parallelism (1 when that cannot be determined).
 pub fn max_threads() -> usize {
-    if let Ok(v) = std::env::var(THREADS_ENV) {
+    threads_from_override(std::env::var(THREADS_ENV).ok().as_deref())
+}
+
+/// The policy behind [`max_threads`], with the environment lookup injected:
+/// tests exercise every override variant through this function instead of
+/// mutating the real environment (`set_var` racing `getenv` from the
+/// parallel fits other tests run is undefined behaviour on glibc).
+fn threads_from_override(value: Option<&str>) -> usize {
+    if let Some(v) = value {
         if let Ok(t) = v.trim().parse::<usize>() {
             if t >= 1 {
                 return t;
@@ -208,17 +216,20 @@ mod tests {
 
     #[test]
     fn env_override_controls_thread_count() {
-        // This is the only test touching the environment variable; run every
-        // variant in one test to avoid races with parallel test execution.
-        std::env::set_var(THREADS_ENV, "3");
-        assert_eq!(max_threads(), 3);
-        std::env::set_var(THREADS_ENV, "1");
-        assert_eq!(max_threads(), 1);
-        std::env::set_var(THREADS_ENV, "not-a-number");
-        assert!(max_threads() >= 1);
-        std::env::set_var(THREADS_ENV, "0");
-        assert!(max_threads() >= 1);
-        std::env::remove_var(THREADS_ENV);
-        assert!(max_threads() >= 1);
+        // Exercised through the injectable lookup: no `set_var`, so this
+        // cannot race the `getenv` calls of concurrently running tests.
+        assert_eq!(threads_from_override(Some("3")), 3);
+        assert_eq!(threads_from_override(Some(" 2 ")), 2);
+        assert_eq!(threads_from_override(Some("1")), 1);
+        assert!(threads_from_override(Some("not-a-number")) >= 1);
+        assert!(threads_from_override(Some("0")) >= 1);
+        assert!(threads_from_override(Some("-4")) >= 1);
+        assert!(threads_from_override(None) >= 1);
+        // The public entry point agrees with the injected policy for the
+        // environment this process actually has.
+        assert_eq!(
+            max_threads(),
+            threads_from_override(std::env::var(THREADS_ENV).ok().as_deref())
+        );
     }
 }

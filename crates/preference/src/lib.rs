@@ -16,6 +16,7 @@
 
 #![warn(missing_docs)]
 
+pub mod codec;
 pub mod learning;
 pub mod model;
 pub mod re_sim;

@@ -77,8 +77,7 @@ impl Eq for HeapEntry {}
 impl Ord for HeapEntry {
     fn cmp(&self, other: &Self) -> Ordering {
         self.popularity
-            .partial_cmp(&other.popularity)
-            .unwrap_or(Ordering::Equal)
+            .total_cmp(&other.popularity)
             .then_with(|| other.node.cmp(&self.node))
     }
 }
@@ -307,8 +306,7 @@ pub fn bottom_up_clustering(tg: &TrajectoryGraph) -> Vec<Cluster> {
 
     clusters.sort_by(|a, b| {
         b.popularity
-            .partial_cmp(&a.popularity)
-            .unwrap_or(Ordering::Equal)
+            .total_cmp(&a.popularity)
             .then_with(|| a.vertices.first().cmp(&b.vertices.first()))
     });
     clusters

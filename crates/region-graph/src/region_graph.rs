@@ -99,20 +99,24 @@ impl RegionEdge {
 }
 
 /// The region graph.
+///
+/// Field visibility is `pub(crate)` so the snapshot codec
+/// ([`crate::codec`]) can take the graph apart and reassemble it; external
+/// code goes through the accessor methods.
 #[derive(Debug, Clone)]
 pub struct RegionGraph {
-    regions: Vec<Region>,
-    edges: Vec<RegionEdge>,
-    adjacency: Vec<Vec<RegionEdgeId>>,
-    vertex_region: HashMap<VertexId, RegionId>,
-    inner_paths: Vec<Vec<SupportedPath>>,
-    transfer_centers: Vec<Vec<VertexId>>,
+    pub(crate) regions: Vec<Region>,
+    pub(crate) edges: Vec<RegionEdge>,
+    pub(crate) adjacency: Vec<Vec<RegionEdgeId>>,
+    pub(crate) vertex_region: HashMap<VertexId, RegionId>,
+    pub(crate) inner_paths: Vec<Vec<SupportedPath>>,
+    pub(crate) transfer_centers: Vec<Vec<VertexId>>,
     /// Per-region fallback returned by [`RegionGraph::transfer_centers_or_default`]
     /// when no trajectory crossed the region boundary: the vertex closest to
     /// the region centroid, resolved once at build time so the query path
     /// never recomputes (or re-allocates) it.
-    fallback_centers: Vec<Vec<VertexId>>,
-    edge_lookup: HashMap<(RegionId, RegionId), RegionEdgeId>,
+    pub(crate) fallback_centers: Vec<Vec<VertexId>>,
+    pub(crate) edge_lookup: HashMap<(RegionId, RegionId), RegionEdgeId>,
 }
 
 fn canonical(a: RegionId, b: RegionId) -> (RegionId, RegionId) {
@@ -409,7 +413,7 @@ impl RegionGraph {
             let closest = region.vertices.iter().min_by(|a, b| {
                 let da = net.vertex(**a).point.distance(&region.centroid);
                 let db = net.vertex(**b).point.distance(&region.centroid);
-                da.partial_cmp(&db).unwrap_or(std::cmp::Ordering::Equal)
+                da.total_cmp(&db)
             });
             if let Some(v) = closest {
                 self.fallback_centers[i].push(*v);

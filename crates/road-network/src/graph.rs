@@ -192,12 +192,7 @@ impl RoadNetwork {
     pub fn nearest_vertex(&self, p: &Point) -> Option<VertexId> {
         self.vertices
             .iter()
-            .min_by(|a, b| {
-                a.point
-                    .distance_sq(p)
-                    .partial_cmp(&b.point.distance_sq(p))
-                    .unwrap_or(std::cmp::Ordering::Equal)
-            })
+            .min_by(|a, b| a.point.distance_sq(p).total_cmp(&b.point.distance_sq(p)))
             .map(|v| v.id)
     }
 
@@ -334,10 +329,20 @@ impl RoadNetworkBuilder {
 
     /// Finalises the builder into an immutable [`RoadNetwork`].
     pub fn build(self) -> RoadNetwork {
-        let n = self.vertices.len();
+        RoadNetwork::from_parts(self.vertices, self.edges)
+    }
+}
+
+impl RoadNetwork {
+    /// Assembles a network from vertex and edge tables whose ids equal their
+    /// indexes, rebuilding the CSR adjacency and bounding box.  Shared by
+    /// [`RoadNetworkBuilder::build`] and snapshot decoding, so a decoded
+    /// network is structurally identical to a freshly built one.
+    pub(crate) fn from_parts(vertices: Vec<Vertex>, edges: Vec<Edge>) -> RoadNetwork {
+        let n = vertices.len();
         let mut out_counts = vec![0u32; n + 1];
         let mut in_counts = vec![0u32; n + 1];
-        for e in &self.edges {
+        for e in &edges {
             out_counts[e.from.idx() + 1] += 1;
             in_counts[e.to.idx() + 1] += 1;
         }
@@ -345,11 +350,11 @@ impl RoadNetworkBuilder {
             out_counts[i + 1] += out_counts[i];
             in_counts[i + 1] += in_counts[i];
         }
-        let mut out_edges = vec![EdgeId(0); self.edges.len()];
-        let mut in_edges = vec![EdgeId(0); self.edges.len()];
+        let mut out_edges = vec![EdgeId(0); edges.len()];
+        let mut in_edges = vec![EdgeId(0); edges.len()];
         let mut out_cursor = out_counts.clone();
         let mut in_cursor = in_counts.clone();
-        for e in &self.edges {
+        for e in &edges {
             out_edges[out_cursor[e.from.idx()] as usize] = e.id;
             out_cursor[e.from.idx()] += 1;
             in_edges[in_cursor[e.to.idx()] as usize] = e.id;
@@ -360,12 +365,12 @@ impl RoadNetworkBuilder {
         for v in 0..n {
             let start = out_counts[v] as usize;
             let end = out_counts[v + 1] as usize;
-            out_edges[start..end].sort_unstable_by_key(|eid| (self.edges[eid.idx()].to, *eid));
+            out_edges[start..end].sort_unstable_by_key(|eid| (edges[eid.idx()].to, *eid));
         }
-        let bbox = BoundingBox::from_points(self.vertices.iter().map(|v| &v.point));
+        let bbox = BoundingBox::from_points(vertices.iter().map(|v| &v.point));
         RoadNetwork {
-            vertices: self.vertices,
-            edges: self.edges,
+            vertices,
+            edges,
             out_offsets: out_counts,
             out_edges,
             in_offsets: in_counts,

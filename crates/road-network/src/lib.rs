@@ -15,13 +15,16 @@
 //!   preference-constrained search of Algorithm 2 ([`constrained`]) and the
 //!   multi-objective skyline search used by the Dom baseline ([`skyline`]),
 //!   all built on the reusable zero-allocation [`search_space`];
-//! * planar geometry helpers and a grid spatial index ([`spatial`]).
+//! * planar geometry helpers and a grid spatial index ([`spatial`]);
+//! * the hand-rolled binary [`codec`] (Writer/Reader, [`Encode`]/[`Decode`])
+//!   that model snapshots are built on.
 //!
 //! Everything is deterministic and free of I/O; higher layers (trajectories,
 //! clustering, preference learning, the L2R router) build on these types.
 
 #![warn(missing_docs)]
 
+pub mod codec;
 pub mod constrained;
 pub mod dijkstra;
 pub mod error;
@@ -35,6 +38,7 @@ pub mod skyline;
 pub mod spatial;
 pub mod weights;
 
+pub use codec::{decode_path, decode_vertex, CodecError, Decode, Encode, Reader, Writer};
 pub use constrained::preference_constrained_path;
 pub use dijkstra::{
     dijkstra, fastest_path, fastest_path_with_settle_order, lowest_cost_path, most_economic_path,

@@ -52,10 +52,12 @@ impl Eq for QueueEntry {}
 
 impl Ord for QueueEntry {
     fn cmp(&self, other: &Self) -> Ordering {
+        // `total_cmp` keeps the heap ordering a strict total order even if a
+        // NaN cost ever slips in (an inconsistent comparator corrupts a
+        // binary heap silently).
         other
             .cost
-            .partial_cmp(&self.cost)
-            .unwrap_or(Ordering::Equal)
+            .total_cmp(&self.cost)
             .then_with(|| other.vertex.0.cmp(&self.vertex.0))
     }
 }

@@ -211,7 +211,7 @@ pub fn band_match_similarity(
         return 0.0;
     }
     // Merge overlapping intervals and sum their coverage.
-    intervals.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+    intervals.sort_by(|a, b| a.0.total_cmp(&b.0));
     let mut covered = 0.0;
     let (mut cur_lo, mut cur_hi) = intervals[0];
     for &(lo, hi) in &intervals[1..] {

@@ -126,11 +126,7 @@ pub fn point_segment_distance(p: &Point, a: &Point, b: &Point) -> (f64, f64) {
 /// return whatever distinct points exist.
 pub fn convex_hull(points: &[Point]) -> Vec<Point> {
     let mut pts: Vec<Point> = points.to_vec();
-    pts.sort_by(|a, b| {
-        a.x.partial_cmp(&b.x)
-            .unwrap_or(std::cmp::Ordering::Equal)
-            .then(a.y.partial_cmp(&b.y).unwrap_or(std::cmp::Ordering::Equal))
-    });
+    pts.sort_by(|a, b| a.x.total_cmp(&b.x).then(a.y.total_cmp(&b.y)));
     pts.dedup_by(|a, b| (a.x - b.x).abs() < 1e-9 && (a.y - b.y).abs() < 1e-9);
     let n = pts.len();
     if n < 3 {

@@ -40,11 +40,7 @@ pub struct Trajectory {
 impl Trajectory {
     /// Creates a trajectory; records are sorted by timestamp.
     pub fn new(id: TrajectoryId, driver: DriverId, mut records: Vec<GpsRecord>) -> Self {
-        records.sort_by(|a, b| {
-            a.timestamp_s
-                .partial_cmp(&b.timestamp_s)
-                .unwrap_or(std::cmp::Ordering::Equal)
-        });
+        records.sort_by(|a, b| a.timestamp_s.total_cmp(&b.timestamp_s));
         Trajectory {
             id,
             driver,

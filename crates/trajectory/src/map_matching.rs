@@ -68,8 +68,14 @@ impl<'a> MapMatcher<'a> {
         Self::new(net, MapMatcherConfig::default())
     }
 
-    /// Candidate vertices for a GPS fix, sorted by distance, capped at
-    /// `max_candidates`.
+    /// Candidate vertices for a GPS fix, sorted by `(distance, vertex)`,
+    /// capped at `max_candidates`.
+    ///
+    /// The grid may report the same vertex more than once; sorting by
+    /// distance *alone* would let an equal-distance neighbour interleave
+    /// between two copies, so the adjacent-only `dedup_by_key` could leak a
+    /// duplicate candidate into Viterbi.  The vertex-id tie-break keeps
+    /// copies adjacent (and makes the candidate order fully deterministic).
     fn candidates(&self, p: &l2r_road_network::Point) -> Vec<(VertexId, f64)> {
         let mut cands: Vec<(VertexId, f64)> = self
             .vertex_grid
@@ -79,7 +85,7 @@ impl<'a> MapMatcher<'a> {
             .map(|v| (v, self.net.vertex(v).point.distance(p)))
             .filter(|(_, d)| *d <= self.config.candidate_radius_m)
             .collect();
-        cands.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+        cands.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
         cands.dedup_by_key(|(v, _)| *v);
         cands.truncate(self.config.max_candidates);
         cands
@@ -418,6 +424,50 @@ mod tests {
         let (matched, dropped) = matcher.match_all(&[good, bad]);
         assert_eq!(matched.len(), 1);
         assert_eq!(dropped, 1);
+    }
+
+    #[test]
+    fn duplicate_grid_hits_do_not_survive_into_candidates() {
+        // Two vertices 100 m apart: the whole network fits in one grid cell,
+        // so a duplicate registration of vertex 0 makes the grid report
+        // [0, 1, 0].  All three hits are exactly 50 m from the query point;
+        // a distance-only sort (stable) kept that interleaved order and the
+        // adjacent-only dedup let the duplicate survive into Viterbi.
+        let mut b = RoadNetworkBuilder::new();
+        let v0 = b.add_vertex(Point::new(0.0, 0.0));
+        let v1 = b.add_vertex(Point::new(100.0, 0.0));
+        b.add_two_way(v0, v1, RoadType::Secondary).unwrap();
+        let net = b.build();
+        let mut matcher = MapMatcher::with_defaults(&net);
+        matcher.vertex_grid.insert(0, &Point::new(0.0, 0.0));
+
+        let cands = matcher.candidates(&Point::new(50.0, 0.0));
+        let vertices: Vec<VertexId> = cands.iter().map(|(v, _)| *v).collect();
+        assert_eq!(
+            vertices,
+            vec![v0, v1],
+            "each vertex must appear once, ties ordered by vertex id"
+        );
+    }
+
+    #[test]
+    fn equidistant_candidates_are_ordered_deterministically() {
+        let net = grid5();
+        // (250, 0) is exactly 250 m from both vertex 0 (0,0) and vertex 1
+        // (500,0); a radius wide enough to reach them must rank the tie by
+        // vertex id.
+        let wide = MapMatcher::new(
+            &net,
+            MapMatcherConfig {
+                candidate_radius_m: 400.0,
+                ..MapMatcherConfig::default()
+            },
+        );
+        let cands = wide.candidates(&l2r_road_network::Point::new(250.0, 0.0));
+        assert!(cands.len() >= 2);
+        assert_eq!(cands[0].0, VertexId(0));
+        assert_eq!(cands[1].0, VertexId(1));
+        assert_eq!(cands[0].1.to_bits(), cands[1].1.to_bits());
     }
 
     #[test]

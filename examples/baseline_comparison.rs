@@ -76,12 +76,7 @@ fn main() {
     let best_baseline = results
         .iter()
         .filter(|r| r.name != "L2R")
-        .max_by(|a, b| {
-            a.overall
-                .accuracy_eq1
-                .partial_cmp(&b.overall.accuracy_eq1)
-                .unwrap()
-        })
+        .max_by(|a, b| a.overall.accuracy_eq1.total_cmp(&b.overall.accuracy_eq1))
         .unwrap();
     println!(
         "L2R overall accuracy {:.1}% vs best baseline {} at {:.1}%",

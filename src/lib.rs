@@ -41,7 +41,10 @@ pub mod prelude {
     pub use l2r_baselines::{
         BaselineRouter, Dom, ExternalRouter, FastestRouter, ShortestRouter, Trip,
     };
-    pub use l2r_core::{L2r, L2rConfig, RegionCoverage, RouteResult, RouteStrategy};
+    pub use l2r_core::{
+        load_model, save_model, L2r, L2rConfig, PreparedRouter, QueryScratch, RegionCoverage,
+        RouteResult, RouteStrategy, SnapshotError,
+    };
     pub use l2r_datagen::{
         generate_network, generate_workload, SyntheticNetworkConfig, WorkloadConfig,
     };

@@ -43,3 +43,8 @@ fn baseline_comparison_runs() {
 fn sparse_transfer_runs() {
     run_example("sparse_transfer");
 }
+
+#[test]
+fn snapshot_roundtrip_runs() {
+    run_example("snapshot_roundtrip");
+}
