@@ -38,7 +38,8 @@
 use l2r_baselines::{Dom, ExternalRouter, FastestRouter, ShortestRouter, Trip};
 use l2r_bench::{
     datasets, offline_bench_json, offline_report_for, online_bench_for, online_bench_json,
-    snapshot_path_for, DatasetChoice, OfflineBenchReport, OnlineBenchDataset, OnlineBenchReport,
+    serving_bench_for, snapshot_path_for, DatasetChoice, OfflineBenchReport, OnlineBenchDataset,
+    OnlineBenchReport, ServingBenchDataset,
 };
 use l2r_eval::{
     build_test_queries, compare_methods, compare_with_external, fig6a, fig6b, fig9a, fig9b,
@@ -46,6 +47,32 @@ use l2r_eval::{
     report_fig9a, report_fig9b, report_offline, report_runtime, report_table2, report_table4,
     table2, table4, Dataset, Method, Scale,
 };
+
+/// Every experiment name the CLI accepts; anything else is an error (the
+/// historical behaviour of silently ignoring typos meant a misspelled
+/// experiment "passed" by doing nothing).
+const EXPERIMENTS: &[&str] = &[
+    "all", "fit", "table2", "table4", "fig6a", "fig6b", "fig9a", "fig9b", "fig10", "fig11",
+    "fig12", "fig13", "offline", "online", "serving", "recovery",
+];
+
+fn usage(error: &str) -> ! {
+    eprintln!(
+        "error: {error}
+
+usage: reproduce [--full] [--threads N] [--snapshot <path>] [experiment ...]
+
+flags:
+  --full             benchmark-scale datasets (default: quick)
+  --threads N        pin the worker thread count (overrides L2R_THREADS)
+  --snapshot <path>  per-dataset snapshot base path (fit writes, online/serving read)
+
+experiments (default: all):
+  {}",
+        EXPERIMENTS.join(" ")
+    );
+    std::process::exit(2);
+}
 
 fn main() {
     let mut full = false;
@@ -57,16 +84,23 @@ fn main() {
             "--full" => full = true,
             "--snapshot" => match args.next() {
                 Some(path) => snapshot_base = Some(path),
-                None => {
-                    eprintln!("--snapshot requires a path argument");
-                    std::process::exit(2);
-                }
+                None => usage("--snapshot requires a path argument"),
+            },
+            "--threads" => match args.next().and_then(|v| v.trim().parse::<usize>().ok()) {
+                // Feed the CLI value through the same injectable policy the
+                // L2R_THREADS variable uses; the pin takes precedence.
+                Some(n) if n >= 1 => l2r_par::set_thread_override(Some(n)),
+                _ => usage("--threads requires a positive integer"),
             },
             other if other.starts_with("--") => {
-                eprintln!("unknown flag {other}");
-                std::process::exit(2);
+                usage(&format!("unknown flag `{other}`"));
             }
-            other => wanted.push(other.to_string()),
+            other => {
+                if !EXPERIMENTS.contains(&other) {
+                    usage(&format!("unknown experiment `{other}`"));
+                }
+                wanted.push(other.to_string());
+            }
         }
     }
     let scale = if full { Scale::Full } else { Scale::Quick };
@@ -84,6 +118,7 @@ fn main() {
     let sets = datasets(DatasetChoice::Both, scale);
     let mut offline_entries = Vec::new();
     let mut online_entries = Vec::new();
+    let mut serving_entries: Vec<ServingBenchDataset> = Vec::new();
     for ds in &sets {
         println!(
             "=== dataset {} — {} vertices, {} edges, {} trajectories ({} train / {} test), {} regions ===\n",
@@ -135,6 +170,13 @@ fn main() {
                 snapshot_base.as_deref(),
             ));
         }
+        if run("serving") {
+            serving_entries.push(run_serving(
+                ds,
+                if full { 3 } else { 2 },
+                snapshot_base.as_deref(),
+            ));
+        }
         if run("recovery") {
             run_recovery(ds);
         }
@@ -161,11 +203,12 @@ fn main() {
         }
     }
 
-    if !online_entries.is_empty() {
+    if !online_entries.is_empty() || !serving_entries.is_empty() {
         let report = OnlineBenchReport {
             scale,
             threads: l2r_par::max_threads(),
             datasets: online_entries,
+            serving: serving_entries,
         };
         let path = std::env::var("L2R_BENCH_ONLINE_JSON")
             .unwrap_or_else(|_| "target/BENCH_online.json".to_string());
@@ -191,6 +234,23 @@ fn main() {
                 "ERROR: prepared/free/pre-PR answers diverged on {} — \
                  the online report is invalid",
                 broken.join(", ")
+            );
+            std::process::exit(1);
+        }
+        // A hot-swap that failed even one query means the registry exposed a
+        // half-swapped or missing model, and TCP `ERR` responses mean the
+        // wire path misbehaved: fail the run, not just the number.
+        let swap_broken: Vec<&str> = report
+            .serving
+            .iter()
+            .filter(|d| d.hot_swap.failed > 0 || d.tcp.errors > 0)
+            .map(|d| d.name.as_str())
+            .collect();
+        if !swap_broken.is_empty() {
+            eprintln!(
+                "ERROR: hot-swap or TCP serving failed queries on {} — \
+                 the serving report is invalid",
+                swap_broken.join(", ")
             );
             std::process::exit(1);
         }
@@ -349,32 +409,38 @@ fn run_fit_snapshot(ds: &Dataset, base: &str) {
     }
 }
 
-fn run_online(ds: &Dataset, rounds: usize, snapshot_base: Option<&str>) -> OnlineBenchDataset {
-    let snapshot_path = snapshot_base.map(|base| snapshot_path_for(base, ds.spec.name));
-    if let Some(path) = &snapshot_path {
-        // Validate the file up front (`online_bench_for` panics on a bad
-        // snapshot) so a stale or truncated file gets a clean diagnostic,
-        // not a backtrace.  The validation load is a few milliseconds.
-        match l2r_core::load_model(path) {
-            Ok(_) => {}
-            Err(l2r_core::SnapshotError::Io(e)) if e.kind() == std::io::ErrorKind::NotFound => {
-                eprintln!(
-                    "snapshot {} not found — run `reproduce -- fit --snapshot <path>` first \
-                     (or `reproduce -- fit online --snapshot <path>` in one go)",
-                    path.display()
-                );
-                std::process::exit(2);
-            }
-            Err(e) => {
-                eprintln!(
-                    "snapshot {} is unusable ({e}) — regenerate it with \
-                     `reproduce -- fit --snapshot <path>`",
-                    path.display()
-                );
-                std::process::exit(2);
-            }
+/// Resolves the per-dataset snapshot path and validates the file up front
+/// (the bench functions panic on a bad snapshot) so a missing, stale or
+/// truncated file gets a clean diagnostic, not a backtrace.  The validation
+/// load is a few milliseconds.
+fn validated_snapshot_path(
+    ds: &Dataset,
+    snapshot_base: Option<&str>,
+) -> Option<std::path::PathBuf> {
+    let path = snapshot_path_for(snapshot_base?, ds.spec.name);
+    match l2r_core::load_model(&path) {
+        Ok(_) => Some(path),
+        Err(l2r_core::SnapshotError::Io(e)) if e.kind() == std::io::ErrorKind::NotFound => {
+            eprintln!(
+                "snapshot {} not found — run `reproduce -- fit --snapshot <path>` first \
+                 (or `reproduce -- fit online serving --snapshot <path>` in one go)",
+                path.display()
+            );
+            std::process::exit(2);
+        }
+        Err(e) => {
+            eprintln!(
+                "snapshot {} is unusable ({e}) — regenerate it with \
+                 `reproduce -- fit --snapshot <path>`",
+                path.display()
+            );
+            std::process::exit(2);
         }
     }
+}
+
+fn run_online(ds: &Dataset, rounds: usize, snapshot_base: Option<&str>) -> OnlineBenchDataset {
+    let snapshot_path = validated_snapshot_path(ds, snapshot_base);
     let entry = online_bench_for(ds, rounds, snapshot_path.as_deref());
     println!(
         "## Online serving ({}) — {} queries × {} rounds, prepare {:.1} ms",
@@ -431,6 +497,57 @@ fn run_online(ds: &Dataset, rounds: usize, snapshot_base: Option<&str>) -> Onlin
             );
         }
     }
+    println!();
+    entry
+}
+
+/// Runs the multi-threaded serving benchmark of one dataset (shared
+/// `Arc<Engine>` thread sweep, hot-swap under load, TCP loopback via
+/// `l2r-serve`) and prints the summary; the entry lands in the `serving`
+/// section of `BENCH_online.json`.
+fn run_serving(ds: &Dataset, rounds: usize, snapshot_base: Option<&str>) -> ServingBenchDataset {
+    let snapshot_path = validated_snapshot_path(ds, snapshot_base);
+    let entry = serving_bench_for(ds, rounds, snapshot_path.as_deref());
+    println!(
+        "## Concurrent serving ({}) — shared engine, {} queries, engine build {:.1} ms",
+        entry.name, entry.queries, entry.engine_build_ms
+    );
+    for p in &entry.sweep {
+        println!(
+            "  {:2} thread{}  {:>9.0} qps aggregate  mean {:6.2} µs  p50 {:6.2}  p99 {:8.2}",
+            p.threads,
+            if p.threads == 1 { " " } else { "s" },
+            p.qps,
+            p.mean_us,
+            p.p50_us,
+            p.p99_us
+        );
+    }
+    println!(
+        "  peak {:.0} qps vs single-thread {:.0} qps ({:.2}x), scratch pool created {}",
+        entry.peak_qps, entry.single_thread_qps, entry.scaling, entry.scratches_created
+    );
+    let hs = &entry.hot_swap;
+    println!(
+        "  hot-swap: {} reloads under {} threads, {} queries, {} failed, p99 {:.1} µs steady -> {:.1} µs swapping ({:.2}x spike)",
+        hs.reloads,
+        hs.worker_threads,
+        hs.queries,
+        hs.failed,
+        hs.steady_p99_us,
+        hs.swap_p99_us,
+        hs.p99_spike_ratio
+    );
+    println!(
+        "  tcp loopback: {} requests over {} connections, {:.0} qps, p50 {:.1} µs p99 {:.1} µs, {} errors, reload generation {}",
+        entry.tcp.requests,
+        entry.tcp.connections,
+        entry.tcp.qps,
+        entry.tcp.p50_us,
+        entry.tcp.p99_us,
+        entry.tcp.errors,
+        entry.tcp.reload_generation
+    );
     println!();
     entry
 }

@@ -14,8 +14,10 @@
 #![warn(missing_docs)]
 
 pub mod legacy;
+pub mod serving;
 
 pub use legacy::legacy_route;
+pub use serving::{serving_bench_for, HotSwapReport, ServingBenchDataset, ServingSweepPoint};
 
 use std::time::Instant;
 
@@ -244,7 +246,7 @@ pub struct OnlineCoverageRow {
     pub baseline_mean_us: f64,
     /// Mean current free-`route` latency (µs).
     pub free_mean_us: f64,
-    /// Mean `PreparedRouter` latency (µs).
+    /// Mean `Engine` latency (µs).
     pub prepared_mean_us: f64,
     /// `baseline_mean_us / prepared_mean_us` (0 when the bucket is empty).
     pub speedup: f64,
@@ -265,7 +267,7 @@ pub struct OnlineSnapshotInfo {
 
 /// Online serving measurements for one dataset: the same query workload
 /// answered by the free `route` function and by a compiled
-/// [`l2r_core::PreparedRouter`], plus the batched `route_many` throughput.
+/// [`l2r_core::Engine`], plus the batched `route_many` throughput.
 #[derive(Debug, Clone)]
 pub struct OnlineBenchDataset {
     /// Dataset name (`D1` / `D2`).
@@ -277,7 +279,7 @@ pub struct OnlineBenchDataset {
     /// Whether every prepared answer was bit-identical to both the current
     /// free answer and the frozen pre-PR baseline answer.
     pub equivalent: bool,
-    /// One-time `PreparedRouter::prepare` compilation cost in milliseconds.
+    /// One-time `Engine` compilation cost in milliseconds.
     pub prepare_ms: f64,
     /// Set when the prepared router was built from a model loaded off disk
     /// (`reproduce -- online --snapshot <path>`): snapshot size + load time.
@@ -290,7 +292,7 @@ pub struct OnlineBenchDataset {
     /// thread-local scratch reuse, borrowed transfer centers — but still
     /// per-query scans and `concat`).
     pub free: OnlineLatencyStats,
-    /// Latency of `PreparedRouter::route` through one reused scratch.
+    /// Latency of `Engine::route` through one reused scratch.
     pub prepared: OnlineLatencyStats,
     /// `baseline.mean_us / prepared.mean_us` — the headline acceptance
     /// number: compiled serving vs the pre-PR query path, same run.
@@ -317,10 +319,14 @@ pub struct OnlineBenchReport {
     pub threads: usize,
     /// One entry per dataset.
     pub datasets: Vec<OnlineBenchDataset>,
+    /// Multi-threaded serving section (`reproduce -- serving`): thread
+    /// sweep, hot-swap under load, TCP loopback.  Empty when the serving
+    /// experiment did not run.
+    pub serving: Vec<ServingBenchDataset>,
 }
 
 /// Measures the online serving trajectory of one dataset: per-query latency
-/// of the free `route` path versus a compiled `PreparedRouter` (same
+/// of the free `route` path versus a compiled `Engine` (same
 /// queries, same run — the acceptance comparison), the strategy mix, a
 /// per-coverage breakdown, and the batched `route_many` throughput.
 ///
@@ -361,10 +367,15 @@ pub fn online_bench_for(
             },
         )
     });
-    let serving_model = loaded.as_ref().map(|(m, _)| m).unwrap_or(model);
-
+    // Obtain an owned serving model *before* the clock starts: `prepare_ms`
+    // must measure index compilation only, not the model clone/move the
+    // owned `Engine` needs.
+    let (serving_model, snapshot_info) = match loaded {
+        Some((m, info)) => (m, Some(info)),
+        None => (model.clone(), None),
+    };
     let t0 = Instant::now();
-    let prepared = serving_model.prepare();
+    let prepared = serving_model.into_engine();
     let prepare_ms = t0.elapsed().as_secs_f64() * 1000.0;
     let mut scratch = QueryScratch::new();
 
@@ -446,7 +457,7 @@ pub fn online_bench_for(
         rounds,
         equivalent,
         prepare_ms,
-        snapshot: loaded.map(|(_, info)| info),
+        snapshot: snapshot_info,
         speedup_mean: if prepared_stats.mean_us > 0.0 {
             baseline.mean_us / prepared_stats.mean_us
         } else {
@@ -601,8 +612,81 @@ pub fn online_bench_json(report: &OnlineBenchReport) -> String {
             }
         ));
     }
-    out.push_str("  ]\n}\n");
+    if report.serving.is_empty() {
+        out.push_str("  ]\n}\n");
+    } else {
+        out.push_str("  ],\n");
+        serving_json(&mut out, &report.serving);
+        out.push_str("}\n");
+    }
     out
+}
+
+/// Renders the `"serving"` section (multi-threaded engine sweep, hot-swap
+/// under load, TCP loopback) of `BENCH_online.json`.
+fn serving_json(out: &mut String, entries: &[ServingBenchDataset]) {
+    out.push_str("  \"serving\": [\n");
+    for (i, ds) in entries.iter().enumerate() {
+        out.push_str("    {\n");
+        out.push_str(&format!("      \"name\": \"{}\",\n", ds.name));
+        out.push_str(&format!("      \"queries\": {},\n", ds.queries));
+        out.push_str(&format!(
+            "      \"engine_build_ms\": {:.3},\n",
+            ds.engine_build_ms
+        ));
+        out.push_str(&format!(
+            "      \"scratches_created\": {},\n",
+            ds.scratches_created
+        ));
+        out.push_str("      \"sweep\": [\n");
+        for (j, p) in ds.sweep.iter().enumerate() {
+            out.push_str(&format!(
+                "        {{ \"threads\": {}, \"queries\": {}, \"wall_ms\": {:.3}, \"qps\": {:.0}, \"mean_us\": {:.3}, \"p50_us\": {:.3}, \"p99_us\": {:.3} }}{}\n",
+                p.threads,
+                p.queries,
+                p.wall_ms,
+                p.qps,
+                p.mean_us,
+                p.p50_us,
+                p.p99_us,
+                if j + 1 < ds.sweep.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("      ],\n");
+        out.push_str(&format!(
+            "      \"single_thread_qps\": {:.0},\n",
+            ds.single_thread_qps
+        ));
+        out.push_str(&format!("      \"peak_qps\": {:.0},\n", ds.peak_qps));
+        out.push_str(&format!("      \"scaling\": {:.2},\n", ds.scaling));
+        let hs = &ds.hot_swap;
+        out.push_str(&format!(
+            "      \"hot_swap\": {{ \"worker_threads\": {}, \"reloads\": {}, \"queries\": {}, \"failed\": {}, \"steady_p99_us\": {:.3}, \"swap_p99_us\": {:.3}, \"p99_spike_ratio\": {:.2} }},\n",
+            hs.worker_threads,
+            hs.reloads,
+            hs.queries,
+            hs.failed,
+            hs.steady_p99_us,
+            hs.swap_p99_us,
+            hs.p99_spike_ratio
+        ));
+        let tcp = &ds.tcp;
+        out.push_str(&format!(
+            "      \"tcp\": {{ \"connections\": {}, \"requests\": {}, \"errors\": {}, \"qps\": {:.0}, \"p50_us\": {:.3}, \"p99_us\": {:.3}, \"reload_generation\": {} }}\n",
+            tcp.connections,
+            tcp.requests,
+            tcp.errors,
+            tcp.qps,
+            tcp.p50_us,
+            tcp.p99_us,
+            tcp.reload_generation
+        ));
+        out.push_str(&format!(
+            "    }}{}\n",
+            if i + 1 < entries.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n");
 }
 
 #[cfg(test)]
@@ -697,6 +781,7 @@ mod tests {
             scale: Scale::Quick,
             threads: l2r_par::max_threads(),
             datasets: vec![entry],
+            serving: Vec::new(),
         };
         let json = online_bench_json(&report);
         assert!(json.contains("\"bench\": \"online_serving\""));
@@ -706,8 +791,117 @@ mod tests {
         assert!(json.contains("\"speedup_mean\""));
         assert!(json.contains("\"InnerRegionTrajectory\""));
         assert!(json.contains("\"InRegion\""));
+        assert!(
+            !json.contains("\"serving\""),
+            "no serving section when empty"
+        );
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn serving_section_renders_valid_json() {
+        // Synthetic entry: the JSON layer is exercised without paying for a
+        // real multi-threaded benchmark run here (`serving_bench_for` has its
+        // own end-to-end test below).
+        let entry = ServingBenchDataset {
+            name: "D1".to_string(),
+            queries: 100,
+            engine_build_ms: 12.5,
+            scratches_created: 4,
+            sweep: vec![
+                serving::ServingSweepPoint {
+                    threads: 1,
+                    queries: 1000,
+                    answered: 990,
+                    wall_ms: 10.0,
+                    qps: 100_000.0,
+                    mean_us: 9.5,
+                    p50_us: 8.0,
+                    p99_us: 30.0,
+                },
+                serving::ServingSweepPoint {
+                    threads: 4,
+                    queries: 4000,
+                    answered: 3960,
+                    wall_ms: 12.0,
+                    qps: 330_000.0,
+                    mean_us: 11.0,
+                    p50_us: 9.0,
+                    p99_us: 42.0,
+                },
+            ],
+            single_thread_qps: 100_000.0,
+            peak_qps: 330_000.0,
+            scaling: 3.3,
+            hot_swap: HotSwapReport {
+                worker_threads: 4,
+                reloads: 5,
+                queries: 123_456,
+                failed: 0,
+                steady_p99_us: 30.0,
+                swap_p99_us: 60.0,
+                p99_spike_ratio: 2.0,
+            },
+            tcp: serving::TcpReport {
+                connections: 2,
+                requests: 2000,
+                errors: 0,
+                qps: 25_000.0,
+                p50_us: 70.0,
+                p99_us: 250.0,
+                reload_generation: 2,
+            },
+        };
+        let report = OnlineBenchReport {
+            scale: Scale::Quick,
+            threads: 4,
+            datasets: Vec::new(),
+            serving: vec![entry],
+        };
+        let json = online_bench_json(&report);
+        assert!(json.contains("\"serving\": ["), "{json}");
+        assert!(json.contains("\"sweep\": ["), "{json}");
+        assert!(json.contains("\"hot_swap\""), "{json}");
+        assert!(json.contains("\"failed\": 0"), "{json}");
+        assert!(json.contains("\"tcp\""), "{json}");
+        assert!(json.contains("\"single_thread_qps\""), "{json}");
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn serving_bench_runs_end_to_end_on_the_quick_dataset() {
+        let ds = &datasets(DatasetChoice::D1, Scale::Quick)[0];
+        let entry = serving_bench_for(ds, 1, None);
+        assert_eq!(entry.name, "D1");
+        assert!(entry.queries > 0);
+        assert!(!entry.sweep.is_empty());
+        assert!(
+            entry.sweep.iter().any(|p| p.threads > 1),
+            "sweep spans threads"
+        );
+        for p in &entry.sweep {
+            assert!(p.qps > 0.0);
+            assert!(p.p50_us <= p.p99_us);
+        }
+        assert!(entry.single_thread_qps > 0.0);
+        assert!(entry.peak_qps >= entry.single_thread_qps);
+        // The pool never creates more scratches than the widest sweep point.
+        let max_threads = entry.sweep.iter().map(|p| p.threads).max().unwrap();
+        assert!(entry.scratches_created <= max_threads);
+        // Hot-swap under load: reloads happened, zero failed queries.
+        assert!(entry.hot_swap.reloads >= 5);
+        assert!(entry.hot_swap.queries > 0);
+        assert_eq!(
+            entry.hot_swap.failed, 0,
+            "no query may ever observe a half-swapped model"
+        );
+        // TCP loopback: real requests flowed, the live reload bumped the
+        // generation past the in-process swaps.
+        assert!(entry.tcp.requests > 0);
+        assert_eq!(entry.tcp.errors, 0);
+        assert!(entry.tcp.reload_generation >= 2);
     }
 
     #[test]
@@ -731,6 +925,7 @@ mod tests {
             scale: Scale::Quick,
             threads: l2r_par::max_threads(),
             datasets: vec![entry],
+            serving: Vec::new(),
         };
         let json = online_bench_json(&report);
         assert!(json.contains("\"snapshot\""));

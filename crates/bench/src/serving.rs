@@ -1,0 +1,441 @@
+//! The multi-threaded serving benchmark behind `reproduce -- serving`.
+//!
+//! Three measurements per dataset, all over one shared `Arc<Engine>` (the
+//! production serving shape — PR 3's single-scratch numbers measured the
+//! same engine from one thread):
+//!
+//! 1. **Thread sweep** — N serving threads hammer the shared engine, each
+//!    with a pooled [`QueryScratch`]; reports aggregate qps and the latency
+//!    distribution per thread count.  On multi-core hardware aggregate
+//!    throughput scales with threads; the sweep records whatever the host
+//!    provides.
+//! 2. **Hot-swap under load** — worker threads route continuously through a
+//!    [`ModelRegistry`] while the main thread repeatedly hot-reloads the
+//!    dataset's `.l2r` snapshot.  Every answer is compared bit-exactly
+//!    against the expected result: `failed` must stay **zero** (no query
+//!    ever observes a missing or half-swapped model), and the p99 during
+//!    swapping vs steady state quantifies the latency spike a reload costs.
+//! 3. **TCP loopback** — an actual `l2r-serve` server on an ephemeral
+//!    loopback port, driven end-to-end (load generator + a live `reload`)
+//!    so the full wire path is on the record.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use l2r_core::{Engine, ModelRegistry, QueryScratch, RouteResult, ScratchPool};
+use l2r_eval::{build_test_queries, Dataset, TestQuery};
+use l2r_serve::{Client, LoadConfig, Server};
+
+/// One thread-count measurement of the sweep.
+#[derive(Debug, Clone)]
+pub struct ServingSweepPoint {
+    /// Serving threads used.
+    pub threads: usize,
+    /// Total queries routed across all threads.
+    pub queries: u64,
+    /// Queries answered with a route.
+    pub answered: u64,
+    /// Wall time of the whole point (spawn to join).
+    pub wall_ms: f64,
+    /// Aggregate throughput: `queries / wall`.
+    pub qps: f64,
+    /// Mean per-query latency (µs) across all threads.
+    pub mean_us: f64,
+    /// Median per-query latency (µs).
+    pub p50_us: f64,
+    /// 99th-percentile per-query latency (µs).
+    pub p99_us: f64,
+}
+
+/// Hot-swap-under-load measurement.
+#[derive(Debug, Clone)]
+pub struct HotSwapReport {
+    /// Worker threads hammering the registry during the swaps.
+    pub worker_threads: usize,
+    /// Successful hot-reloads performed while the workers ran.
+    pub reloads: u64,
+    /// Queries routed across the steady and swap phases.
+    pub queries: u64,
+    /// Queries whose answer differed from the expected result or that found
+    /// no engine — **must be zero**: a hot-swap is atomic.
+    pub failed: u64,
+    /// p99 latency (µs) of the steady phase (no reloads).
+    pub steady_p99_us: f64,
+    /// p99 latency (µs) while reloads were being applied.
+    pub swap_p99_us: f64,
+    /// `swap_p99_us / steady_p99_us` — the latency spike a reload costs.
+    pub p99_spike_ratio: f64,
+}
+
+/// End-to-end TCP measurement through a real `l2r-serve` server.
+#[derive(Debug, Clone)]
+pub struct TcpReport {
+    /// Client connections used by the load generator.
+    pub connections: usize,
+    /// `route` requests issued over TCP.
+    pub requests: u64,
+    /// Requests answered `ERR` (0 on a healthy run).
+    pub errors: u64,
+    /// Aggregate requests/second through the wire.
+    pub qps: f64,
+    /// Median round-trip latency (µs).
+    pub p50_us: f64,
+    /// 99th-percentile round-trip latency (µs).
+    pub p99_us: f64,
+    /// Registry generation after the live `reload` request.
+    pub reload_generation: u64,
+}
+
+/// The serving section entry of one dataset.
+#[derive(Debug, Clone)]
+pub struct ServingBenchDataset {
+    /// Dataset name (`D1` / `D2`).
+    pub name: String,
+    /// Distinct queries in the workload.
+    pub queries: usize,
+    /// Engine build cost (model (re)load/clone + index compilation), ms.
+    pub engine_build_ms: f64,
+    /// Scratches the shared pool created over the whole sweep — bounded by
+    /// the largest thread count, proving batches reuse warmed scratches.
+    pub scratches_created: usize,
+    /// One point per thread count.
+    pub sweep: Vec<ServingSweepPoint>,
+    /// Aggregate qps of the single-thread sweep point.
+    pub single_thread_qps: f64,
+    /// Best aggregate qps across the sweep.
+    pub peak_qps: f64,
+    /// `peak_qps / single_thread_qps`.
+    pub scaling: f64,
+    /// Hot-swap-under-load measurement.
+    pub hot_swap: HotSwapReport,
+    /// TCP loopback measurement.
+    pub tcp: TcpReport,
+}
+
+use crate::percentile;
+
+/// The thread counts the sweep visits: 1, 2, 4 plus the configured
+/// `max_threads`, deduplicated and capped at 8.
+fn sweep_threads() -> Vec<usize> {
+    let mut threads = vec![1usize, 2, 4, l2r_par::max_threads().min(8)];
+    threads.sort_unstable();
+    threads.dedup();
+    threads
+}
+
+/// Runs the full serving benchmark for one dataset.  With `snapshot` set,
+/// the engine is built from that `.l2r` file (and the hot-swap phase reloads
+/// it); otherwise the in-memory model is used and a temporary snapshot is
+/// written for the swap phase.
+pub fn serving_bench_for(
+    ds: &Dataset,
+    rounds: usize,
+    snapshot: Option<&std::path::Path>,
+) -> ServingBenchDataset {
+    let rounds = rounds.max(1);
+    let queries: Vec<TestQuery> = build_test_queries(
+        &ds.synthetic.net,
+        &ds.model,
+        &ds.test,
+        ds.spec.max_test_queries,
+    );
+
+    // Build the engine exactly like a serving process would.  Without a
+    // snapshot the model is cloned *before* the clock starts, so
+    // `engine_build_ms` measures load + index compilation, not the clone.
+    let t0;
+    let engine: Arc<Engine> = Arc::new(match snapshot {
+        Some(path) => {
+            t0 = Instant::now();
+            Engine::load(path)
+                .unwrap_or_else(|e| panic!("snapshot {} failed to load: {e}", path.display()))
+        }
+        None => {
+            let model = ds.model.clone();
+            t0 = Instant::now();
+            model.into_engine()
+        }
+    });
+    let engine_build_ms = t0.elapsed().as_secs_f64() * 1000.0;
+
+    // Expected answers (serial, one scratch) — the bit-equivalence reference
+    // for every concurrent phase below.
+    let mut scratch = QueryScratch::new();
+    let expected: Vec<Option<RouteResult>> = queries
+        .iter()
+        .map(|q| engine.route(&mut scratch, q.source, q.destination))
+        .collect();
+    let expected_answered = expected.iter().filter(|r| r.is_some()).count() as u64;
+
+    // --- 1. Thread sweep -------------------------------------------------
+    // Aim for enough queries per thread that spawn overhead is noise.
+    let sweep_rounds = (20_000 / queries.len().max(1)).max(rounds);
+    let pool = ScratchPool::new();
+    let mut sweep = Vec::new();
+    for &threads in &sweep_threads() {
+        let t0 = Instant::now();
+        let per_thread: Vec<(Vec<f64>, u64)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|_| {
+                    let engine = &engine;
+                    let queries = &queries;
+                    let pool = &pool;
+                    scope.spawn(move || {
+                        let mut latencies = Vec::with_capacity(queries.len() * sweep_rounds);
+                        let mut answered = 0u64;
+                        for _ in 0..sweep_rounds {
+                            // One pooled scratch per batch: across batches the
+                            // pool hands the warmed scratch back out.
+                            let mut scratch = pool.acquire();
+                            for q in queries {
+                                let q0 = Instant::now();
+                                let r = engine.route(&mut scratch, q.source, q.destination);
+                                latencies.push(q0.elapsed().as_secs_f64() * 1e6);
+                                answered += r.is_some() as u64;
+                            }
+                        }
+                        (latencies, answered)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("sweep worker"))
+                .collect()
+        });
+        let wall = t0.elapsed();
+        let mut latencies: Vec<f64> = Vec::new();
+        let mut answered = 0u64;
+        for (mut lat, ans) in per_thread {
+            latencies.append(&mut lat);
+            answered += ans;
+        }
+        assert_eq!(
+            answered,
+            expected_answered * (threads * sweep_rounds) as u64,
+            "concurrent serving must answer exactly like the serial reference"
+        );
+        latencies.sort_by(|a, b| a.total_cmp(b));
+        let total = latencies.len() as u64;
+        let mean_us = latencies.iter().sum::<f64>() / latencies.len().max(1) as f64;
+        sweep.push(ServingSweepPoint {
+            threads,
+            queries: total,
+            answered,
+            wall_ms: wall.as_secs_f64() * 1000.0,
+            qps: if wall.as_secs_f64() > 0.0 {
+                total as f64 / wall.as_secs_f64()
+            } else {
+                0.0
+            },
+            mean_us,
+            p50_us: percentile(&latencies, 50.0),
+            p99_us: percentile(&latencies, 99.0),
+        });
+    }
+    let single_thread_qps = sweep
+        .iter()
+        .find(|p| p.threads == 1)
+        .map(|p| p.qps)
+        .unwrap_or(0.0);
+    let peak_qps = sweep.iter().map(|p| p.qps).fold(0.0f64, f64::max);
+
+    // --- 2. Hot-swap under load ------------------------------------------
+    // The swap phase needs a snapshot file to reload from.
+    let (swap_path, temp_snapshot) = match snapshot {
+        Some(path) => (path.to_path_buf(), false),
+        None => {
+            let path = std::env::temp_dir().join(format!(
+                "l2r-serving-bench-{}-{}.l2r",
+                ds.spec.name,
+                std::process::id()
+            ));
+            l2r_core::save_model(&ds.model, &path).expect("temp snapshot for hot-swap");
+            (path, true)
+        }
+    };
+    let registry = ModelRegistry::new();
+    registry.insert_shared(ds.spec.name, Arc::clone(&engine));
+    let worker_threads = sweep_threads().into_iter().max().unwrap_or(1).max(2);
+    let (steady, steady_p99_us) = hammer_registry(
+        &registry,
+        ds.spec.name,
+        &queries,
+        &expected,
+        worker_threads,
+        |_stop| {
+            std::thread::sleep(Duration::from_millis(40));
+            0
+        },
+    );
+    let (hammer, swap_p99_us) = hammer_registry(
+        &registry,
+        ds.spec.name,
+        &queries,
+        &expected,
+        worker_threads,
+        |_stop| {
+            let mut reloads = 0u64;
+            for _ in 0..5 {
+                registry
+                    .reload(ds.spec.name, &swap_path)
+                    .expect("hot-reload of a freshly written snapshot");
+                reloads += 1;
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            reloads
+        },
+    );
+    let hot_swap = HotSwapReport {
+        worker_threads,
+        reloads: hammer.reloads,
+        queries: steady.queries + hammer.queries,
+        // Steady-phase mismatches count too: a concurrency bug with no
+        // reload in flight must not slip through as "0 failed".
+        failed: steady.failed + hammer.failed,
+        steady_p99_us,
+        swap_p99_us,
+        p99_spike_ratio: if steady_p99_us > 0.0 {
+            swap_p99_us / steady_p99_us
+        } else {
+            0.0
+        },
+    };
+
+    // --- 3. TCP loopback --------------------------------------------------
+    let tcp_registry = ModelRegistry::new();
+    tcp_registry.insert_shared(ds.spec.name, Arc::clone(&engine));
+    let server = Server::bind("127.0.0.1:0", 2, tcp_registry).expect("bind loopback serving bench");
+    let addr = server.local_addr();
+    let handle = server.start();
+    let requests_per_thread = (queries.len() * rounds).clamp(200, 2000);
+    let report = l2r_serve::run_load(
+        addr,
+        &LoadConfig {
+            dataset: ds.spec.name.to_string(),
+            threads: 2,
+            requests_per_thread,
+            seed: 0x5E17_1E55,
+        },
+    )
+    .expect("load generator against loopback server");
+    let mut client = Client::connect(addr).expect("client connect");
+    let reload_resp = client
+        .request(&format!("reload {} {}", ds.spec.name, swap_path.display()))
+        .expect("live reload over TCP");
+    assert!(
+        reload_resp.starts_with("OK "),
+        "TCP reload must succeed: {reload_resp}"
+    );
+    let reload_generation = reload_resp
+        .split_whitespace()
+        .find_map(|f| {
+            f.strip_prefix("generation=")
+                .and_then(|g| g.parse::<u64>().ok())
+        })
+        .unwrap_or(0);
+    let _ = client.request("shutdown");
+    handle.shutdown().expect("clean server shutdown");
+    if temp_snapshot {
+        std::fs::remove_file(&swap_path).ok();
+    }
+    let tcp = TcpReport {
+        connections: 2,
+        requests: report.requests,
+        errors: report.errors,
+        qps: report.qps,
+        p50_us: report.p50_us,
+        p99_us: report.p99_us,
+        reload_generation,
+    };
+
+    ServingBenchDataset {
+        name: ds.spec.name.to_string(),
+        queries: queries.len(),
+        engine_build_ms,
+        scratches_created: pool.created(),
+        sweep,
+        single_thread_qps,
+        peak_qps,
+        scaling: if single_thread_qps > 0.0 {
+            peak_qps / single_thread_qps
+        } else {
+            0.0
+        },
+        hot_swap,
+        tcp,
+    }
+}
+
+/// Aggregate of one registry-hammering phase.
+struct HammerOutcome {
+    queries: u64,
+    failed: u64,
+    reloads: u64,
+}
+
+/// Spawns `threads` workers that route the workload through
+/// `registry.get(name)` in a loop until the control closure returns (it runs
+/// on the calling thread and gets a stop flag it may consult).  Returns the
+/// aggregate outcome and the p99 latency (µs) across all workers.
+fn hammer_registry(
+    registry: &ModelRegistry,
+    name: &str,
+    queries: &[TestQuery],
+    expected: &[Option<RouteResult>],
+    threads: usize,
+    control: impl FnOnce(&AtomicBool) -> u64,
+) -> (HammerOutcome, f64) {
+    let stop = AtomicBool::new(false);
+    let failed = AtomicU64::new(0);
+    let (latencies, reloads): (Vec<Vec<f64>>, u64) = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let stop = &stop;
+                let failed = &failed;
+                scope.spawn(move || {
+                    let mut scratch = QueryScratch::new();
+                    let mut latencies = Vec::new();
+                    'outer: loop {
+                        for (i, q) in queries.iter().enumerate() {
+                            if stop.load(Ordering::Relaxed) {
+                                break 'outer;
+                            }
+                            let q0 = Instant::now();
+                            let engine = registry.get(name);
+                            let r = engine
+                                .as_ref()
+                                .and_then(|e| e.route(&mut scratch, q.source, q.destination));
+                            latencies.push(q0.elapsed().as_secs_f64() * 1e6);
+                            if engine.is_none() || r != expected[i] {
+                                failed.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                    }
+                    latencies
+                })
+            })
+            .collect();
+        let reloads = control(&stop);
+        stop.store(true, Ordering::Relaxed);
+        (
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("hammer worker"))
+                .collect(),
+            reloads,
+        )
+    });
+    let mut merged: Vec<f64> = latencies.into_iter().flatten().collect();
+    let queries_total = merged.len() as u64;
+    merged.sort_by(|a, b| a.total_cmp(b));
+    (
+        HammerOutcome {
+            queries: queries_total,
+            failed: failed.load(Ordering::Relaxed),
+            reloads,
+        },
+        percentile(&merged, 99.0),
+    )
+}

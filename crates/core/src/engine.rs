@@ -1,12 +1,11 @@
-//! The compiled online query engine: [`PreparedRouter`].
+//! The owned, shareable online serving engine: [`Engine`].
 //!
 //! The free [`crate::router::route`] function recomputes per query what never
 //! changes between queries: it scans every attached path of every region edge
 //! (cloning, reversing and re-validating candidates), calls `subpath` on
 //! every stored inner-region path, allocates fresh transfer-center `Vec`s and
-//! stitches segments with an O(n²) `concat` chain.  A [`PreparedRouter`]
-//! compiles a `(RoadNetwork, RegionGraph)` pair **once** into
-//! query-optimised indexes:
+//! stitches segments with an O(n²) `concat` chain.  An [`Engine`] compiles a
+//! fitted model **once** into query-optimised indexes:
 //!
 //! * per region edge, the best attached path pre-resolved for *both*
 //!   orientations (the reversed orientation already validated), so mapping a
@@ -24,26 +23,38 @@
 //!   never change), so cached connectors answer exactly like live Dijkstra —
 //!   without running one.
 //!
+//! Unlike the historical `PreparedRouter<'a>` (which borrowed the network
+//! and region graph it compiled), an `Engine` **owns** its model behind an
+//! [`Arc<L2r>`]: model and indexes travel as one `Send + Sync` unit, so a
+//! long-lived server can build it straight off a snapshot file
+//! ([`Engine::load`]), share it across threads behind an `Arc<Engine>`, and
+//! atomically swap in a freshly fitted replacement via
+//! [`crate::registry::ModelRegistry`] without tearing anything down.
+//!
 //! Every query runs through a caller-owned [`QueryScratch`] — one reusable
 //! road-network `SearchSpace`, one `RegionSearchSpace` and one `PathBuilder`
 //! — so the steady-state serving path performs **no heap allocation besides
 //! the returned route** (scratch reuse is provable: the search-space
 //! generations advance by exactly the number of searches a workload
-//! performs).  [`PreparedRouter::route_many`] fans a query batch across
+//! performs).  [`Engine::route_many`] fans a query batch across
 //! `L2R_THREADS` workers (one scratch per worker) with deterministic
 //! index-ordered results.
 //!
 //! Results are **bit-identical** to the free `route` function — enforced by
-//! an equivalence test sweeping vertex-pair grids on the D1/D2 datasets.
+//! an equivalence test sweeping vertex-pair grids on the D1/D2 datasets, and
+//! across threads by `crates/core/tests/engine_concurrency.rs`.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use l2r_region_graph::{RegionGraph, RegionId};
 use l2r_road_network::{CostType, Path, PathBuilder, RoadNetwork, SearchSpace, VertexId};
 
-use crate::pipeline::L2r;
+use crate::config::L2rConfig;
+use crate::pipeline::{L2r, OfflineStats};
 use crate::region_routing::{RegionPath, RegionSearchSpace};
 use crate::router::{best_oriented_path, find_anchor_in, RouteResult, RouteStrategy};
+use crate::snapshot::{load_model, SnapshotError};
 
 /// Best attached path of a region edge, pre-resolved per orientation exactly
 /// as the per-query scan would have (most supported path, first wins ties;
@@ -94,8 +105,9 @@ impl InnerPathIndex {
 
 /// Reusable per-query scratch state: one road-network search space, one
 /// region-graph search space, a region-path buffer and a path builder.  Keep
-/// one per serving thread ([`PreparedRouter::route_many`] does this for you);
-/// a `QueryScratch` is intentionally not shared between threads.
+/// one per serving thread ([`Engine::route_many`] does this for you, and
+/// [`crate::registry::ScratchPool`] lends them out to server workers); a
+/// `QueryScratch` is intentionally not shared between threads.
 #[derive(Debug, Clone, Default)]
 pub struct QueryScratch {
     space: SearchSpace,
@@ -125,17 +137,18 @@ impl QueryScratch {
     }
 }
 
-/// A compiled, immutable online query engine over a fitted model's road
-/// network and region graph.  Build once with [`PreparedRouter::prepare`]
-/// (or [`L2r::prepare`]), then serve queries through [`PreparedRouter::route`]
-/// / [`PreparedRouter::route_many`].
+/// An owned, compiled, immutable online serving engine: a fitted model
+/// (behind an [`Arc<L2r>`]) plus every query-optimised index compiled from
+/// it, in one `Send + Sync` unit.
 ///
-/// `PreparedRouter` is `Sync`: one instance serves any number of threads,
-/// each bringing its own [`QueryScratch`].
+/// Build once — [`Engine::new`] from a fitted model, [`Engine::load`]
+/// straight from a snapshot file, or [`L2r::prepare`] — then serve queries
+/// through [`Engine::route`] / [`Engine::route_many`].  One instance serves
+/// any number of threads (share it behind an `Arc<Engine>`), each bringing
+/// its own [`QueryScratch`].
 #[derive(Debug, Clone)]
-pub struct PreparedRouter<'a> {
-    net: &'a RoadNetwork,
-    rg: &'a RegionGraph,
+pub struct Engine {
+    model: Arc<L2r>,
     /// Indexed by `RegionEdgeId`.
     oriented: Vec<OrientedPaths>,
     /// Indexed by `RegionId`.
@@ -146,9 +159,26 @@ pub struct PreparedRouter<'a> {
     connectors: HashMap<(VertexId, VertexId), Option<Path>>,
 }
 
-impl<'a> PreparedRouter<'a> {
-    /// Compiles the routing model into query-optimised indexes.
-    pub fn prepare(net: &'a RoadNetwork, rg: &'a RegionGraph) -> PreparedRouter<'a> {
+// The whole point of owning the model: an Engine must be shareable across
+// serving threads behind an `Arc` with no further ceremony.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Engine>();
+    assert_send_sync::<L2r>();
+};
+
+impl Engine {
+    /// Compiles a fitted model into an owned engine (the model moves behind
+    /// an `Arc`; use [`Engine::from_shared`] to share an existing one).
+    pub fn new(model: L2r) -> Engine {
+        Engine::from_shared(Arc::new(model))
+    }
+
+    /// Compiles an engine around an already-shared model without cloning the
+    /// model data.
+    pub fn from_shared(model: Arc<L2r>) -> Engine {
+        let net = model.network();
+        let rg = model.region_graph();
         let oriented: Vec<OrientedPaths> = rg
             .edges()
             .iter()
@@ -163,13 +193,34 @@ impl<'a> PreparedRouter<'a> {
             .map(|r| InnerPathIndex::build(rg.inner_paths(r.id)))
             .collect();
         let connectors = resolve_connectors(net, rg, &oriented);
-        PreparedRouter {
-            net,
-            rg,
+        Engine {
+            model,
             oriented,
             inner,
             connectors,
         }
+    }
+
+    /// Loads a model snapshot from disk and compiles it — everything a
+    /// serving process needs to go from a `.l2r` file to answering queries.
+    pub fn load(path: &std::path::Path) -> Result<Engine, SnapshotError> {
+        Ok(Engine::new(load_model(path)?))
+    }
+
+    /// Thin borrowed constructor for tests: compiles an engine from a road
+    /// network and region graph alone (no learned preferences, default
+    /// config), cloning both into a degenerate owned model.  Serving only
+    /// consults the network and region graph, so routing behaviour is
+    /// identical to an engine around the full fitted model.
+    pub fn from_graphs(net: &RoadNetwork, rg: &RegionGraph) -> Engine {
+        Engine::new(L2r::from_parts(
+            net.clone(),
+            rg.clone(),
+            HashMap::new(),
+            HashMap::new(),
+            L2rConfig::default(),
+            OfflineStats::default(),
+        ))
     }
 
     /// Number of precomputed connector entries (diagnostics).
@@ -177,14 +228,27 @@ impl<'a> PreparedRouter<'a> {
         self.connectors.len()
     }
 
+    /// The model this engine serves.
+    pub fn model(&self) -> &L2r {
+        &self.model
+    }
+
+    /// A shared handle to the model (cheap `Arc` clone), e.g. to compile a
+    /// second engine or inspect the model while the engine keeps serving.
+    pub fn shared_model(&self) -> Arc<L2r> {
+        Arc::clone(&self.model)
+    }
+
     /// The underlying road network.
+    #[inline]
     pub fn network(&self) -> &RoadNetwork {
-        self.net
+        self.model.network()
     }
 
     /// The underlying region graph.
+    #[inline]
     pub fn region_graph(&self) -> &RegionGraph {
-        self.rg
+        self.model.region_graph()
     }
 
     /// Routes from `source` to `destination`, reusing `scratch` across calls.
@@ -205,7 +269,8 @@ impl<'a> PreparedRouter<'a> {
                 strategy: RouteStrategy::FastestFallback,
             });
         }
-        let result = match (self.rg.region_of(source), self.rg.region_of(destination)) {
+        let rg = self.region_graph();
+        let result = match (rg.region_of(source), rg.region_of(destination)) {
             (Some(rs), Some(rd)) => {
                 scratch.builder.reset(source);
                 let strategy = self.case1_append(scratch, source, destination, rs, rd)?;
@@ -217,7 +282,7 @@ impl<'a> PreparedRouter<'a> {
             _ => self.route_case2(scratch, source, destination),
         };
         if let Some(r) = &result {
-            debug_assert!(r.path.validate(self.net).is_ok());
+            debug_assert!(r.path.validate(self.network()).is_ok());
             debug_assert_eq!(r.path.source(), source);
             debug_assert_eq!(r.path.destination(), destination);
         }
@@ -263,7 +328,7 @@ impl<'a> PreparedRouter<'a> {
             region_path,
             builder,
         } = scratch;
-        if !region_space.find_region_path_into(self.rg, rs, rd, region_path) {
+        if !region_space.find_region_path_into(self.region_graph(), rs, rd, region_path) {
             return None;
         }
         let checkpoint = builder.checkpoint();
@@ -282,11 +347,12 @@ impl<'a> PreparedRouter<'a> {
         source: VertexId,
         destination: VertexId,
     ) -> Option<RouteResult> {
-        let source_anchor = match self.rg.region_of(source) {
+        let rg = self.region_graph();
+        let source_anchor = match rg.region_of(source) {
             Some(_) => Some(source),
             None => self.find_anchor(scratch, source, destination),
         };
-        let dest_anchor = match self.rg.region_of(destination) {
+        let dest_anchor = match rg.region_of(destination) {
             Some(_) => Some(destination),
             None => self.find_anchor(scratch, destination, source),
         };
@@ -305,8 +371,8 @@ impl<'a> PreparedRouter<'a> {
                     strategy: RouteStrategy::FastestFallback,
                 });
         };
-        let rs = self.rg.region_of(sa)?;
-        let rd = self.rg.region_of(da)?;
+        let rs = rg.region_of(sa)?;
+        let rd = rg.region_of(da)?;
         // Fastest stub from the query source to its anchor, then the Case-1
         // route between the anchors, then the stub to the destination — all
         // appended in place (the historical implementation concatenated
@@ -337,10 +403,16 @@ impl<'a> PreparedRouter<'a> {
         from: VertexId,
         towards: VertexId,
     ) -> Option<VertexId> {
-        if from.idx() >= self.net.num_vertices() {
+        if from.idx() >= self.network().num_vertices() {
             return None;
         }
-        find_anchor_in(&mut scratch.space, self.net, self.rg, from, towards)
+        find_anchor_in(
+            &mut scratch.space,
+            self.network(),
+            self.region_graph(),
+            from,
+            towards,
+        )
     }
 
     /// Appends the fastest path `from → to` to the builder, consulting the
@@ -378,14 +450,15 @@ impl<'a> PreparedRouter<'a> {
         from: VertexId,
         to: VertexId,
     ) -> bool {
-        let n = self.net.num_vertices();
+        let net = self.network();
+        let n = net.num_vertices();
         if from.idx() >= n || to.idx() >= n {
             return false;
         }
         if from == to {
             return true;
         }
-        space.dijkstra(self.net, from, Some(to), |e| e.cost(CostType::TravelTime));
+        space.dijkstra(net, from, Some(to), |e| e.cost(CostType::TravelTime));
         builder.append_from_search(space, to)
     }
 
@@ -407,7 +480,7 @@ impl<'a> PreparedRouter<'a> {
         ) else {
             return false;
         };
-        let paths = self.rg.inner_paths(region);
+        let paths = self.region_graph().inner_paths(region);
         // (support, path index, forward?, slice start, slice end)
         let mut best: Option<(usize, u32, bool, usize, usize)> = None;
         let (mut i, mut j) = (0usize, 0usize);
@@ -480,11 +553,12 @@ impl<'a> PreparedRouter<'a> {
         source: VertexId,
         destination: VertexId,
     ) -> bool {
+        let rg = self.region_graph();
         let mut current = source;
         for (i, eid) in region_path.edges.iter().enumerate() {
             let from_region = region_path.regions[i];
             let to_region = region_path.regions[i + 1];
-            let edge = self.rg.edge(*eid);
+            let edge = rg.edge(*eid);
             let oriented = &self.oriented[eid.idx()];
             let candidate = if from_region == edge.a {
                 oriented.forward.as_ref()
@@ -507,11 +581,7 @@ impl<'a> PreparedRouter<'a> {
                     // No usable attached path (e.g. a B-edge whose apply step
                     // found nothing): route to a transfer center of the next
                     // region directly.
-                    let Some(target) = self
-                        .rg
-                        .transfer_centers_or_default(to_region)
-                        .first()
-                        .copied()
+                    let Some(target) = rg.transfer_centers_or_default(to_region).first().copied()
                     else {
                         return false;
                     };
@@ -530,10 +600,17 @@ impl<'a> PreparedRouter<'a> {
 }
 
 impl L2r {
-    /// Compiles this fitted model into a [`PreparedRouter`] borrowing its
-    /// road network and region graph.
-    pub fn prepare(&self) -> PreparedRouter<'_> {
-        PreparedRouter::prepare(self.network(), self.region_graph())
+    /// Compiles this fitted model into an owned [`Engine`] (the model data is
+    /// cloned behind the engine's `Arc`; use [`L2r::into_engine`] to move it
+    /// in without the clone).
+    pub fn prepare(&self) -> Engine {
+        Engine::new(self.clone())
+    }
+
+    /// Compiles this fitted model into an owned [`Engine`], consuming the
+    /// model (no clone).
+    pub fn into_engine(self) -> Engine {
+        Engine::new(self)
     }
 }
 
@@ -648,9 +725,9 @@ mod tests {
     }
 
     #[test]
-    fn prepared_route_matches_free_route_on_a_vertex_grid() {
+    fn engine_route_matches_free_route_on_a_vertex_grid() {
         let (net, rg) = build();
-        let prepared = PreparedRouter::prepare(&net, &rg);
+        let engine = Engine::from_graphs(&net, &rg);
         let mut scratch = QueryScratch::new();
         let n = net.num_vertices() as u32;
         let mut compared = 0usize;
@@ -658,7 +735,7 @@ mod tests {
             for j in (1..n).step_by(11) {
                 let (s, d) = (VertexId(i), VertexId(j));
                 let free = route(&net, &rg, s, d);
-                let fast = prepared.route(&mut scratch, s, d);
+                let fast = engine.route(&mut scratch, s, d);
                 assert_eq!(free, fast, "query {s:?} -> {d:?}");
                 compared += 1;
             }
@@ -669,25 +746,25 @@ mod tests {
     #[test]
     fn route_many_matches_serial_routing() {
         let (net, rg) = build();
-        let prepared = PreparedRouter::prepare(&net, &rg);
+        let engine = Engine::from_graphs(&net, &rg);
         let n = net.num_vertices() as u32;
         let queries: Vec<(VertexId, VertexId)> = (0..n)
             .step_by(3)
             .map(|i| (VertexId(i), VertexId((i * 7 + 13) % n)))
             .collect();
-        let batch = prepared.route_many(&queries);
+        let batch = engine.route_many(&queries);
         let mut scratch = QueryScratch::new();
         for (q, b) in queries.iter().zip(&batch) {
-            assert_eq!(&prepared.route(&mut scratch, q.0, q.1), b);
+            assert_eq!(&engine.route(&mut scratch, q.0, q.1), b);
         }
     }
 
     #[test]
     fn same_vertex_query_is_trivial() {
         let (net, rg) = build();
-        let prepared = PreparedRouter::prepare(&net, &rg);
+        let engine = Engine::from_graphs(&net, &rg);
         let mut scratch = QueryScratch::new();
-        let r = prepared
+        let r = engine
             .route(&mut scratch, VertexId(0), VertexId(0))
             .unwrap();
         assert!(r.path.is_trivial());
@@ -697,15 +774,15 @@ mod tests {
     #[test]
     fn out_of_range_endpoints_are_rejected_like_the_free_router() {
         let (net, rg) = build();
-        let prepared = PreparedRouter::prepare(&net, &rg);
+        let engine = Engine::from_graphs(&net, &rg);
         let mut scratch = QueryScratch::new();
         let big = VertexId(net.num_vertices() as u32 + 17);
         assert_eq!(
-            prepared.route(&mut scratch, VertexId(0), big),
+            engine.route(&mut scratch, VertexId(0), big),
             route(&net, &rg, VertexId(0), big)
         );
         assert_eq!(
-            prepared.route(&mut scratch, big, VertexId(0)),
+            engine.route(&mut scratch, big, VertexId(0)),
             route(&net, &rg, big, VertexId(0))
         );
     }
@@ -713,9 +790,9 @@ mod tests {
     #[test]
     fn cached_connectors_match_live_fastest_paths() {
         let (net, rg) = build();
-        let prepared = PreparedRouter::prepare(&net, &rg);
-        assert!(prepared.num_connectors() > 0);
-        for ((from, to), cached) in prepared.connectors.iter().take(500) {
+        let engine = Engine::from_graphs(&net, &rg);
+        assert!(engine.num_connectors() > 0);
+        for ((from, to), cached) in engine.connectors.iter().take(500) {
             let live = l2r_road_network::fastest_path(&net, *from, *to);
             assert_eq!(cached, &live, "connector {from:?} -> {to:?}");
         }
@@ -724,11 +801,11 @@ mod tests {
     #[test]
     fn oriented_paths_cover_both_directions_of_t_edges() {
         let (net, rg) = build();
-        let prepared = PreparedRouter::prepare(&net, &rg);
+        let engine = Engine::from_graphs(&net, &rg);
         // Every edge with attached paths resolves at least one orientation.
         for e in rg.edges() {
             if e.has_paths() {
-                let o = &prepared.oriented[e.id.idx()];
+                let o = &engine.oriented[e.id.idx()];
                 assert!(
                     o.forward.is_some() || o.backward.is_some(),
                     "edge {:?} has paths but no oriented resolution",
@@ -745,6 +822,26 @@ mod tests {
                     assert!(p.validate(&net).is_ok());
                 }
             }
+        }
+    }
+
+    #[test]
+    fn shared_model_handle_keeps_the_model_alive_and_identical() {
+        let (net, rg) = build();
+        let engine = Engine::from_graphs(&net, &rg);
+        let handle = engine.shared_model();
+        assert_eq!(
+            handle.network().num_vertices(),
+            engine.network().num_vertices()
+        );
+        // A second engine compiled off the shared handle answers identically.
+        let twin = Engine::from_shared(handle);
+        let mut s1 = QueryScratch::new();
+        let mut s2 = QueryScratch::new();
+        let n = net.num_vertices() as u32;
+        for i in (0..n).step_by(9) {
+            let (s, d) = (VertexId(i), VertexId((i * 5 + 3) % n));
+            assert_eq!(engine.route(&mut s1, s, d), twin.route(&mut s2, s, d));
         }
     }
 }

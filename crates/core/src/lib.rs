@@ -28,12 +28,17 @@
 //! [`region_routing`] and [`router`] (Section VI), with Step 1 and Step 2
 //! living in the `l2r-region-graph` and `l2r-preference` crates.
 //!
-//! For serving traffic, compile the fitted model once into a
-//! [`prepared::PreparedRouter`] (`model.prepare()`): it answers queries
-//! bit-identically to [`L2r::route`] through reusable per-thread
-//! [`prepared::QueryScratch`] state — several times faster, without
-//! per-query allocation — and batches with
-//! [`prepared::PreparedRouter::route_many`].
+//! For serving traffic, compile the fitted model once into an owned
+//! [`engine::Engine`] (`model.prepare()`, or [`engine::Engine::load`]
+//! straight from a snapshot file): it answers queries bit-identically to
+//! [`L2r::route`] through reusable per-thread [`engine::QueryScratch`]
+//! state — several times faster, without per-query allocation — batches
+//! with [`engine::Engine::route_many`], and, being a `Send + Sync` unit
+//! owning its model, serves any number of threads behind an `Arc<Engine>`.
+//! A long-lived service manages named engines through a
+//! [`registry::ModelRegistry`], which hot-swaps freshly fitted snapshots in
+//! atomically while queries are in flight, and hands serving threads
+//! reusable scratches from a [`registry::ScratchPool`].
 //!
 //! To pay the offline cost once *per fleet* rather than once per process,
 //! persist the fitted model with [`snapshot::save_model`] and serve it from
@@ -44,19 +49,21 @@
 
 pub mod apply;
 pub mod config;
+pub mod engine;
 pub mod error;
 pub mod pipeline;
-pub mod prepared;
 pub mod region_routing;
+pub mod registry;
 pub mod router;
 pub mod snapshot;
 
 pub use apply::{apply_preferences_to_b_edges, path_under_preference, ApplyStats};
 pub use config::L2rConfig;
+pub use engine::{Engine, QueryScratch};
 pub use error::L2rError;
 pub use pipeline::{L2r, OfflineStats};
-pub use prepared::{PreparedRouter, QueryScratch};
 pub use region_routing::{find_region_path, RegionPath, RegionSearchSpace};
+pub use registry::{ModelRegistry, PooledScratch, ScratchPool};
 pub use router::{region_coverage, route, RegionCoverage, RouteResult, RouteStrategy};
 pub use snapshot::{
     decode_model, encode_model, load_model, save_model, SnapshotError, SNAPSHOT_MAGIC,

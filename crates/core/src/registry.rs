@@ -1,0 +1,316 @@
+//! Serving-side model management: [`ModelRegistry`] (named datasets →
+//! shared [`Engine`]s with atomic hot-reload) and [`ScratchPool`] (reusable
+//! [`QueryScratch`]es for worker threads).
+//!
+//! A long-lived route service holds one registry for its whole lifetime.
+//! Query threads call [`ModelRegistry::get`] and receive an `Arc<Engine>` —
+//! an immutable model+index unit they keep for the duration of the request,
+//! so a concurrent [`ModelRegistry::reload`] can never tear state out from
+//! under them: the swap replaces the registry's *pointer* under a brief
+//! write lock, in-flight queries finish on the engine they already hold, and
+//! the old engine is freed when the last holder drops it.  A failed reload
+//! (missing file, corrupt payload, stale format version) leaves the
+//! registered engine untouched and reports the [`SnapshotError`] — serving
+//! never degrades because an operator fat-fingered a path.
+//!
+//! The expensive part of a reload — reading, validating and compiling the
+//! snapshot — happens *outside* the lock; the critical section is a single
+//! `HashMap` insert.  `crates/core/tests/registry_hotswap.rs` hammers a
+//! registry from many threads mid-swap and asserts every answer is
+//! bit-identical to one of the two registered models (never a mix);
+//! `crates/core/tests/registry_robustness.rs` covers the failure paths.
+
+use std::collections::HashMap;
+use std::path::Path;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+
+use crate::engine::{Engine, QueryScratch};
+use crate::snapshot::SnapshotError;
+
+/// One registered engine plus its swap count.
+struct Entry {
+    engine: Arc<Engine>,
+    /// Starts at 1 on first registration, +1 per successful swap.  Lets
+    /// operators (and tests) observe that a hot-reload actually happened.
+    generation: u64,
+}
+
+/// A named, concurrently readable collection of serving [`Engine`]s with
+/// atomic hot-reload from `.l2r` snapshot files.
+///
+/// All methods take `&self`: share one registry across every serving thread
+/// (e.g. behind an `Arc`, or borrowed into scoped workers).
+#[derive(Default)]
+pub struct ModelRegistry {
+    entries: RwLock<HashMap<String, Entry>>,
+}
+
+impl std::fmt::Debug for ModelRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut names = self.names();
+        names.sort();
+        f.debug_struct("ModelRegistry")
+            .field("datasets", &names)
+            .finish()
+    }
+}
+
+impl ModelRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> ModelRegistry {
+        ModelRegistry::default()
+    }
+
+    fn read(&self) -> std::sync::RwLockReadGuard<'_, HashMap<String, Entry>> {
+        // A poisoned lock only means another thread panicked mid-access; the
+        // map itself is always structurally valid (swaps are single inserts),
+        // so serving continues.
+        self.entries.read().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn write(&self) -> std::sync::RwLockWriteGuard<'_, HashMap<String, Entry>> {
+        self.entries.write().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Registers (or replaces) `name` with an already-built engine,
+    /// returning the shared handle now being served.
+    pub fn insert(&self, name: &str, engine: Engine) -> Arc<Engine> {
+        self.insert_shared(name, Arc::new(engine))
+    }
+
+    /// Registers (or replaces) `name` with a shared engine handle.
+    pub fn insert_shared(&self, name: &str, engine: Arc<Engine>) -> Arc<Engine> {
+        let mut entries = self.write();
+        let generation = entries.get(name).map(|e| e.generation + 1).unwrap_or(1);
+        entries.insert(
+            name.to_string(),
+            Entry {
+                engine: Arc::clone(&engine),
+                generation,
+            },
+        );
+        engine
+    }
+
+    /// The engine currently serving `name` (a cheap `Arc` clone).  Hold the
+    /// returned handle for the duration of one request: it stays valid and
+    /// immutable even if the entry is hot-swapped or removed concurrently.
+    pub fn get(&self, name: &str) -> Option<Arc<Engine>> {
+        self.read().get(name).map(|e| Arc::clone(&e.engine))
+    }
+
+    /// The swap count of `name` (1 after first registration).
+    pub fn generation(&self, name: &str) -> Option<u64> {
+        self.read().get(name).map(|e| e.generation)
+    }
+
+    /// Loads a snapshot file, compiles it, and atomically swaps it in as
+    /// `name` (registering it fresh when the name is new).  Queries in
+    /// flight keep the engine they already hold; queries arriving after the
+    /// swap get the new one — there is no in-between state.
+    ///
+    /// On **any** failure — missing file, truncation, bad magic, stale
+    /// format version, checksum mismatch, invalid payload — the registry is
+    /// left exactly as it was (the old engine keeps serving) and the error
+    /// is returned for the operator.
+    pub fn reload(&self, name: &str, path: &Path) -> Result<Arc<Engine>, SnapshotError> {
+        // Read + validate + compile outside the lock: readers never wait on
+        // disk or on index compilation.
+        let engine = Engine::load(path)?;
+        Ok(self.insert(name, engine))
+    }
+
+    /// Removes `name`, returning whether it was registered.  In-flight
+    /// queries holding the engine finish normally.
+    pub fn remove(&self, name: &str) -> bool {
+        self.write().remove(name).is_some()
+    }
+
+    /// Registered dataset names, in registration-independent sorted order.
+    pub fn names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.read().keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Number of registered datasets.
+    pub fn len(&self) -> usize {
+        self.read().len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.read().is_empty()
+    }
+}
+
+/// A shared pool of [`QueryScratch`]es for serving threads.
+///
+/// Steady-state serving must not allocate per query *or per batch*: a worker
+/// [`acquire`](ScratchPool::acquire)s a scratch (popping a warmed one when
+/// available, creating one only when the pool has run dry), serves any
+/// number of queries through it, and returns it automatically on drop.  The
+/// total number of scratches ever created is bounded by the peak number of
+/// concurrent holders — observable via [`ScratchPool::created`], which tests
+/// use to prove batch N+1 reuses batch N's buffers.
+#[derive(Debug, Default)]
+pub struct ScratchPool {
+    free: Mutex<Vec<QueryScratch>>,
+    created: AtomicUsize,
+}
+
+impl ScratchPool {
+    /// Creates an empty pool; scratches are created lazily on first acquire.
+    pub fn new() -> ScratchPool {
+        ScratchPool::default()
+    }
+
+    /// Checks a scratch out of the pool (creating one only when none is
+    /// idle).  The scratch returns to the pool when the guard drops.
+    pub fn acquire(&self) -> PooledScratch<'_> {
+        let reused = self.free.lock().unwrap_or_else(|e| e.into_inner()).pop();
+        let scratch = reused.unwrap_or_else(|| {
+            self.created.fetch_add(1, Ordering::Relaxed);
+            QueryScratch::new()
+        });
+        PooledScratch {
+            pool: self,
+            scratch: Some(scratch),
+        }
+    }
+
+    /// Total scratches this pool has ever created — equals the peak number
+    /// of concurrent holders, regardless of how many acquire/release cycles
+    /// have run.
+    pub fn created(&self) -> usize {
+        self.created.load(Ordering::Relaxed)
+    }
+
+    /// Scratches currently idle in the pool.
+    pub fn idle(&self) -> usize {
+        self.free.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+}
+
+/// A [`QueryScratch`] checked out of a [`ScratchPool`]; derefs to the
+/// scratch and returns it to the pool on drop.
+#[derive(Debug)]
+pub struct PooledScratch<'a> {
+    pool: &'a ScratchPool,
+    scratch: Option<QueryScratch>,
+}
+
+impl std::ops::Deref for PooledScratch<'_> {
+    type Target = QueryScratch;
+    fn deref(&self) -> &QueryScratch {
+        self.scratch.as_ref().expect("scratch present until drop")
+    }
+}
+
+impl std::ops::DerefMut for PooledScratch<'_> {
+    fn deref_mut(&mut self) -> &mut QueryScratch {
+        self.scratch.as_mut().expect("scratch present until drop")
+    }
+}
+
+impl Drop for PooledScratch<'_> {
+    fn drop(&mut self) {
+        if let Some(scratch) = self.scratch.take() {
+            self.pool
+                .free
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .push(scratch);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use l2r_datagen::{
+        generate_network, generate_workload, SyntheticNetworkConfig, WorkloadConfig,
+    };
+    use l2r_region_graph::{bottom_up_clustering, RegionGraph, TrajectoryGraph};
+    use l2r_road_network::VertexId;
+
+    fn engine() -> Engine {
+        let syn = generate_network(&SyntheticNetworkConfig::tiny());
+        let wl = generate_workload(&syn, &WorkloadConfig::tiny(250));
+        let tg = TrajectoryGraph::build(&syn.net, &wl.trajectories);
+        let clusters = bottom_up_clustering(&tg);
+        let mut rg = RegionGraph::build(&syn.net, &clusters, &wl.trajectories, 2);
+        crate::apply::apply_preferences_to_b_edges(
+            &syn.net,
+            &mut rg,
+            &std::collections::HashMap::new(),
+            2,
+        );
+        Engine::from_graphs(&syn.net, &rg)
+    }
+
+    #[test]
+    fn insert_get_remove_roundtrip() {
+        let registry = ModelRegistry::new();
+        assert!(registry.is_empty());
+        assert!(registry.get("D1").is_none());
+        assert_eq!(registry.generation("D1"), None);
+
+        let served = registry.insert("D1", engine());
+        assert_eq!(registry.len(), 1);
+        assert_eq!(registry.names(), vec!["D1".to_string()]);
+        assert_eq!(registry.generation("D1"), Some(1));
+        let got = registry.get("D1").expect("registered");
+        assert!(Arc::ptr_eq(&served, &got));
+
+        assert!(registry.remove("D1"));
+        assert!(!registry.remove("D1"));
+        assert!(registry.get("D1").is_none());
+        // The handle we held across the removal still serves.
+        let mut scratch = QueryScratch::new();
+        let _ = got.route(&mut scratch, VertexId(0), VertexId(1));
+    }
+
+    #[test]
+    fn insert_replacing_bumps_generation_and_swaps_the_handle() {
+        let registry = ModelRegistry::new();
+        let first = registry.insert("D1", engine());
+        let second = registry.insert("D1", engine());
+        assert_eq!(registry.generation("D1"), Some(2));
+        let got = registry.get("D1").unwrap();
+        assert!(Arc::ptr_eq(&second, &got));
+        assert!(!Arc::ptr_eq(&first, &got));
+    }
+
+    #[test]
+    fn scratch_pool_reuses_across_sequential_batches() {
+        let pool = ScratchPool::new();
+        assert_eq!(pool.created(), 0);
+        for _ in 0..10 {
+            let scratch = pool.acquire();
+            // Touch the scratch as a serving worker would.
+            let _ = scratch.search_generation();
+        }
+        // Ten sequential batches, one scratch ever created.
+        assert_eq!(pool.created(), 1);
+        assert_eq!(pool.idle(), 1);
+    }
+
+    #[test]
+    fn scratch_pool_grows_to_peak_concurrency_only() {
+        let pool = ScratchPool::new();
+        {
+            let _a = pool.acquire();
+            let _b = pool.acquire();
+            let _c = pool.acquire();
+            assert_eq!(pool.created(), 3);
+            assert_eq!(pool.idle(), 0);
+        }
+        assert_eq!(pool.idle(), 3);
+        // Re-acquiring after release creates nothing new.
+        let _d = pool.acquire();
+        let _e = pool.acquire();
+        assert_eq!(pool.created(), 3);
+    }
+}

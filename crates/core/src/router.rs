@@ -314,8 +314,8 @@ fn region_path_to_road_path(
 /// (first wins ties; opposite-orientation paths are reversed and kept only
 /// when the reverse is drivable).
 ///
-/// Shared between the per-query scan above and the prepare-time resolution
-/// of `PreparedRouter` — one implementation, so the bit-identical guarantee
+/// Shared between the per-query scan above and the compile-time resolution
+/// of `Engine` — one implementation, so the bit-identical guarantee
 /// between the two routers cannot drift.
 pub(crate) fn best_oriented_path(
     net: &RoadNetwork,

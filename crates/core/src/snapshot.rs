@@ -7,7 +7,7 @@
 //! paths, learned and transferred preference vectors, transfer centers,
 //! configuration and offline statistics — into a single file, and
 //! [`load_model`] brings it back with **bit-identical** serving behaviour
-//! (a [`crate::PreparedRouter`] built from a loaded model answers exactly
+//! (a [`crate::Engine`] built from a loaded model answers exactly
 //! like one built from the original; the vertex-grid sweeps in
 //! `tests/snapshot_equivalence.rs` enforce it the same way prepared-vs-free
 //! equivalence is enforced, and `crates/core/tests/snapshot_robustness.rs`

@@ -1,4 +1,4 @@
-//! Proves the prepared serving path reuses its scratch search state instead
+//! Proves the engine serving path reuses its scratch search state instead
 //! of allocating hidden search spaces: over a Case-1 query workload, the
 //! process-wide Dijkstra search counter advances by *exactly* the scratch
 //! space's generation delta — any thread-local fallback or freshly allocated
@@ -6,11 +6,12 @@
 //!
 //! This file intentionally holds a single `#[test]`: the search counter is
 //! process-global, and a sibling test running concurrently in the same test
-//! binary would perturb it.
+//! binary would perturb it.  (`engine_concurrency.rs` extends the same
+//! counting argument across threads.)
 
 use std::collections::HashMap;
 
-use l2r_core::{apply_preferences_to_b_edges, PreparedRouter, QueryScratch, RegionCoverage};
+use l2r_core::{apply_preferences_to_b_edges, Engine, QueryScratch, RegionCoverage};
 use l2r_datagen::{generate_network, generate_workload, SyntheticNetworkConfig, WorkloadConfig};
 use l2r_region_graph::{bottom_up_clustering, RegionGraph, TrajectoryGraph};
 use l2r_road_network::{searches_performed, VertexId};
@@ -24,7 +25,7 @@ fn case1_queries_route_all_searches_through_the_reused_scratch() {
     let mut rg = RegionGraph::build(&syn.net, &clusters, &wl.trajectories, 2);
     apply_preferences_to_b_edges(&syn.net, &mut rg, &HashMap::new(), 2);
 
-    let prepared = PreparedRouter::prepare(&syn.net, &rg);
+    let engine = Engine::from_graphs(&syn.net, &rg);
     // Collect Case-1 queries: both endpoints covered by regions.
     let n = syn.net.num_vertices() as u32;
     let queries: Vec<(VertexId, VertexId)> = (0..n)
@@ -43,7 +44,7 @@ fn case1_queries_route_all_searches_through_the_reused_scratch() {
     let mut scratch = QueryScratch::new();
     // Warm up buffers (first queries grow the stamped arrays).
     for (s, d) in queries.iter().take(10) {
-        let _ = prepared.route(&mut scratch, *s, *d);
+        let _ = engine.route(&mut scratch, *s, *d);
     }
 
     let searches_before = searches_performed();
@@ -51,7 +52,7 @@ fn case1_queries_route_all_searches_through_the_reused_scratch() {
     let region_gen_before = scratch.region_generation();
     let mut answered = 0usize;
     for (s, d) in &queries {
-        if prepared.route(&mut scratch, *s, *d).is_some() {
+        if engine.route(&mut scratch, *s, *d).is_some() {
             answered += 1;
         }
     }

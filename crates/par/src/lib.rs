@@ -29,18 +29,47 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 /// Name of the environment variable overriding the worker thread count.
 pub const THREADS_ENV: &str = "L2R_THREADS";
 
-/// The number of worker threads parallel maps use: the value of
+/// Process-wide programmatic thread override (0 = unset).  Set by
+/// [`set_thread_override`]; takes precedence over [`THREADS_ENV`] so CLI
+/// flags (`reproduce --threads N`) can pin the worker count without the
+/// caller mutating the environment (`set_var` racing `getenv` from already
+/// running worker threads is undefined behaviour on glibc).
+static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Pins (or, with `None`, releases) the process-wide worker thread count.
+///
+/// A pinned count takes precedence over the [`THREADS_ENV`] environment
+/// variable.  `Some(0)` is treated as `None` (no override).
+pub fn set_thread_override(threads: Option<usize>) {
+    THREAD_OVERRIDE.store(threads.unwrap_or(0), Ordering::Relaxed);
+}
+
+/// The active programmatic override, if any.
+pub fn thread_override() -> Option<usize> {
+    match THREAD_OVERRIDE.load(Ordering::Relaxed) {
+        0 => None,
+        n => Some(n),
+    }
+}
+
+/// The number of worker threads parallel maps use: the programmatic
+/// [`set_thread_override`] pin when present, else the value of
 /// [`THREADS_ENV`] when it parses to a positive integer, otherwise the
 /// available hardware parallelism (1 when that cannot be determined).
 pub fn max_threads() -> usize {
+    if let Some(t) = thread_override() {
+        return t;
+    }
     threads_from_override(std::env::var(THREADS_ENV).ok().as_deref())
 }
 
 /// The policy behind [`max_threads`], with the environment lookup injected:
 /// tests exercise every override variant through this function instead of
 /// mutating the real environment (`set_var` racing `getenv` from the
-/// parallel fits other tests run is undefined behaviour on glibc).
-fn threads_from_override(value: Option<&str>) -> usize {
+/// parallel fits other tests run is undefined behaviour on glibc).  Public
+/// so CLI front-ends can resolve a user-supplied thread count through the
+/// exact same policy before pinning it with [`set_thread_override`].
+pub fn threads_from_override(value: Option<&str>) -> usize {
     if let Some(v) = value {
         if let Ok(t) = v.trim().parse::<usize>() {
             if t >= 1 {
@@ -227,6 +256,19 @@ mod tests {
         assert!(threads_from_override(None) >= 1);
         // The public entry point agrees with the injected policy for the
         // environment this process actually has.
+        assert_eq!(
+            max_threads(),
+            threads_from_override(std::env::var(THREADS_ENV).ok().as_deref())
+        );
+        // The programmatic pin wins over the environment; releasing it
+        // restores the env policy.  Kept inside this single test (not a
+        // sibling) so no concurrently running test observes the pin.
+        set_thread_override(Some(5));
+        assert_eq!(thread_override(), Some(5));
+        assert_eq!(max_threads(), 5);
+        set_thread_override(Some(0));
+        assert_eq!(thread_override(), None);
+        set_thread_override(None);
         assert_eq!(
             max_threads(),
             threads_from_override(std::env::var(THREADS_ENV).ok().as_deref())

@@ -1,0 +1,1177 @@
+//! # l2r-serve
+//!
+//! A dependency-free TCP route service over the L2R serving stack: an
+//! [`l2r_core::ModelRegistry`] of named [`l2r_core::Engine`]s (hot-reloadable
+//! from `.l2r` snapshot files while queries are in flight), served by a
+//! fixed pool of worker threads speaking a plain **line protocol** — one
+//! request line in, one response line out, any number of requests per
+//! connection.
+//!
+//! ## Wire protocol
+//!
+//! Requests are ASCII lines; fields are space-separated.  Every response is
+//! a single line starting with `OK`, `NOROUTE` or `ERR`:
+//!
+//! | request | response |
+//! |---|---|
+//! | `ping` | `OK pong` |
+//! | `route <dataset> <src> <dst>` | `OK <strategy> <n> <v0> … <vn-1>` \| `NOROUTE` \| `ERR …` |
+//! | `route_batch <dataset> <s,d> [<s,d> …]` | `OK <total> <answered> <item> …` (item = `<strategy>:<n>` or `-`) |
+//! | `info <dataset>` | `OK dataset=… vertices=… edges=… regions=… connectors=… generation=…` |
+//! | `stats` | `OK uptime_ms=… connections=… queries=… answered=… errors=… reloads=… datasets=…` |
+//! | `reload <dataset> <path>` | `OK dataset=… generation=…` \| `ERR reload failed: …` |
+//! | `shutdown` | `OK bye` (server drains and exits) |
+//!
+//! A failed `reload` **keeps serving the old engine** — the registry swap is
+//! atomic and only happens after the snapshot decoded and compiled cleanly.
+//!
+//! ## Architecture
+//!
+//! The listener is shared by `workers` accept loops (scoped threads, in the
+//! style of `l2r-par`); each worker serves one connection at a time, pulling
+//! a reusable [`l2r_core::QueryScratch`] from a shared
+//! [`l2r_core::ScratchPool`] per connection so steady-state serving does not
+//! allocate search state per query or per batch.  Engines are handed out as
+//! `Arc<Engine>` per request — a concurrent hot-swap can never expose a
+//! half-swapped model.
+//!
+//! The crate also ships a **load generator** ([`run_load`]) and a
+//! self-contained **smoke check** ([`run_smoke`]) used by CI: start a
+//! server, verify every protocol command end-to-end (including route
+//! answers being bit-identical to a locally compiled engine), hot-reload
+//! under traffic, and shut down cleanly.
+
+#![warn(missing_docs)]
+
+use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use l2r_core::{Engine, ModelRegistry, QueryScratch, RouteResult, ScratchPool};
+use l2r_road_network::VertexId;
+
+/// Default worker-thread count of a server.
+pub const DEFAULT_WORKERS: usize = 4;
+
+/// Read timeout on accepted connections: a stalled client frees its worker
+/// instead of wedging it forever.
+const CLIENT_READ_TIMEOUT: Duration = Duration::from_secs(30);
+
+// ---------------------------------------------------------------------------
+// Server state
+// ---------------------------------------------------------------------------
+
+/// Monotonic serving counters, shared by all workers.
+#[derive(Debug)]
+pub struct ServerStats {
+    started: Instant,
+    connections: AtomicU64,
+    queries: AtomicU64,
+    answered: AtomicU64,
+    errors: AtomicU64,
+    reloads: AtomicU64,
+}
+
+impl ServerStats {
+    fn new() -> ServerStats {
+        ServerStats {
+            started: Instant::now(),
+            connections: AtomicU64::new(0),
+            queries: AtomicU64::new(0),
+            answered: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            reloads: AtomicU64::new(0),
+        }
+    }
+
+    /// Total route queries served (batch items count individually).
+    pub fn queries(&self) -> u64 {
+        self.queries.load(Ordering::Relaxed)
+    }
+
+    /// Queries that produced a route.
+    pub fn answered(&self) -> u64 {
+        self.answered.load(Ordering::Relaxed)
+    }
+
+    /// Requests rejected with `ERR`.
+    pub fn errors(&self) -> u64 {
+        self.errors.load(Ordering::Relaxed)
+    }
+
+    /// Successful hot-reloads performed.
+    pub fn reloads(&self) -> u64 {
+        self.reloads.load(Ordering::Relaxed)
+    }
+
+    /// Connections accepted.
+    pub fn connections(&self) -> u64 {
+        self.connections.load(Ordering::Relaxed)
+    }
+}
+
+/// Everything the worker pool shares: the model registry, the scratch pool,
+/// counters and the shutdown flag.
+#[derive(Debug)]
+pub struct ServerState {
+    registry: ModelRegistry,
+    scratch: ScratchPool,
+    stats: ServerStats,
+    shutdown: AtomicBool,
+}
+
+impl ServerState {
+    /// Wraps a registry into shared server state.
+    pub fn new(registry: ModelRegistry) -> ServerState {
+        ServerState {
+            registry,
+            scratch: ScratchPool::new(),
+            stats: ServerStats::new(),
+            shutdown: AtomicBool::new(false),
+        }
+    }
+
+    /// The model registry this server serves from (e.g. to hot-swap engines
+    /// programmatically instead of via the `reload` command).
+    pub fn registry(&self) -> &ModelRegistry {
+        &self.registry
+    }
+
+    /// Serving counters.
+    pub fn stats(&self) -> &ServerStats {
+        &self.stats
+    }
+
+    /// Scratch-pool diagnostics: total scratches ever created (bounds peak
+    /// concurrency) — the serving loop must keep this at ≤ worker count no
+    /// matter how many connections and batches have been served.
+    pub fn scratches_created(&self) -> usize {
+        self.scratch.created()
+    }
+
+    /// Whether shutdown has been requested.
+    pub fn shutdown_requested(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Requests shutdown (workers exit after their current connection).
+    pub fn request_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Server
+// ---------------------------------------------------------------------------
+
+/// A bound (but not yet serving) route server.
+#[derive(Debug)]
+pub struct Server {
+    listener: TcpListener,
+    addr: SocketAddr,
+    workers: usize,
+    state: Arc<ServerState>,
+}
+
+/// A server running on a background thread; shut it down with
+/// [`ServerHandle::shutdown`].
+#[derive(Debug)]
+pub struct ServerHandle {
+    addr: SocketAddr,
+    workers: usize,
+    state: Arc<ServerState>,
+    join: std::thread::JoinHandle<io::Result<()>>,
+}
+
+impl Server {
+    /// Binds `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and prepares
+    /// a pool of `workers` accept loops over `registry`.
+    pub fn bind(addr: &str, workers: usize, registry: ModelRegistry) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        Ok(Server {
+            listener,
+            addr,
+            workers: workers.max(1),
+            state: Arc::new(ServerState::new(registry)),
+        })
+    }
+
+    /// The bound address (resolves the ephemeral port of `:0` binds).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Shared handle to the server state (registry, stats, shutdown flag).
+    pub fn state(&self) -> Arc<ServerState> {
+        Arc::clone(&self.state)
+    }
+
+    /// Serves until shutdown is requested (by the `shutdown` command or
+    /// [`ServerState::request_shutdown`] + a wake-up connection).  Blocks
+    /// the calling thread; the worker pool runs on scoped threads.
+    pub fn run(self) -> io::Result<()> {
+        let mut listeners = Vec::with_capacity(self.workers);
+        for _ in 0..self.workers {
+            listeners.push(self.listener.try_clone()?);
+        }
+        let state = &self.state;
+        let addr = self.addr;
+        let workers = self.workers;
+        std::thread::scope(|scope| {
+            for listener in listeners {
+                scope.spawn(move || accept_loop(listener, state, addr, workers));
+            }
+        });
+        Ok(())
+    }
+
+    /// Runs the server on a background thread, returning immediately.
+    pub fn start(self) -> ServerHandle {
+        let addr = self.addr;
+        let workers = self.workers;
+        let state = Arc::clone(&self.state);
+        let join = std::thread::spawn(move || self.run());
+        ServerHandle {
+            addr,
+            workers,
+            state,
+            join,
+        }
+    }
+}
+
+impl ServerHandle {
+    /// The address the server listens on.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Shared handle to the server state.
+    pub fn state(&self) -> Arc<ServerState> {
+        Arc::clone(&self.state)
+    }
+
+    /// Requests shutdown, wakes every worker and waits for the server thread
+    /// to finish.
+    pub fn shutdown(self) -> io::Result<()> {
+        self.state.request_shutdown();
+        wake_workers(self.addr, self.workers);
+        match self.join.join() {
+            Ok(result) => result,
+            Err(_) => Err(io::Error::other("server thread panicked")),
+        }
+    }
+}
+
+/// Unblocks workers parked in `accept` by making `n` empty connections.
+fn wake_workers(addr: SocketAddr, n: usize) {
+    for _ in 0..n {
+        let _ = TcpStream::connect_timeout(&addr, Duration::from_millis(500));
+    }
+}
+
+fn accept_loop(listener: TcpListener, state: &ServerState, addr: SocketAddr, workers: usize) {
+    loop {
+        if state.shutdown_requested() {
+            break;
+        }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if state.shutdown_requested() {
+                    break;
+                }
+                handle_connection(stream, state, addr, workers);
+            }
+            Err(_) => {
+                if state.shutdown_requested() {
+                    break;
+                }
+                // A persistent accept error (e.g. fd exhaustion) must not
+                // busy-spin the worker at 100% CPU.
+                std::thread::sleep(Duration::from_millis(10));
+            }
+        }
+    }
+}
+
+/// Longest request line the server accepts; a client streaming bytes with
+/// no newline is cut off here instead of growing the buffer unboundedly.
+const MAX_REQUEST_LINE: u64 = 64 * 1024;
+
+/// Reads one `\n`-terminated line of at most [`MAX_REQUEST_LINE`] bytes.
+/// Returns `Ok(None)` on a clean EOF and `Err` on I/O failure or an
+/// over-long line.
+fn read_request_line(
+    reader: &mut BufReader<TcpStream>,
+    buf: &mut Vec<u8>,
+) -> io::Result<Option<String>> {
+    buf.clear();
+    let n = reader
+        .by_ref()
+        .take(MAX_REQUEST_LINE)
+        .read_until(b'\n', buf)?;
+    if n == 0 {
+        return Ok(None); // client closed the connection
+    }
+    if !buf.ends_with(b"\n") && n as u64 == MAX_REQUEST_LINE {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "request line exceeds the size limit",
+        ));
+    }
+    Ok(Some(String::from_utf8_lossy(buf).into_owned()))
+}
+
+fn handle_connection(stream: TcpStream, state: &ServerState, addr: SocketAddr, workers: usize) {
+    state.stats.connections.fetch_add(1, Ordering::Relaxed);
+    let _ = stream.set_read_timeout(Some(CLIENT_READ_TIMEOUT));
+    let _ = stream.set_nodelay(true);
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = BufWriter::new(stream);
+    let mut buf = Vec::new();
+    // One pooled scratch for the whole connection: steady-state request
+    // handling touches no allocator and no pool lock.
+    let mut scratch = state.scratch.acquire();
+    loop {
+        let line = match read_request_line(&mut reader, &mut buf) {
+            Ok(Some(line)) => line,
+            Ok(None) => break,
+            Err(_) => break, // timeout / reset / over-long line
+        };
+        let request = line.trim();
+        if request.is_empty() {
+            continue;
+        }
+        let (response, shutdown) = respond_line(state, &mut scratch, request);
+        let ok = writer
+            .write_all(response.as_bytes())
+            .and_then(|_| writer.write_all(b"\n"))
+            .and_then(|_| writer.flush())
+            .is_ok();
+        if shutdown {
+            state.request_shutdown();
+            // Unblock the sibling workers parked in `accept`; this worker
+            // leaves via the loop check.
+            wake_workers(addr, workers);
+            break;
+        }
+        if !ok {
+            break;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Protocol
+// ---------------------------------------------------------------------------
+
+/// Formats a route answer exactly as the server sends it (`OK <strategy>
+/// <n> <v0> …` / `NOROUTE`).  Public so clients and tests can compare
+/// server responses against a locally computed [`Engine::route`] answer for
+/// end-to-end bit-equivalence.
+pub fn format_route_response(result: &Option<RouteResult>) -> String {
+    match result {
+        Some(r) => {
+            let vertices = r.path.vertices();
+            let mut out = String::with_capacity(16 + vertices.len() * 7);
+            out.push_str("OK ");
+            out.push_str(r.strategy.label());
+            out.push(' ');
+            out.push_str(&vertices.len().to_string());
+            for v in vertices {
+                out.push(' ');
+                out.push_str(&v.0.to_string());
+            }
+            out
+        }
+        None => "NOROUTE".to_string(),
+    }
+}
+
+/// Answers one protocol line using the caller's reusable scratch (the TCP
+/// layer holds one pooled scratch per connection).  Returns the response
+/// line (without trailing newline) and whether the server should shut down.
+/// Exposed for protocol unit tests; the TCP layer is a thin loop around
+/// this.
+pub fn respond_line(
+    state: &ServerState,
+    scratch: &mut QueryScratch,
+    request: &str,
+) -> (String, bool) {
+    let mut parts = request.split_whitespace();
+    let command = parts.next().unwrap_or("");
+    let response = match command {
+        "ping" => "OK pong".to_string(),
+        "route" => cmd_route(state, scratch, &mut parts),
+        "route_batch" => cmd_route_batch(state, scratch, &mut parts),
+        "info" => cmd_info(state, &mut parts),
+        "stats" => cmd_stats(state),
+        "reload" => cmd_reload(state, &mut parts),
+        "shutdown" => return ("OK bye".to_string(), true),
+        other => {
+            state.stats.errors.fetch_add(1, Ordering::Relaxed);
+            format!(
+                "ERR unknown command `{other}` \
+                 (expected ping|route|route_batch|info|stats|reload|shutdown)"
+            )
+        }
+    };
+    (response, false)
+}
+
+fn err(state: &ServerState, message: String) -> String {
+    state.stats.errors.fetch_add(1, Ordering::Relaxed);
+    format!("ERR {message}")
+}
+
+fn parse_vertex(field: Option<&str>, what: &str) -> Result<VertexId, String> {
+    match field {
+        Some(s) => s
+            .parse::<u32>()
+            .map(VertexId)
+            .map_err(|_| format!("{what} `{s}` is not a vertex id")),
+        None => Err(format!("missing {what}")),
+    }
+}
+
+fn cmd_route<'a>(
+    state: &ServerState,
+    scratch: &mut QueryScratch,
+    parts: &mut impl Iterator<Item = &'a str>,
+) -> String {
+    let Some(dataset) = parts.next() else {
+        return err(state, "usage: route <dataset> <src> <dst>".to_string());
+    };
+    let (s, d) = match (
+        parse_vertex(parts.next(), "source"),
+        parse_vertex(parts.next(), "destination"),
+    ) {
+        (Ok(s), Ok(d)) => (s, d),
+        (Err(e), _) | (_, Err(e)) => return err(state, e),
+    };
+    let Some(engine) = state.registry.get(dataset) else {
+        return err(state, format!("unknown dataset `{dataset}`"));
+    };
+    let result = engine.route(scratch, s, d);
+    state.stats.queries.fetch_add(1, Ordering::Relaxed);
+    if result.is_some() {
+        state.stats.answered.fetch_add(1, Ordering::Relaxed);
+    }
+    format_route_response(&result)
+}
+
+fn cmd_route_batch<'a>(
+    state: &ServerState,
+    scratch: &mut QueryScratch,
+    parts: &mut impl Iterator<Item = &'a str>,
+) -> String {
+    let Some(dataset) = parts.next() else {
+        return err(
+            state,
+            "usage: route_batch <dataset> <src,dst> [<src,dst> ...]".to_string(),
+        );
+    };
+    let Some(engine) = state.registry.get(dataset) else {
+        return err(state, format!("unknown dataset `{dataset}`"));
+    };
+    let mut pairs: Vec<(VertexId, VertexId)> = Vec::new();
+    for item in parts {
+        let Some((s, d)) = item.split_once(',') else {
+            return err(state, format!("malformed pair `{item}` (want src,dst)"));
+        };
+        match (
+            parse_vertex(Some(s), "source"),
+            parse_vertex(Some(d), "destination"),
+        ) {
+            (Ok(s), Ok(d)) => pairs.push((s, d)),
+            (Err(e), _) | (_, Err(e)) => return err(state, e),
+        }
+    }
+    if pairs.is_empty() {
+        return err(
+            state,
+            "route_batch needs at least one src,dst pair".to_string(),
+        );
+    }
+    let mut out = String::new();
+    let mut answered = 0u64;
+    for &(s, d) in &pairs {
+        let result = engine.route(scratch, s, d);
+        out.push(' ');
+        match &result {
+            Some(r) => {
+                answered += 1;
+                out.push_str(r.strategy.label());
+                out.push(':');
+                out.push_str(&r.path.vertices().len().to_string());
+            }
+            None => out.push('-'),
+        }
+    }
+    state
+        .stats
+        .queries
+        .fetch_add(pairs.len() as u64, Ordering::Relaxed);
+    state.stats.answered.fetch_add(answered, Ordering::Relaxed);
+    format!("OK {} {}{}", pairs.len(), answered, out)
+}
+
+fn cmd_info<'a>(state: &ServerState, parts: &mut impl Iterator<Item = &'a str>) -> String {
+    let Some(dataset) = parts.next() else {
+        return err(state, "usage: info <dataset>".to_string());
+    };
+    let Some(engine) = state.registry.get(dataset) else {
+        return err(state, format!("unknown dataset `{dataset}`"));
+    };
+    let generation = state.registry.generation(dataset).unwrap_or(0);
+    format!(
+        "OK dataset={dataset} vertices={} edges={} regions={} connectors={} generation={generation}",
+        engine.network().num_vertices(),
+        engine.network().num_edges(),
+        engine.region_graph().num_regions(),
+        engine.num_connectors(),
+    )
+}
+
+fn cmd_stats(state: &ServerState) -> String {
+    let names = state.registry.names();
+    let datasets = if names.is_empty() {
+        "-".to_string()
+    } else {
+        names.join(",")
+    };
+    format!(
+        "OK uptime_ms={} connections={} queries={} answered={} errors={} reloads={} datasets={datasets}",
+        state.stats.started.elapsed().as_millis(),
+        state.stats.connections(),
+        state.stats.queries(),
+        state.stats.answered(),
+        state.stats.errors(),
+        state.stats.reloads(),
+    )
+}
+
+fn cmd_reload<'a>(state: &ServerState, parts: &mut impl Iterator<Item = &'a str>) -> String {
+    let (Some(dataset), Some(path)) = (parts.next(), parts.next()) else {
+        return err(state, "usage: reload <dataset> <path>".to_string());
+    };
+    match state.registry.reload(dataset, Path::new(path)) {
+        Ok(_) => {
+            state.stats.reloads.fetch_add(1, Ordering::Relaxed);
+            let generation = state.registry.generation(dataset).unwrap_or(0);
+            format!("OK dataset={dataset} generation={generation}")
+        }
+        // The registry kept the previous engine; tell the operator why the
+        // swap did not happen.
+        Err(e) => err(state, format!("reload failed: {e}")),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Client
+// ---------------------------------------------------------------------------
+
+/// A blocking line-protocol client: one request line out, one response line
+/// in.
+#[derive(Debug)]
+pub struct Client {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    /// Connects to a running server.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let read_half = stream.try_clone()?;
+        Ok(Client {
+            writer: stream,
+            reader: BufReader::new(read_half),
+        })
+    }
+
+    /// Sends one request line and reads the one-line response (without the
+    /// trailing newline).
+    pub fn request(&mut self, line: &str) -> io::Result<String> {
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()?;
+        let mut response = String::new();
+        let n = self.reader.read_line(&mut response)?;
+        if n == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        while response.ends_with('\n') || response.ends_with('\r') {
+            response.pop();
+        }
+        Ok(response)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Load generator
+// ---------------------------------------------------------------------------
+
+/// Load-generator parameters.
+#[derive(Debug, Clone)]
+pub struct LoadConfig {
+    /// Dataset name to query.
+    pub dataset: String,
+    /// Concurrent client connections.
+    pub threads: usize,
+    /// `route` requests each connection issues.
+    pub requests_per_thread: usize,
+    /// Seed of the per-thread query generator.
+    pub seed: u64,
+}
+
+impl Default for LoadConfig {
+    fn default() -> LoadConfig {
+        LoadConfig {
+            dataset: "D1".to_string(),
+            threads: 2,
+            requests_per_thread: 1000,
+            seed: 0x51ED_5EED,
+        }
+    }
+}
+
+/// Aggregate result of a load-generator run.
+#[derive(Debug, Clone)]
+pub struct LoadReport {
+    /// Total `route` requests issued.
+    pub requests: u64,
+    /// Requests answered with a route.
+    pub answered: u64,
+    /// Requests answered `NOROUTE`.
+    pub noroutes: u64,
+    /// Requests answered `ERR` (must be 0 on a healthy run).
+    pub errors: u64,
+    /// Wall time of the whole run.
+    pub wall: Duration,
+    /// Aggregate requests per second across all connections.
+    pub qps: f64,
+    /// Mean per-request round-trip latency (µs).
+    pub mean_us: f64,
+    /// Median round-trip latency (µs).
+    pub p50_us: f64,
+    /// 99th-percentile round-trip latency (µs).
+    pub p99_us: f64,
+}
+
+/// Nearest-rank percentile of an ascending-sorted slice.
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// A tiny deterministic generator (LCG) for query endpoints — the load tool
+/// must stay dependency-free.
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0 >> 33
+    }
+}
+
+/// Hammers a running server with `route` requests from
+/// [`LoadConfig::threads`] concurrent connections and aggregates latency and
+/// throughput.  Query endpoints are drawn deterministically (per-thread
+/// seeded LCG) over the dataset's vertex range, discovered via `info`.
+pub fn run_load(addr: SocketAddr, cfg: &LoadConfig) -> io::Result<LoadReport> {
+    let threads = cfg.threads.max(1);
+    // Discover the vertex range once.  The probe connection is dropped
+    // before the load threads start: workers serve one connection at a
+    // time, so an idle probe would occupy one for the whole run.
+    let vertices = {
+        let mut probe = Client::connect(addr)?;
+        let info = probe.request(&format!("info {}", cfg.dataset))?;
+        info.split_whitespace()
+            .find_map(|f| {
+                f.strip_prefix("vertices=")
+                    .and_then(|v| v.parse::<u64>().ok())
+            })
+            .ok_or_else(|| io::Error::other(format!("unusable info response: {info}")))?
+    };
+    if vertices < 2 {
+        return Err(io::Error::other("dataset has fewer than 2 vertices"));
+    }
+
+    struct ThreadOutcome {
+        latencies_us: Vec<f64>,
+        answered: u64,
+        noroutes: u64,
+        errors: u64,
+        error: Option<io::Error>,
+    }
+
+    let t0 = Instant::now();
+    let outcomes: Vec<ThreadOutcome> = std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(threads);
+        for tid in 0..threads {
+            let dataset = cfg.dataset.clone();
+            let requests = cfg.requests_per_thread;
+            let seed = cfg.seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(tid as u64 + 1));
+            handles.push(scope.spawn(move || {
+                let mut outcome = ThreadOutcome {
+                    latencies_us: Vec::with_capacity(requests),
+                    answered: 0,
+                    noroutes: 0,
+                    errors: 0,
+                    error: None,
+                };
+                let mut client = match Client::connect(addr) {
+                    Ok(c) => c,
+                    Err(e) => {
+                        outcome.error = Some(e);
+                        return outcome;
+                    }
+                };
+                let mut rng = Lcg(seed);
+                for _ in 0..requests {
+                    let s = rng.next() % vertices;
+                    let mut d = rng.next() % vertices;
+                    if d == s {
+                        d = (d + 1) % vertices;
+                    }
+                    let q0 = Instant::now();
+                    match client.request(&format!("route {dataset} {s} {d}")) {
+                        Ok(resp) => {
+                            outcome.latencies_us.push(q0.elapsed().as_secs_f64() * 1e6);
+                            if resp.starts_with("OK") {
+                                outcome.answered += 1;
+                            } else if resp.starts_with("NOROUTE") {
+                                outcome.noroutes += 1;
+                            } else {
+                                outcome.errors += 1;
+                            }
+                        }
+                        Err(e) => {
+                            outcome.error = Some(e);
+                            break;
+                        }
+                    }
+                }
+                outcome
+            }));
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("load thread"))
+            .collect()
+    });
+    let wall = t0.elapsed();
+
+    let mut latencies: Vec<f64> = Vec::new();
+    let (mut answered, mut noroutes, mut errors) = (0u64, 0u64, 0u64);
+    for mut outcome in outcomes {
+        if let Some(e) = outcome.error.take() {
+            return Err(e);
+        }
+        latencies.append(&mut outcome.latencies_us);
+        answered += outcome.answered;
+        noroutes += outcome.noroutes;
+        errors += outcome.errors;
+    }
+    latencies.sort_by(|a, b| a.total_cmp(b));
+    let requests = latencies.len() as u64;
+    let mean_us = if latencies.is_empty() {
+        0.0
+    } else {
+        latencies.iter().sum::<f64>() / latencies.len() as f64
+    };
+    Ok(LoadReport {
+        requests,
+        answered,
+        noroutes,
+        errors,
+        wall,
+        qps: if wall.as_secs_f64() > 0.0 {
+            requests as f64 / wall.as_secs_f64()
+        } else {
+            0.0
+        },
+        mean_us,
+        p50_us: percentile(&latencies, 50.0),
+        p99_us: percentile(&latencies, 99.0),
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Smoke check
+// ---------------------------------------------------------------------------
+
+/// Builds a registry by loading each `name=path` model spec.
+pub fn registry_from_specs(specs: &[(String, PathBuf)]) -> Result<ModelRegistry, String> {
+    if specs.is_empty() {
+        return Err("no --model NAME=PATH specs given".to_string());
+    }
+    let registry = ModelRegistry::new();
+    for (name, path) in specs {
+        let engine = Engine::load(path)
+            .map_err(|e| format!("failed to load `{name}` from {}: {e}", path.display()))?;
+        registry.insert(name, engine);
+    }
+    Ok(registry)
+}
+
+/// End-to-end smoke check (used by CI): starts a server over the given
+/// `name=path` models on an ephemeral loopback port, exercises every
+/// protocol command through real TCP connections — verifying `route`
+/// answers are **bit-identical** to a locally compiled [`Engine`] — performs
+/// a hot-reload plus the reload failure path, and shuts the server down
+/// cleanly.  Returns a human-readable transcript on success.
+pub fn run_smoke(specs: &[(String, PathBuf)]) -> Result<String, String> {
+    let mut transcript = String::new();
+    let mut note = |line: String| {
+        transcript.push_str(&line);
+        transcript.push('\n');
+    };
+
+    let registry = registry_from_specs(specs)?;
+    let (name, path) = &specs[0];
+    // An independently compiled engine: the reference for bit-equivalence.
+    let reference =
+        Engine::load(path).map_err(|e| format!("reference load of {}: {e}", path.display()))?;
+
+    let server =
+        Server::bind("127.0.0.1:0", 2, registry).map_err(|e| format!("bind failed: {e}"))?;
+    let addr = server.local_addr();
+    let state = server.state();
+    let handle = server.start();
+    note(format!(
+        "server listening on {addr} ({} datasets)",
+        specs.len()
+    ));
+
+    let run = || -> Result<Vec<String>, String> {
+        let mut notes = Vec::new();
+        let mut client = Client::connect(addr).map_err(|e| format!("connect failed: {e}"))?;
+        let mut expect = |request: &str, check: &dyn Fn(&str) -> bool| -> Result<String, String> {
+            let response = client
+                .request(request)
+                .map_err(|e| format!("`{request}` failed: {e}"))?;
+            if !check(&response) {
+                return Err(format!("`{request}` answered unexpectedly: {response}"));
+            }
+            Ok(response)
+        };
+
+        expect("ping", &|r| r == "OK pong")?;
+        let info = expect(&format!("info {name}"), &|r| r.starts_with("OK "))?;
+        notes.push(format!("info: {info}"));
+        let vertices = info
+            .split_whitespace()
+            .find_map(|f| {
+                f.strip_prefix("vertices=")
+                    .and_then(|v| v.parse::<u32>().ok())
+            })
+            .ok_or_else(|| format!("info response lacks vertices=: {info}"))?;
+        if vertices < 2 {
+            return Err("dataset has fewer than 2 vertices".to_string());
+        }
+
+        // Bit-equivalence: the TCP answer must be byte-for-byte the local
+        // engine's answer run through the shared formatter.
+        let mut scratch = l2r_core::QueryScratch::new();
+        let mut compared = 0usize;
+        for i in 0..25u32 {
+            let s = (i * 37) % vertices;
+            let d = (i * 91 + 1) % vertices;
+            if s == d {
+                continue;
+            }
+            let expected =
+                format_route_response(&reference.route(&mut scratch, VertexId(s), VertexId(d)));
+            expect(&format!("route {name} {s} {d}"), &|r| r == expected)?;
+            compared += 1;
+        }
+        notes.push(format!(
+            "route: {compared} queries answered bit-identically to the local engine"
+        ));
+
+        let batch = expect(&format!("route_batch {name} 0,1 1,0 0,1"), &|r| {
+            r.starts_with("OK 3 ")
+        })?;
+        notes.push(format!("route_batch: {batch}"));
+
+        // Hot-reload from the same snapshot: generation bumps, serving keeps
+        // answering identically.
+        expect(&format!("reload {name} {}", path.display()), &|r| {
+            r.starts_with("OK ") && r.contains("generation=2")
+        })?;
+        let expected = format_route_response(&reference.route(
+            &mut scratch,
+            VertexId(0),
+            VertexId(1 % vertices),
+        ));
+        expect(&format!("route {name} 0 {}", 1 % vertices), &|r| {
+            r == expected
+        })?;
+        notes.push("reload: generation=2, post-reload answer identical".to_string());
+
+        // Failure paths: the old engine must keep serving.
+        expect(
+            &format!("reload {name} {}.does-not-exist", path.display()),
+            &|r| r.starts_with("ERR reload failed"),
+        )?;
+        expect(&format!("route {name} 0 {}", 1 % vertices), &|r| {
+            r == expected
+        })?;
+        expect("route nosuchdataset 0 1", &|r| {
+            r.starts_with("ERR unknown dataset")
+        })?;
+        expect("frobnicate", &|r| r.starts_with("ERR unknown command"))?;
+        notes.push("failure paths: bad reload kept the old engine serving".to_string());
+
+        let stats = expect("stats", &|r| r.starts_with("OK uptime_ms="))?;
+        notes.push(format!("stats: {stats}"));
+
+        expect("shutdown", &|r| r == "OK bye")?;
+        Ok(notes)
+    };
+
+    match run() {
+        Ok(notes) => {
+            for n in notes {
+                note(n);
+            }
+        }
+        Err(e) => {
+            // Best-effort teardown so the caller is not left with a stray
+            // listener, then report the protocol failure.
+            let _ = handle.shutdown();
+            return Err(e);
+        }
+    }
+
+    handle
+        .shutdown()
+        .map_err(|e| format!("server did not shut down cleanly: {e}"))?;
+    if state.scratches_created() > 2 {
+        return Err(format!(
+            "scratch pool created {} scratches for 2 workers — serving allocates",
+            state.scratches_created()
+        ));
+    }
+    note(format!(
+        "clean shutdown after {} queries ({} scratches for 2 workers)",
+        state.stats().queries(),
+        state.scratches_created()
+    ));
+    Ok(transcript)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use l2r_core::{apply_preferences_to_b_edges, save_model, L2r, L2rConfig};
+    use l2r_datagen::{
+        generate_network, generate_workload, SyntheticNetworkConfig, WorkloadConfig,
+    };
+    use l2r_region_graph::{bottom_up_clustering, RegionGraph, TrajectoryGraph};
+
+    fn tiny_engine() -> Engine {
+        let syn = generate_network(&SyntheticNetworkConfig::tiny());
+        let wl = generate_workload(&syn, &WorkloadConfig::tiny(250));
+        let tg = TrajectoryGraph::build(&syn.net, &wl.trajectories);
+        let clusters = bottom_up_clustering(&tg);
+        let mut rg = RegionGraph::build(&syn.net, &clusters, &wl.trajectories, 2);
+        apply_preferences_to_b_edges(&syn.net, &mut rg, &std::collections::HashMap::new(), 2);
+        Engine::from_graphs(&syn.net, &rg)
+    }
+
+    fn state_with(name: &str) -> ServerState {
+        let registry = ModelRegistry::new();
+        registry.insert(name, tiny_engine());
+        ServerState::new(registry)
+    }
+
+    #[test]
+    fn protocol_answers_ping_stats_info() {
+        let state = state_with("D1");
+        let mut scratch = QueryScratch::new();
+        assert_eq!(respond_line(&state, &mut scratch, "ping").0, "OK pong");
+        let (stats, _) = respond_line(&state, &mut scratch, "stats");
+        assert!(stats.starts_with("OK uptime_ms="), "{stats}");
+        assert!(stats.contains("datasets=D1"), "{stats}");
+        let (info, _) = respond_line(&state, &mut scratch, "info D1");
+        assert!(
+            info.contains("vertices=") && info.contains("generation=1"),
+            "{info}"
+        );
+    }
+
+    #[test]
+    fn protocol_routes_bit_identically_to_the_engine() {
+        let state = state_with("D1");
+        let engine = state.registry().get("D1").unwrap();
+        let mut scratch = l2r_core::QueryScratch::new();
+        let mut proto_scratch = QueryScratch::new();
+        let n = engine.network().num_vertices() as u32;
+        let mut compared = 0usize;
+        for i in (0..n).step_by(7) {
+            let (s, d) = (i, (i * 13 + 5) % n);
+            let expected =
+                format_route_response(&engine.route(&mut scratch, VertexId(s), VertexId(d)));
+            let (got, _) = respond_line(&state, &mut proto_scratch, &format!("route D1 {s} {d}"));
+            assert_eq!(got, expected, "query {s} -> {d}");
+            compared += 1;
+        }
+        assert!(compared > 10);
+        assert_eq!(state.stats().queries(), compared as u64);
+    }
+
+    #[test]
+    fn protocol_batch_counts_and_items_line_up() {
+        let state = state_with("D1");
+        let mut scratch = QueryScratch::new();
+        let (resp, _) = respond_line(&state, &mut scratch, "route_batch D1 0,1 1,2 2,3");
+        assert!(resp.starts_with("OK 3 "), "{resp}");
+        let items: Vec<&str> = resp.split_whitespace().skip(3).collect();
+        assert_eq!(items.len(), 3, "{resp}");
+        assert_eq!(state.stats().queries(), 3);
+    }
+
+    #[test]
+    fn protocol_rejects_malformed_requests() {
+        let state = state_with("D1");
+        let mut scratch = QueryScratch::new();
+        for bad in [
+            "route",
+            "route D1",
+            "route D1 0",
+            "route D1 zero one",
+            "route nosuch 0 1",
+            "route_batch D1",
+            "route_batch D1 0:1",
+            "info nosuch",
+            "reload D1",
+            "frobnicate",
+        ] {
+            let (resp, shutdown) = respond_line(&state, &mut scratch, bad);
+            assert!(resp.starts_with("ERR"), "`{bad}` -> {resp}");
+            assert!(!shutdown);
+        }
+        assert_eq!(state.stats().errors(), 10);
+        assert_eq!(state.stats().queries(), 0);
+    }
+
+    #[test]
+    fn protocol_shutdown_flags_the_server() {
+        let state = state_with("D1");
+        let mut scratch = QueryScratch::new();
+        let (resp, shutdown) = respond_line(&state, &mut scratch, "shutdown");
+        assert_eq!(resp, "OK bye");
+        assert!(shutdown);
+    }
+
+    #[test]
+    fn tcp_server_serves_reloads_and_shuts_down() {
+        // One real end-to-end pass over TCP: fit a tiny model, snapshot it,
+        // serve it, reload it, load-generate against it, shut down.
+        let syn = generate_network(&SyntheticNetworkConfig::tiny());
+        let wl = generate_workload(&syn, &WorkloadConfig::tiny(250));
+        let (train, _) = wl.temporal_split(0.8);
+        let model = L2r::fit(&syn.net, &train, L2rConfig::fast()).unwrap();
+        let path = std::env::temp_dir().join(format!("l2r-serve-test-{}.l2r", std::process::id()));
+        save_model(&model, &path).unwrap();
+
+        let registry = ModelRegistry::new();
+        registry.insert("tiny", model.into_engine());
+        let server = Server::bind("127.0.0.1:0", 2, registry).unwrap();
+        let addr = server.local_addr();
+        let state = server.state();
+        let handle = server.start();
+
+        let mut client = Client::connect(addr).unwrap();
+        assert_eq!(client.request("ping").unwrap(), "OK pong");
+        let resp = client.request("route tiny 0 5").unwrap();
+        assert!(resp.starts_with("OK ") || resp == "NOROUTE", "{resp}");
+        let resp = client
+            .request(&format!("reload tiny {}", path.display()))
+            .unwrap();
+        assert!(resp.contains("generation=2"), "{resp}");
+        // Workers serve one connection at a time: release ours so the load
+        // generator's connections are not starved behind an idle client.
+        drop(client);
+
+        let report = run_load(
+            addr,
+            &LoadConfig {
+                dataset: "tiny".to_string(),
+                threads: 2,
+                requests_per_thread: 50,
+                seed: 7,
+            },
+        )
+        .unwrap();
+        assert_eq!(report.requests, 100);
+        assert_eq!(report.errors, 0);
+        assert!(report.qps > 0.0);
+        assert!(report.p99_us >= report.p50_us);
+
+        let mut client = Client::connect(addr).unwrap();
+        assert_eq!(client.request("shutdown").unwrap(), "OK bye");
+        handle.shutdown().unwrap();
+        std::fs::remove_file(&path).ok();
+        assert!(state.stats().queries() >= 101);
+        assert!(
+            state.scratches_created() <= 2,
+            "2 workers must never need more than 2 scratches, created {}",
+            state.scratches_created()
+        );
+    }
+
+    #[test]
+    fn smoke_passes_against_a_saved_snapshot() {
+        let syn = generate_network(&SyntheticNetworkConfig::tiny());
+        let wl = generate_workload(&syn, &WorkloadConfig::tiny(250));
+        let (train, _) = wl.temporal_split(0.8);
+        let model = L2r::fit(&syn.net, &train, L2rConfig::fast()).unwrap();
+        let path = std::env::temp_dir().join(format!("l2r-serve-smoke-{}.l2r", std::process::id()));
+        save_model(&model, &path).unwrap();
+        let transcript = run_smoke(&[("tiny".to_string(), path.clone())]).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert!(transcript.contains("clean shutdown"), "{transcript}");
+        assert!(transcript.contains("bit-identically"), "{transcript}");
+    }
+
+    #[test]
+    fn percentiles_use_nearest_rank() {
+        let sorted: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        assert_eq!(percentile(&sorted, 50.0), 50.0);
+        assert_eq!(percentile(&sorted, 99.0), 99.0);
+        assert_eq!(percentile(&[], 50.0), 0.0);
+    }
+
+    #[test]
+    fn lcg_is_deterministic_and_spreads() {
+        let mut a = Lcg(42);
+        let mut b = Lcg(42);
+        let xs: Vec<u64> = (0..8).map(|_| a.next()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.next()).collect();
+        assert_eq!(xs, ys);
+        let distinct: std::collections::HashSet<u64> = xs.iter().copied().collect();
+        assert!(distinct.len() >= 7);
+    }
+}

@@ -1,0 +1,196 @@
+//! `l2r-serve` — the standalone route service binary.
+//!
+//! ```sh
+//! # serve one or more snapshots (fit them with `reproduce -- fit --snapshot`):
+//! l2r-serve serve --listen 127.0.0.1:7878 --workers 4 \
+//!     --model D1=target/model.D1.l2r --model D2=target/model.D2.l2r
+//!
+//! # hammer a running server and print latency/throughput:
+//! l2r-serve load --addr 127.0.0.1:7878 --dataset D1 --threads 4 --requests 5000
+//!
+//! # self-contained end-to-end smoke (CI): start, exercise every command,
+//! # hot-reload, clean shutdown — exits non-zero on any protocol deviation:
+//! l2r-serve smoke --model D1=target/model.D1.l2r
+//! ```
+
+use std::path::PathBuf;
+
+use l2r_serve::{registry_from_specs, run_load, run_smoke, LoadConfig, Server, DEFAULT_WORKERS};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:
+  l2r-serve serve --listen <addr> [--workers N] --model NAME=PATH [--model NAME=PATH ...]
+  l2r-serve load  --addr <addr> --dataset NAME [--threads N] [--requests M] [--seed S]
+  l2r-serve smoke --model NAME=PATH [--model NAME=PATH ...]
+
+Model snapshots are the versioned `.l2r` files written by
+`reproduce -- fit --snapshot <path>`."
+    );
+    std::process::exit(2);
+}
+
+fn parse_model_spec(spec: &str) -> (String, PathBuf) {
+    match spec.split_once('=') {
+        Some((name, path)) if !name.is_empty() && !path.is_empty() => {
+            (name.to_string(), PathBuf::from(path))
+        }
+        _ => {
+            eprintln!("bad --model spec `{spec}` (want NAME=PATH)");
+            usage();
+        }
+    }
+}
+
+fn parse_or_usage<T: std::str::FromStr>(value: Option<String>, flag: &str) -> T {
+    match value.and_then(|v| v.parse::<T>().ok()) {
+        Some(v) => v,
+        None => {
+            eprintln!("{flag} needs a valid value");
+            usage();
+        }
+    }
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let Some(command) = args.next() else {
+        usage();
+    };
+    match command.as_str() {
+        "serve" => cmd_serve(args),
+        "load" => cmd_load(args),
+        "smoke" => cmd_smoke(args),
+        "--help" | "-h" | "help" => usage(),
+        other => {
+            eprintln!("unknown command `{other}`");
+            usage();
+        }
+    }
+}
+
+fn cmd_serve(mut args: impl Iterator<Item = String>) {
+    let mut listen = "127.0.0.1:7878".to_string();
+    let mut workers = DEFAULT_WORKERS;
+    let mut specs: Vec<(String, PathBuf)> = Vec::new();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--listen" => listen = parse_or_usage(args.next(), "--listen"),
+            "--workers" => workers = parse_or_usage(args.next(), "--workers"),
+            "--model" => {
+                let spec: String = parse_or_usage(args.next(), "--model");
+                specs.push(parse_model_spec(&spec));
+            }
+            other => {
+                eprintln!("unknown flag `{other}`");
+                usage();
+            }
+        }
+    }
+    let registry = match registry_from_specs(&specs) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(1);
+        }
+    };
+    for (name, path) in &specs {
+        println!("loaded {name} from {}", path.display());
+    }
+    let server = match Server::bind(&listen, workers, registry) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("failed to bind {listen}: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "l2r-serve listening on {} ({workers} workers) — send `shutdown` to stop",
+        server.local_addr()
+    );
+    if let Err(e) = server.run() {
+        eprintln!("server error: {e}");
+        std::process::exit(1);
+    }
+    println!("l2r-serve: clean shutdown");
+}
+
+fn cmd_load(mut args: impl Iterator<Item = String>) {
+    let mut addr: Option<String> = None;
+    let mut cfg = LoadConfig::default();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => addr = Some(parse_or_usage(args.next(), "--addr")),
+            "--dataset" => cfg.dataset = parse_or_usage(args.next(), "--dataset"),
+            "--threads" => cfg.threads = parse_or_usage(args.next(), "--threads"),
+            "--requests" => cfg.requests_per_thread = parse_or_usage(args.next(), "--requests"),
+            "--seed" => cfg.seed = parse_or_usage(args.next(), "--seed"),
+            other => {
+                eprintln!("unknown flag `{other}`");
+                usage();
+            }
+        }
+    }
+    let Some(addr) = addr else {
+        eprintln!("load needs --addr <addr>");
+        usage();
+    };
+    let resolved: std::net::SocketAddr = match addr.parse() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("bad --addr `{addr}`: {e}");
+            std::process::exit(2);
+        }
+    };
+    match run_load(resolved, &cfg) {
+        Ok(report) => {
+            println!(
+                "load: {} requests over {} connections in {:.1} ms",
+                report.requests,
+                cfg.threads,
+                report.wall.as_secs_f64() * 1000.0
+            );
+            println!(
+                "  {:.0} qps aggregate, latency mean {:.1} µs  p50 {:.1}  p99 {:.1}",
+                report.qps, report.mean_us, report.p50_us, report.p99_us
+            );
+            println!(
+                "  answered {}, noroute {}, errors {}",
+                report.answered, report.noroutes, report.errors
+            );
+            if report.errors > 0 {
+                std::process::exit(1);
+            }
+        }
+        Err(e) => {
+            eprintln!("load failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn cmd_smoke(mut args: impl Iterator<Item = String>) {
+    let mut specs: Vec<(String, PathBuf)> = Vec::new();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--model" => {
+                let spec: String = parse_or_usage(args.next(), "--model");
+                specs.push(parse_model_spec(&spec));
+            }
+            other => {
+                eprintln!("unknown flag `{other}`");
+                usage();
+            }
+        }
+    }
+    match run_smoke(&specs) {
+        Ok(transcript) => {
+            print!("{transcript}");
+            println!("l2r-serve smoke: OK");
+        }
+        Err(e) => {
+            eprintln!("l2r-serve smoke FAILED: {e}");
+            std::process::exit(1);
+        }
+    }
+}

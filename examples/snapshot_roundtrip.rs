@@ -43,14 +43,18 @@ fn main() {
         t0.elapsed().as_secs_f64() * 1000.0
     );
 
-    // 3. Load it back — this is all a serving process would do.
+    // 3. Load it back and compile — `Engine::load` is all a serving process
+    //    does to go from a `.l2r` file to an owned, shareable engine.
     let t0 = Instant::now();
-    let loaded = load_model(&path).expect("snapshot load");
-    println!("load: {:.1} ms", t0.elapsed().as_secs_f64() * 1000.0);
+    let engine = Engine::load(&path).expect("snapshot load");
+    println!(
+        "load + compile: {:.1} ms ({} connectors)",
+        t0.elapsed().as_secs_f64() * 1000.0,
+        engine.num_connectors()
+    );
 
-    // 4. Compile the loaded model and verify it routes bit-identically to
-    //    the never-serialized original across a sweep of vertex pairs.
-    let prepared = loaded.prepare();
+    // 4. Verify the engine built off disk routes bit-identically to the
+    //    never-serialized original across a sweep of vertex pairs.
     let mut scratch = QueryScratch::new();
     let n = ds.synthetic.net.num_vertices() as u32;
     let mut compared = 0usize;
@@ -63,7 +67,7 @@ fn main() {
             }
             let (s, d) = (VertexId(i), VertexId(j));
             let original = ds.model.route(s, d);
-            let from_snapshot = prepared.route(&mut scratch, s, d);
+            let from_snapshot = engine.route(&mut scratch, s, d);
             compared += 1;
             answered += original.is_some() as usize;
             if original != from_snapshot {

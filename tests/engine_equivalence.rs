@@ -1,5 +1,5 @@
-//! Equivalence property tests for the compiled online query engine: a
-//! [`PreparedRouter`] must answer **bit-identically** to the free `route`
+//! Equivalence property tests for the owned serving engine: an
+//! [`l2r_core::Engine`] must answer **bit-identically** to the free `route`
 //! function — same paths, same strategies, same `None`s — across a swept
 //! grid of vertex pairs on both quick-scale experiment datasets, and
 //! `route_many` (parallel, one scratch per worker) must reproduce serial
@@ -21,12 +21,12 @@ fn sweep_pairs(num_vertices: u32, i_step: usize, j_step: usize) -> Vec<(VertexId
     pairs
 }
 
-fn assert_prepared_matches_free(spec: DatasetSpec) {
+fn assert_engine_matches_free(spec: DatasetSpec) {
     let name = spec.name;
     let ds = build_dataset(spec);
     let net = &ds.synthetic.net;
     let rg = ds.model.region_graph();
-    let prepared = ds.model.prepare();
+    let engine = ds.model.prepare();
     let mut scratch = QueryScratch::new();
 
     let pairs = sweep_pairs(net.num_vertices() as u32, 7, 13);
@@ -34,7 +34,7 @@ fn assert_prepared_matches_free(spec: DatasetSpec) {
     let mut answered = 0usize;
     for (s, d) in &pairs {
         let free = l2r_core::route(net, rg, *s, *d);
-        let fast = prepared.route(&mut scratch, *s, *d);
+        let fast = engine.route(&mut scratch, *s, *d);
         assert_eq!(free, fast, "{name}: query {s:?} -> {d:?}");
         if free.is_some() {
             answered += 1;
@@ -48,19 +48,19 @@ fn assert_prepared_matches_free(spec: DatasetSpec) {
 }
 
 #[test]
-fn prepared_router_is_bit_identical_to_free_route_on_d1() {
-    assert_prepared_matches_free(DatasetSpec::d1(Scale::Quick));
+fn engine_is_bit_identical_to_free_route_on_d1() {
+    assert_engine_matches_free(DatasetSpec::d1(Scale::Quick));
 }
 
 #[test]
-fn prepared_router_is_bit_identical_to_free_route_on_d2() {
-    assert_prepared_matches_free(DatasetSpec::d2(Scale::Quick));
+fn engine_is_bit_identical_to_free_route_on_d2() {
+    assert_engine_matches_free(DatasetSpec::d2(Scale::Quick));
 }
 
 #[test]
 fn route_many_is_deterministic_and_matches_serial() {
     let ds = build_dataset(DatasetSpec::d1(Scale::Quick));
-    let prepared = ds.model.prepare();
+    let engine = ds.model.prepare();
     let queries = sweep_pairs(ds.synthetic.net.num_vertices() as u32, 11, 17);
     assert!(queries.len() > 50);
 
@@ -68,13 +68,13 @@ fn route_many_is_deterministic_and_matches_serial() {
     let mut scratch = QueryScratch::new();
     let serial: Vec<_> = queries
         .iter()
-        .map(|(s, d)| prepared.route(&mut scratch, *s, *d))
+        .map(|(s, d)| engine.route(&mut scratch, *s, *d))
         .collect();
 
     // Parallel batches must reproduce the serial answers in order, run after
     // run (worker scheduling must never leak into results).
     for _ in 0..2 {
-        let batch = prepared.route_many(&queries);
+        let batch = engine.route_many(&queries);
         assert_eq!(batch, serial);
     }
 }

@@ -1,7 +1,7 @@
 //! The snapshot acceptance sweep: fit → save → load →
-//! [`l2r_core::PreparedRouter::prepare`] → route must be **bit-identical**
+//! [`l2r_core::Engine`] → route must be **bit-identical**
 //! to routing on the never-serialized model, across the same swept grid of
-//! vertex pairs used by `prepared_equivalence.rs`, on both quick-scale
+//! vertex pairs used by `engine_equivalence.rs`, on both quick-scale
 //! experiment datasets.
 
 use l2r_core::{decode_model, encode_model, QueryScratch};
@@ -28,7 +28,9 @@ fn assert_loaded_model_serves_identically(spec: DatasetSpec) {
     // crates/core/tests/snapshot_robustness.rs).
     let bytes = encode_model(&ds.model);
     let loaded = decode_model(&bytes).expect("snapshot decodes");
-    let prepared = loaded.prepare();
+    // `into_engine` moves the loaded model into the owned engine — the
+    // serving process never needs a second copy.
+    let engine = loaded.into_engine();
     let mut scratch = QueryScratch::new();
 
     let net = &ds.synthetic.net;
@@ -37,7 +39,7 @@ fn assert_loaded_model_serves_identically(spec: DatasetSpec) {
     let mut answered = 0usize;
     for (s, d) in &pairs {
         let original = ds.model.route(*s, *d);
-        let from_snapshot = prepared.route(&mut scratch, *s, *d);
+        let from_snapshot = engine.route(&mut scratch, *s, *d);
         assert_eq!(original, from_snapshot, "{name}: query {s:?} -> {d:?}");
         if original.is_some() {
             answered += 1;
