@@ -175,6 +175,7 @@ fn main() {
                 ds,
                 if full { 3 } else { 2 },
                 snapshot_base.as_deref(),
+                full,
             ));
         }
         if run("recovery") {
@@ -243,13 +244,17 @@ fn main() {
         let swap_broken: Vec<&str> = report
             .serving
             .iter()
-            .filter(|d| d.hot_swap.failed > 0 || d.tcp.errors > 0)
+            .filter(|d| {
+                d.hot_swap.failed > 0
+                    || d.tcp.errors > 0
+                    || d.concurrency.iter().any(|p| p.errors > 0)
+            })
             .map(|d| d.name.as_str())
             .collect();
         if !swap_broken.is_empty() {
             eprintln!(
-                "ERROR: hot-swap or TCP serving failed queries on {} — \
-                 the serving report is invalid",
+                "ERROR: hot-swap, TCP serving or the concurrency sweep failed \
+                 requests on {} — the serving report is invalid",
                 swap_broken.join(", ")
             );
             std::process::exit(1);
@@ -505,9 +510,21 @@ fn run_online(ds: &Dataset, rounds: usize, snapshot_base: Option<&str>) -> Onlin
 /// `Arc<Engine>` thread sweep, hot-swap under load, TCP loopback via
 /// `l2r-serve`) and prints the summary; the entry lands in the `serving`
 /// section of `BENCH_online.json`.
-fn run_serving(ds: &Dataset, rounds: usize, snapshot_base: Option<&str>) -> ServingBenchDataset {
+fn run_serving(
+    ds: &Dataset,
+    rounds: usize,
+    snapshot_base: Option<&str>,
+    full: bool,
+) -> ServingBenchDataset {
     let snapshot_path = validated_snapshot_path(ds, snapshot_base);
-    let entry = serving_bench_for(ds, rounds, snapshot_path.as_deref());
+    // The 4096-connection point needs a minute-plus of wall time to be
+    // meaningful; quick-scale runs stop at 512.
+    let sweep_connections: &[usize] = if full {
+        &[1, 64, 512, 4096]
+    } else {
+        &[1, 64, 512]
+    };
+    let entry = serving_bench_for(ds, rounds, snapshot_path.as_deref(), sweep_connections);
     println!(
         "## Concurrent serving ({}) — shared engine, {} queries, engine build {:.1} ms",
         entry.name, entry.queries, entry.engine_build_ms
@@ -548,6 +565,21 @@ fn run_serving(ds: &Dataset, rounds: usize, snapshot_base: Option<&str>) -> Serv
         entry.tcp.errors,
         entry.tcp.reload_generation
     );
+    println!("  concurrency sweep (connections x protocol):");
+    for p in &entry.concurrency {
+        println!(
+            "    {:>4} conn {:>6} pipeline {:>2}  {:>9.0} qps  p50 {:8.1} µs  p99 {:8.1} µs  {} requests, {} errors, {} busy retries",
+            p.connections,
+            p.protocol,
+            p.pipeline,
+            p.qps,
+            p.p50_us,
+            p.p99_us,
+            p.requests,
+            p.errors,
+            p.busy_retries
+        );
+    }
     println!();
     entry
 }

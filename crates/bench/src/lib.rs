@@ -17,7 +17,9 @@ pub mod legacy;
 pub mod serving;
 
 pub use legacy::legacy_route;
-pub use serving::{serving_bench_for, HotSwapReport, ServingBenchDataset, ServingSweepPoint};
+pub use serving::{
+    serving_bench_for, ConcurrencySweepPoint, HotSwapReport, ServingBenchDataset, ServingSweepPoint,
+};
 
 use std::time::Instant;
 
@@ -672,7 +674,7 @@ fn serving_json(out: &mut String, entries: &[ServingBenchDataset]) {
         ));
         let tcp = &ds.tcp;
         out.push_str(&format!(
-            "      \"tcp\": {{ \"connections\": {}, \"requests\": {}, \"errors\": {}, \"qps\": {:.0}, \"p50_us\": {:.3}, \"p99_us\": {:.3}, \"reload_generation\": {} }}\n",
+            "      \"tcp\": {{ \"connections\": {}, \"requests\": {}, \"errors\": {}, \"qps\": {:.0}, \"p50_us\": {:.3}, \"p99_us\": {:.3}, \"reload_generation\": {} }},\n",
             tcp.connections,
             tcp.requests,
             tcp.errors,
@@ -681,6 +683,23 @@ fn serving_json(out: &mut String, entries: &[ServingBenchDataset]) {
             tcp.p99_us,
             tcp.reload_generation
         ));
+        out.push_str("      \"concurrency_sweep\": [\n");
+        for (j, p) in ds.concurrency.iter().enumerate() {
+            out.push_str(&format!(
+                "        {{ \"protocol\": \"{}\", \"connections\": {}, \"pipeline\": {}, \"requests\": {}, \"errors\": {}, \"busy_retries\": {}, \"qps\": {:.0}, \"p50_us\": {:.3}, \"p99_us\": {:.3} }}{}\n",
+                p.protocol,
+                p.connections,
+                p.pipeline,
+                p.requests,
+                p.errors,
+                p.busy_retries,
+                p.qps,
+                p.p50_us,
+                p.p99_us,
+                if j + 1 < ds.concurrency.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("      ]\n");
         out.push_str(&format!(
             "    }}{}\n",
             if i + 1 < entries.len() { "," } else { "" }
@@ -852,6 +871,30 @@ mod tests {
                 p99_us: 250.0,
                 reload_generation: 2,
             },
+            concurrency: vec![
+                serving::ConcurrencySweepPoint {
+                    protocol: "ascii".to_string(),
+                    connections: 512,
+                    pipeline: 1,
+                    requests: 32_768,
+                    errors: 0,
+                    busy_retries: 0,
+                    qps: 70_000.0,
+                    p50_us: 120.0,
+                    p99_us: 900.0,
+                },
+                serving::ConcurrencySweepPoint {
+                    protocol: "binary".to_string(),
+                    connections: 512,
+                    pipeline: 32,
+                    requests: 32_768,
+                    errors: 0,
+                    busy_retries: 3,
+                    qps: 400_000.0,
+                    p50_us: 80.0,
+                    p99_us: 700.0,
+                },
+            ],
         };
         let report = OnlineBenchReport {
             scale: Scale::Quick,
@@ -866,6 +909,9 @@ mod tests {
         assert!(json.contains("\"failed\": 0"), "{json}");
         assert!(json.contains("\"tcp\""), "{json}");
         assert!(json.contains("\"single_thread_qps\""), "{json}");
+        assert!(json.contains("\"concurrency_sweep\": ["), "{json}");
+        assert!(json.contains("\"protocol\": \"binary\""), "{json}");
+        assert!(json.contains("\"busy_retries\": 3"), "{json}");
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());
     }
@@ -873,7 +919,7 @@ mod tests {
     #[test]
     fn serving_bench_runs_end_to_end_on_the_quick_dataset() {
         let ds = &datasets(DatasetChoice::D1, Scale::Quick)[0];
-        let entry = serving_bench_for(ds, 1, None);
+        let entry = serving_bench_for(ds, 1, None, &[1, 8]);
         assert_eq!(entry.name, "D1");
         assert!(entry.queries > 0);
         assert!(!entry.sweep.is_empty());
@@ -902,6 +948,26 @@ mod tests {
         assert!(entry.tcp.requests > 0);
         assert_eq!(entry.tcp.errors, 0);
         assert!(entry.tcp.reload_generation >= 2);
+        // Concurrency sweep: both protocols at every connection count,
+        // nothing lost at any point.
+        assert_eq!(
+            entry.concurrency.len(),
+            4,
+            "2 connection counts x 2 protocols"
+        );
+        for p in &entry.concurrency {
+            assert!(p.requests > 0);
+            assert_eq!(
+                p.errors, 0,
+                "{} sweep at {} connections",
+                p.protocol, p.connections
+            );
+            assert!(p.qps > 0.0);
+        }
+        assert!(entry
+            .concurrency
+            .iter()
+            .any(|p| p.protocol == "binary" && p.pipeline > 1));
     }
 
     #[test]

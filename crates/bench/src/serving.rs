@@ -25,7 +25,7 @@ use std::time::{Duration, Instant};
 
 use l2r_core::{Engine, ModelRegistry, QueryScratch, RouteResult, ScratchPool};
 use l2r_eval::{build_test_queries, Dataset, TestQuery};
-use l2r_serve::{Client, LoadConfig, Server};
+use l2r_serve::{Client, LoadConfig, Protocol, Server};
 
 /// One thread-count measurement of the sweep.
 #[derive(Debug, Clone)]
@@ -66,6 +66,31 @@ pub struct HotSwapReport {
     pub swap_p99_us: f64,
     /// `swap_p99_us / steady_p99_us` — the latency spike a reload costs.
     pub p99_spike_ratio: f64,
+}
+
+/// One point of the connection-concurrency sweep: `connections` concurrent
+/// clients speaking `protocol` (with `pipeline` requests in flight per
+/// connection on the binary protocol) against the event-driven server.
+#[derive(Debug, Clone)]
+pub struct ConcurrencySweepPoint {
+    /// Wire protocol driven: `ascii` or `binary`.
+    pub protocol: String,
+    /// Concurrent client connections.
+    pub connections: usize,
+    /// Pipelined requests in flight per connection.
+    pub pipeline: usize,
+    /// Total `route` requests issued.
+    pub requests: u64,
+    /// Requests answered `ERR` — **must be zero**: the sweep loses nothing.
+    pub errors: u64,
+    /// `BUSY` replies that were retried (retries succeeded; nothing lost).
+    pub busy_retries: u64,
+    /// Aggregate requests/second through the wire.
+    pub qps: f64,
+    /// Median round-trip latency (µs).
+    pub p50_us: f64,
+    /// 99th-percentile round-trip latency (µs).
+    pub p99_us: f64,
 }
 
 /// End-to-end TCP measurement through a real `l2r-serve` server.
@@ -111,6 +136,8 @@ pub struct ServingBenchDataset {
     pub hot_swap: HotSwapReport,
     /// TCP loopback measurement.
     pub tcp: TcpReport,
+    /// Connection-concurrency sweep over both wire protocols.
+    pub concurrency: Vec<ConcurrencySweepPoint>,
 }
 
 use crate::percentile;
@@ -127,11 +154,14 @@ fn sweep_threads() -> Vec<usize> {
 /// Runs the full serving benchmark for one dataset.  With `snapshot` set,
 /// the engine is built from that `.l2r` file (and the hot-swap phase reloads
 /// it); otherwise the in-memory model is used and a temporary snapshot is
-/// written for the swap phase.
+/// written for the swap phase.  `sweep_connections` sets the connection
+/// counts of the concurrency sweep (each driven over both wire protocols);
+/// pass a short list to keep test runs fast.
 pub fn serving_bench_for(
     ds: &Dataset,
     rounds: usize,
     snapshot: Option<&std::path::Path>,
+    sweep_connections: &[usize],
 ) -> ServingBenchDataset {
     let rounds = rounds.max(1);
     let queries: Vec<TestQuery> = build_test_queries(
@@ -309,17 +339,52 @@ pub fn serving_bench_for(
     let server = Server::bind("127.0.0.1:0", 2, tcp_registry).expect("bind loopback serving bench");
     let addr = server.local_addr();
     let handle = server.start();
-    let requests_per_thread = (queries.len() * rounds).clamp(200, 2000);
+    let requests_per_conn = (queries.len() * rounds).clamp(200, 2000);
     let report = l2r_serve::run_load(
         addr,
         &LoadConfig {
             dataset: ds.spec.name.to_string(),
-            threads: 2,
-            requests_per_thread,
+            protocol: Protocol::Ascii,
+            connections: 2,
+            pipeline: 1,
+            requests_per_conn,
             seed: 0x5E17_1E55,
         },
     )
     .expect("load generator against loopback server");
+
+    // Connection-concurrency sweep: the same server, both wire protocols,
+    // rising connection counts.  The total request volume is held roughly
+    // constant so every point costs about the same wall time.
+    let mut concurrency = Vec::new();
+    for &connections in sweep_connections {
+        for (protocol, pipeline) in [(Protocol::Ascii, 1usize), (Protocol::Binary, 32)] {
+            let point = l2r_serve::run_load(
+                addr,
+                &LoadConfig {
+                    dataset: ds.spec.name.to_string(),
+                    protocol,
+                    connections,
+                    pipeline,
+                    requests_per_conn: (32_768 / connections).max(8),
+                    seed: 0x5E17_1E55 ^ connections as u64,
+                },
+            )
+            .unwrap_or_else(|e| panic!("{connections}-connection {protocol:?} sweep failed: {e}"));
+            concurrency.push(ConcurrencySweepPoint {
+                protocol: protocol.label().to_string(),
+                connections,
+                pipeline,
+                requests: point.requests,
+                errors: point.errors,
+                busy_retries: point.busy_retries,
+                qps: point.qps,
+                p50_us: point.p50_us,
+                p99_us: point.p99_us,
+            });
+        }
+    }
+
     let mut client = Client::connect(addr).expect("client connect");
     let reload_resp = client
         .request(&format!("reload {} {}", ds.spec.name, swap_path.display()))
@@ -365,6 +430,7 @@ pub fn serving_bench_for(
         },
         hot_swap,
         tcp,
+        concurrency,
     }
 }
 

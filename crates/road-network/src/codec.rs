@@ -155,6 +155,19 @@ impl Writer {
             item.encode(self);
         }
     }
+
+    /// Writes a length-prefixed byte slice (`u32` length + raw bytes) —
+    /// the wire form of short variable-length fields such as dataset names
+    /// in the serving frame protocol.
+    pub fn bytes(&mut self, v: &[u8]) {
+        self.u32(v.len() as u32);
+        self.buf.extend_from_slice(v);
+    }
+
+    /// Writes a length-prefixed UTF-8 string (see [`Writer::bytes`]).
+    pub fn str(&mut self, v: &str) {
+        self.bytes(v.as_bytes());
+    }
 }
 
 /// Consumes a byte buffer with bounds-checked little-endian reads.
@@ -252,6 +265,26 @@ impl<'a> Reader<'a> {
                 limit: limit as u64,
             })
         }
+    }
+
+    /// Reads a length-prefixed byte slice written by [`Writer::bytes`],
+    /// rejecting lengths above `max_len` (or beyond the remaining buffer)
+    /// before touching any data.
+    pub fn bytes(&mut self, what: &'static str, max_len: usize) -> Result<&'a [u8], CodecError> {
+        let len = self.u32(what)? as usize;
+        if len > max_len {
+            return Err(CodecError::ImplausibleLength {
+                what,
+                len: len as u64,
+            });
+        }
+        self.take(len, what)
+    }
+
+    /// Reads a length-prefixed UTF-8 string written by [`Writer::str`];
+    /// non-UTF-8 bytes are a decode error, never a panic.
+    pub fn str(&mut self, what: &'static str, max_len: usize) -> Result<&'a str, CodecError> {
+        std::str::from_utf8(self.bytes(what, max_len)?).map_err(|_| CodecError::Invalid(what))
     }
 
     /// Reads a length-prefixed sequence of context-free elements.
@@ -532,6 +565,45 @@ mod tests {
         assert!(r.f64("e").unwrap().is_nan());
         assert!(r.bool("f").unwrap());
         assert!(r.is_exhausted());
+    }
+
+    #[test]
+    fn strings_and_bytes_roundtrip_and_reject_bad_input() {
+        let mut w = Writer::new();
+        w.str("D1");
+        w.bytes(&[1, 2, 3]);
+        w.str("");
+        let bytes = w.into_vec();
+        let mut r = Reader::new(&bytes);
+        assert_eq!(r.str("name", 64).unwrap(), "D1");
+        assert_eq!(r.bytes("blob", 64).unwrap(), &[1, 2, 3]);
+        assert_eq!(r.str("empty", 64).unwrap(), "");
+        assert!(r.is_exhausted());
+
+        // Length above the caller's cap is rejected before any read.
+        let mut w = Writer::new();
+        w.str("a-rather-long-name");
+        let bytes = w.into_vec();
+        assert!(matches!(
+            Reader::new(&bytes).str("name", 4),
+            Err(CodecError::ImplausibleLength { .. })
+        ));
+        // Length beyond the buffer is an EOF error.
+        let mut w = Writer::new();
+        w.u32(100);
+        let bytes = w.into_vec();
+        assert!(matches!(
+            Reader::new(&bytes).bytes("blob", 1024),
+            Err(CodecError::UnexpectedEof { .. })
+        ));
+        // Non-UTF-8 payload is invalid, not a panic.
+        let mut w = Writer::new();
+        w.bytes(&[0xFF, 0xFE]);
+        let bytes = w.into_vec();
+        assert!(matches!(
+            Reader::new(&bytes).str("name", 16),
+            Err(CodecError::Invalid(_))
+        ));
     }
 
     #[test]

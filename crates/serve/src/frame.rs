@@ -1,0 +1,505 @@
+//! The length-prefixed binary frame protocol of `l2r-serve`.
+//!
+//! Every frame — request or response — has the same envelope:
+//!
+//! ```text
+//! offset  size  field
+//!      0     4  magic  `B1 4C 32 52` (0xB1 'L' '2' 'R'; 0xB1 is not ASCII,
+//!               so the first byte of a connection selects the protocol)
+//!      4     1  kind   request opcode or response status
+//!      5     4  payload length (u32, little-endian, ≤ 1 MiB)
+//!      9     n  payload (little-endian fields via `l2r_road_network::codec`)
+//!    9+n     4  CRC-32 (IEEE) of kind + length + payload (u32, LE)
+//! ```
+//!
+//! Any violation — bad magic, oversized length, checksum mismatch — is
+//! *connection-fatal*: the server answers with one final [`Status::Err`]
+//! frame and closes, because a framing error means the byte stream can no
+//! longer be resynchronised.  Malformed *payloads* inside a well-framed
+//! request (unknown opcode, truncated fields, non-UTF-8 names) only fail
+//! that request: the connection keeps serving.
+//!
+//! Responses are delivered **in request order** (pipelining): clients may
+//! write any number of request frames before reading responses.
+
+use l2r_road_network::codec::{CodecError, Reader, Writer};
+
+/// Frame magic; the first byte (0xB1) is what protocol auto-detection keys
+/// on, so it must never be valid ASCII.
+pub const FRAME_MAGIC: [u8; 4] = [0xB1, b'L', b'2', b'R'];
+
+/// Hard cap on a frame payload; a length above this is connection-fatal
+/// (the stream cannot be resynchronised after a corrupt length).
+pub const MAX_FRAME_PAYLOAD: usize = 1 << 20;
+
+/// Envelope bytes before the payload: magic + kind + length.
+pub const FRAME_HEADER: usize = 9;
+
+/// Envelope bytes after the payload: the CRC-32.
+pub const FRAME_TRAILER: usize = 4;
+
+/// Longest dataset name accepted on the wire.
+pub const MAX_NAME: usize = 256;
+
+/// Longest snapshot path accepted in a `reload` request.
+pub const MAX_PATH: usize = 4096;
+
+/// Most `src,dst` pairs accepted in one `route_batch` request.
+pub const MAX_BATCH_PAIRS: usize = 65_536;
+
+/// Request opcodes (the `kind` byte of a request frame).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum Opcode {
+    /// Liveness probe; empty payload.
+    Ping = 0x01,
+    /// One route query: `str dataset, u32 src, u32 dst`.
+    Route = 0x02,
+    /// Batched route queries: `str dataset, u32 n, n × (u32 src, u32 dst)`.
+    RouteBatch = 0x03,
+    /// Dataset metadata: `str dataset`.
+    Info = 0x04,
+    /// Server counters; empty payload.
+    Stats = 0x05,
+    /// Hot-reload: `str dataset, str path`.
+    Reload = 0x06,
+    /// Drain and stop the server; empty payload.
+    Shutdown = 0x07,
+}
+
+impl Opcode {
+    /// Decodes a request opcode byte.
+    pub fn from_u8(v: u8) -> Option<Opcode> {
+        Some(match v {
+            0x01 => Opcode::Ping,
+            0x02 => Opcode::Route,
+            0x03 => Opcode::RouteBatch,
+            0x04 => Opcode::Info,
+            0x05 => Opcode::Stats,
+            0x06 => Opcode::Reload,
+            0x07 => Opcode::Shutdown,
+            _ => return None,
+        })
+    }
+}
+
+/// Response statuses (the `kind` byte of a response frame).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum Status {
+    /// Success; payload depends on the request opcode.
+    Ok = 0x00,
+    /// A route query with no answer; empty payload.
+    NoRoute = 0x01,
+    /// Request failed; payload is a `str` message.
+    Err = 0x02,
+    /// The dataset's request queue is full; empty payload.  **Retriable**:
+    /// the connection stays open, resend the request after backing off.
+    Busy = 0x03,
+}
+
+impl Status {
+    /// Decodes a response status byte.
+    pub fn from_u8(v: u8) -> Option<Status> {
+        Some(match v {
+            0x00 => Status::Ok,
+            0x01 => Status::NoRoute,
+            0x02 => Status::Err,
+            0x03 => Status::Busy,
+            _ => return None,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// CRC-32
+// ---------------------------------------------------------------------------
+
+/// CRC-32 (IEEE 802.3, reflected) lookup table, built once per process.
+fn crc_table() -> &'static [u32; 256] {
+    use std::sync::OnceLock;
+    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut table = [0u32; 256];
+        for (i, slot) in table.iter_mut().enumerate() {
+            let mut crc = i as u32;
+            for _ in 0..8 {
+                crc = if crc & 1 != 0 {
+                    (crc >> 1) ^ 0xEDB8_8320
+                } else {
+                    crc >> 1
+                };
+            }
+            *slot = crc;
+        }
+        table
+    })
+}
+
+/// Streaming CRC-32 (IEEE) over the frame's kind + length + payload.
+#[derive(Debug, Clone)]
+pub struct Crc32(u32);
+
+impl Crc32 {
+    /// Starts a fresh checksum.
+    pub fn new() -> Crc32 {
+        Crc32(0xFFFF_FFFF)
+    }
+
+    /// Feeds bytes into the checksum.
+    pub fn update(&mut self, data: &[u8]) {
+        let table = crc_table();
+        for &b in data {
+            self.0 = (self.0 >> 8) ^ table[((self.0 ^ b as u32) & 0xFF) as usize];
+        }
+    }
+
+    /// Finalises the checksum.
+    pub fn finish(self) -> u32 {
+        self.0 ^ 0xFFFF_FFFF
+    }
+}
+
+impl Default for Crc32 {
+    fn default() -> Crc32 {
+        Crc32::new()
+    }
+}
+
+/// Checksum of one frame's protected region (kind byte, length field,
+/// payload).
+fn frame_crc(kind: u8, payload: &[u8]) -> u32 {
+    let mut crc = Crc32::new();
+    crc.update(&[kind]);
+    crc.update(&(payload.len() as u32).to_le_bytes());
+    crc.update(payload);
+    crc.finish()
+}
+
+// ---------------------------------------------------------------------------
+// Framing
+// ---------------------------------------------------------------------------
+
+/// Appends one complete frame (envelope + payload + CRC) to `out`.
+pub fn write_frame(out: &mut Vec<u8>, kind: u8, payload: &[u8]) {
+    debug_assert!(payload.len() <= MAX_FRAME_PAYLOAD);
+    out.reserve(FRAME_HEADER + payload.len() + FRAME_TRAILER);
+    out.extend_from_slice(&FRAME_MAGIC);
+    out.push(kind);
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(payload);
+    out.extend_from_slice(&frame_crc(kind, payload).to_le_bytes());
+}
+
+/// A connection-fatal framing violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameError {
+    /// The first four bytes are not [`FRAME_MAGIC`].
+    BadMagic([u8; 4]),
+    /// The length field exceeds [`MAX_FRAME_PAYLOAD`].
+    Oversized(u32),
+    /// The trailing CRC does not match the frame contents.
+    BadCrc {
+        /// Checksum carried by the frame.
+        wire: u32,
+        /// Checksum computed over the received bytes.
+        computed: u32,
+    },
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::BadMagic(m) => write!(
+                f,
+                "bad frame magic {:02x}{:02x}{:02x}{:02x}",
+                m[0], m[1], m[2], m[3]
+            ),
+            FrameError::Oversized(len) => write!(
+                f,
+                "frame payload length {len} exceeds the {MAX_FRAME_PAYLOAD}-byte limit"
+            ),
+            FrameError::BadCrc { wire, computed } => write!(
+                f,
+                "frame checksum mismatch: wire {wire:#010x}, computed {computed:#010x}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// Result of scanning a receive buffer for one frame.
+#[derive(Debug)]
+pub enum FrameParse<'a> {
+    /// Not enough bytes yet; keep reading.
+    Incomplete,
+    /// One well-formed frame.
+    Frame {
+        /// The `kind` byte (request opcode or response status).
+        kind: u8,
+        /// Borrowed payload bytes.
+        payload: &'a [u8],
+        /// Total envelope bytes consumed from the buffer.
+        consumed: usize,
+    },
+    /// A connection-fatal violation; the stream cannot be resynchronised.
+    Bad(FrameError),
+}
+
+/// Scans the front of `buf` for one complete frame.
+pub fn parse_frame(buf: &[u8]) -> FrameParse<'_> {
+    if buf.len() < FRAME_HEADER {
+        // Reject a wrong magic as soon as the bytes are there — a client
+        // speaking a different protocol should not hang on "incomplete".
+        if !FRAME_MAGIC.starts_with(&buf[..buf.len().min(4)]) {
+            let mut m = [0u8; 4];
+            m[..buf.len().min(4)].copy_from_slice(&buf[..buf.len().min(4)]);
+            return FrameParse::Bad(FrameError::BadMagic(m));
+        }
+        return FrameParse::Incomplete;
+    }
+    if buf[..4] != FRAME_MAGIC {
+        let mut m = [0u8; 4];
+        m.copy_from_slice(&buf[..4]);
+        return FrameParse::Bad(FrameError::BadMagic(m));
+    }
+    let kind = buf[4];
+    let len = u32::from_le_bytes(buf[5..9].try_into().expect("4-byte slice")) as usize;
+    if len > MAX_FRAME_PAYLOAD {
+        return FrameParse::Bad(FrameError::Oversized(len as u32));
+    }
+    let total = FRAME_HEADER + len + FRAME_TRAILER;
+    if buf.len() < total {
+        return FrameParse::Incomplete;
+    }
+    let payload = &buf[FRAME_HEADER..FRAME_HEADER + len];
+    let wire = u32::from_le_bytes(
+        buf[FRAME_HEADER + len..total]
+            .try_into()
+            .expect("4-byte slice"),
+    );
+    let computed = frame_crc(kind, payload);
+    if wire != computed {
+        return FrameParse::Bad(FrameError::BadCrc { wire, computed });
+    }
+    FrameParse::Frame {
+        kind,
+        payload,
+        consumed: total,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Request payload encoders (used by clients; the server decodes with Reader)
+// ---------------------------------------------------------------------------
+
+/// Appends a `ping` request frame.
+pub fn encode_ping(out: &mut Vec<u8>) {
+    write_frame(out, Opcode::Ping as u8, &[]);
+}
+
+/// Appends a `route` request frame.
+pub fn encode_route(out: &mut Vec<u8>, dataset: &str, src: u32, dst: u32) {
+    let mut w = Writer::new();
+    w.str(dataset);
+    w.u32(src);
+    w.u32(dst);
+    write_frame(out, Opcode::Route as u8, w.as_slice());
+}
+
+/// Appends a `route_batch` request frame.
+pub fn encode_route_batch(out: &mut Vec<u8>, dataset: &str, pairs: &[(u32, u32)]) {
+    let mut w = Writer::new();
+    w.str(dataset);
+    w.u32(pairs.len() as u32);
+    for &(s, d) in pairs {
+        w.u32(s);
+        w.u32(d);
+    }
+    write_frame(out, Opcode::RouteBatch as u8, w.as_slice());
+}
+
+/// Appends an `info` request frame.
+pub fn encode_info(out: &mut Vec<u8>, dataset: &str) {
+    let mut w = Writer::new();
+    w.str(dataset);
+    write_frame(out, Opcode::Info as u8, w.as_slice());
+}
+
+/// Appends a `stats` request frame.
+pub fn encode_stats(out: &mut Vec<u8>) {
+    write_frame(out, Opcode::Stats as u8, &[]);
+}
+
+/// Appends a `reload` request frame.
+pub fn encode_reload(out: &mut Vec<u8>, dataset: &str, path: &str) {
+    let mut w = Writer::new();
+    w.str(dataset);
+    w.str(path);
+    write_frame(out, Opcode::Reload as u8, w.as_slice());
+}
+
+/// Appends a `shutdown` request frame.
+pub fn encode_shutdown(out: &mut Vec<u8>) {
+    write_frame(out, Opcode::Shutdown as u8, &[]);
+}
+
+// ---------------------------------------------------------------------------
+// Response decoding (client side)
+// ---------------------------------------------------------------------------
+
+/// A decoded reply to a `route` request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RouteReply {
+    /// A route was found.
+    Route {
+        /// Index into [`l2r_core::RouteStrategy::ALL`].
+        strategy: u8,
+        /// Path vertex ids, source first.
+        vertices: Vec<u32>,
+    },
+    /// No route exists.
+    NoRoute,
+    /// The request was shed; retry after backing off.
+    Busy,
+    /// The request failed.
+    Err(String),
+}
+
+/// Decodes a `route` response frame's status + payload.
+pub fn decode_route_reply(status: Status, payload: &[u8]) -> Result<RouteReply, CodecError> {
+    match status {
+        Status::NoRoute => Ok(RouteReply::NoRoute),
+        Status::Busy => Ok(RouteReply::Busy),
+        Status::Err => {
+            let mut r = Reader::new(payload);
+            Ok(RouteReply::Err(
+                r.str("error message", MAX_FRAME_PAYLOAD)?.to_string(),
+            ))
+        }
+        Status::Ok => {
+            let mut r = Reader::new(payload);
+            let strategy = r.u8("route strategy")?;
+            let n = r.length("route path length", 4)?;
+            let mut vertices = Vec::with_capacity(n);
+            for _ in 0..n {
+                vertices.push(r.u32("route path vertex")?);
+            }
+            Ok(RouteReply::Route { strategy, vertices })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_matches_known_vector() {
+        // The classic IEEE check value: crc32("123456789") = 0xCBF43926.
+        let mut crc = Crc32::new();
+        crc.update(b"123456789");
+        assert_eq!(crc.finish(), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn frames_roundtrip() {
+        let mut out = Vec::new();
+        encode_route(&mut out, "D1", 7, 42);
+        match parse_frame(&out) {
+            FrameParse::Frame {
+                kind,
+                payload,
+                consumed,
+            } => {
+                assert_eq!(kind, Opcode::Route as u8);
+                assert_eq!(consumed, out.len());
+                let mut r = Reader::new(payload);
+                assert_eq!(r.str("dataset", MAX_NAME).unwrap(), "D1");
+                assert_eq!(r.u32("src").unwrap(), 7);
+                assert_eq!(r.u32("dst").unwrap(), 42);
+                assert!(r.is_exhausted());
+            }
+            other => panic!("expected a frame, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn partial_frames_are_incomplete_not_errors() {
+        let mut out = Vec::new();
+        encode_ping(&mut out);
+        for cut in 0..out.len() {
+            match parse_frame(&out[..cut]) {
+                FrameParse::Incomplete => {}
+                other => panic!("prefix of {cut} bytes parsed as {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn bad_magic_is_rejected_even_on_short_input() {
+        assert!(matches!(
+            parse_frame(b"pi"),
+            FrameParse::Bad(FrameError::BadMagic(_))
+        ));
+        assert!(matches!(
+            parse_frame(b"ping D1\n"),
+            FrameParse::Bad(FrameError::BadMagic(_))
+        ));
+    }
+
+    #[test]
+    fn oversized_length_and_bad_crc_are_fatal() {
+        let mut out = Vec::new();
+        out.extend_from_slice(&FRAME_MAGIC);
+        out.push(Opcode::Ping as u8);
+        out.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            parse_frame(&out),
+            FrameParse::Bad(FrameError::Oversized(_))
+        ));
+
+        let mut out = Vec::new();
+        encode_ping(&mut out);
+        let last = out.len() - 1;
+        out[last] ^= 0xFF;
+        assert!(matches!(
+            parse_frame(&out),
+            FrameParse::Bad(FrameError::BadCrc { .. })
+        ));
+    }
+
+    #[test]
+    fn route_replies_decode() {
+        let mut w = Writer::new();
+        w.u8(3);
+        w.length(2);
+        w.u32(5);
+        w.u32(9);
+        let reply = decode_route_reply(Status::Ok, w.as_slice()).unwrap();
+        assert_eq!(
+            reply,
+            RouteReply::Route {
+                strategy: 3,
+                vertices: vec![5, 9]
+            }
+        );
+        assert_eq!(
+            decode_route_reply(Status::NoRoute, &[]).unwrap(),
+            RouteReply::NoRoute
+        );
+        assert_eq!(
+            decode_route_reply(Status::Busy, &[]).unwrap(),
+            RouteReply::Busy
+        );
+        let mut w = Writer::new();
+        w.str("nope");
+        assert_eq!(
+            decode_route_reply(Status::Err, w.as_slice()).unwrap(),
+            RouteReply::Err("nope".to_string())
+        );
+        // Truncated payload errors instead of panicking.
+        assert!(decode_route_reply(Status::Ok, &[1]).is_err());
+    }
+}

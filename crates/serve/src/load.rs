@@ -1,0 +1,459 @@
+//! The load generator: many concurrent connections, either protocol,
+//! windowed pipelining, `BUSY`-aware retries.
+//!
+//! Connections are distributed over a small pool of driver threads.  Each
+//! thread runs its connections **bulk-synchronously**: a write phase puts a
+//! window of requests in flight on *every* connection, then a read phase
+//! drains the responses — so all of the run's connections genuinely have
+//! requests outstanding at the same time even though each driver uses
+//! plain blocking sockets.  A `BUSY` reply re-queues its request (counted
+//! in [`LoadReport::busy_retries`]) until it is served: a run never loses
+//! a request to load-shedding.
+
+use std::collections::VecDeque;
+use std::io;
+use std::net::SocketAddr;
+use std::time::{Duration, Instant};
+
+use crate::client::{BinClient, Client};
+use crate::frame::RouteReply;
+
+/// Driver threads the load generator multiplexes its connections over.
+const LOAD_DRIVER_THREADS: usize = 8;
+
+/// How long the load generator keeps retrying `connect` while the server's
+/// accept backlog is saturated (thousands of connections arrive faster than
+/// one accept pass).
+const CONNECT_RETRY: Duration = Duration::from_secs(10);
+
+/// Which wire protocol a load run speaks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Protocol {
+    /// The legacy ASCII line protocol.
+    Ascii,
+    /// The length-prefixed binary frame protocol.
+    Binary,
+}
+
+impl Protocol {
+    /// Stable lowercase name (used in reports and CLI flags).
+    pub fn label(self) -> &'static str {
+        match self {
+            Protocol::Ascii => "ascii",
+            Protocol::Binary => "binary",
+        }
+    }
+}
+
+impl std::str::FromStr for Protocol {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Protocol, String> {
+        match s {
+            "ascii" => Ok(Protocol::Ascii),
+            "binary" => Ok(Protocol::Binary),
+            other => Err(format!("unknown protocol `{other}` (want ascii|binary)")),
+        }
+    }
+}
+
+/// Load-generator parameters.
+#[derive(Debug, Clone)]
+pub struct LoadConfig {
+    /// Dataset name to query.
+    pub dataset: String,
+    /// Wire protocol to speak.
+    pub protocol: Protocol,
+    /// Concurrent client connections.
+    pub connections: usize,
+    /// Requests kept in flight per connection (1 = strict request/response).
+    pub pipeline: usize,
+    /// `route` requests each connection completes.
+    pub requests_per_conn: usize,
+    /// Seed of the per-connection query generator.
+    pub seed: u64,
+}
+
+impl Default for LoadConfig {
+    fn default() -> LoadConfig {
+        LoadConfig {
+            dataset: "D1".to_string(),
+            protocol: Protocol::Ascii,
+            connections: 2,
+            pipeline: 1,
+            requests_per_conn: 1000,
+            seed: 0x51ED_5EED,
+        }
+    }
+}
+
+/// Aggregate result of a load-generator run.
+#[derive(Debug, Clone)]
+pub struct LoadReport {
+    /// Total `route` requests completed (excluding `BUSY` retries).
+    pub requests: u64,
+    /// Requests answered with a route.
+    pub answered: u64,
+    /// Requests answered `NOROUTE`.
+    pub noroutes: u64,
+    /// Requests answered `ERR` (must be 0 on a healthy run).
+    pub errors: u64,
+    /// `BUSY` replies received; each one was retried until served.
+    pub busy_retries: u64,
+    /// Wall time of the whole run (excluding the connect phase).
+    pub wall: Duration,
+    /// Aggregate completed requests per second across all connections.
+    pub qps: f64,
+    /// Mean per-request latency, µs (send to response, under pipelining).
+    pub mean_us: f64,
+    /// Median latency (µs).
+    pub p50_us: f64,
+    /// 99th-percentile latency (µs).
+    pub p99_us: f64,
+}
+
+/// Nearest-rank percentile of an ascending-sorted slice.
+pub(crate) fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// A tiny deterministic generator (LCG) for query endpoints — the load tool
+/// must stay dependency-free.
+pub(crate) struct Lcg(pub u64);
+
+impl Lcg {
+    pub(crate) fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0 >> 33
+    }
+}
+
+/// One driven connection: either protocol behind a common send/receive
+/// surface.
+enum Wire {
+    Ascii(Client),
+    Binary(BinClient),
+}
+
+struct DrivenConn {
+    wire: Wire,
+    dataset: String,
+    /// Queries not yet (re)issued.
+    to_send: VecDeque<(u32, u32)>,
+    /// Issued queries awaiting their in-order response, with send times.
+    inflight: VecDeque<((u32, u32), Instant)>,
+}
+
+impl DrivenConn {
+    fn connect(
+        addr: SocketAddr,
+        protocol: Protocol,
+        dataset: &str,
+        queries: VecDeque<(u32, u32)>,
+    ) -> io::Result<DrivenConn> {
+        // The server accepts in event-loop-sized gulps: a burst of
+        // thousands of connects can transiently overflow the listener
+        // backlog, so refused connections retry instead of failing the run.
+        let deadline = Instant::now() + CONNECT_RETRY;
+        let wire = loop {
+            let attempt = match protocol {
+                Protocol::Ascii => Client::connect(addr).map(Wire::Ascii),
+                Protocol::Binary => BinClient::connect(addr).map(Wire::Binary),
+            };
+            match attempt {
+                Ok(wire) => break wire,
+                Err(e) => {
+                    if Instant::now() >= deadline {
+                        return Err(e);
+                    }
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+            }
+        };
+        Ok(DrivenConn {
+            wire,
+            dataset: dataset.to_string(),
+            to_send: queries,
+            inflight: VecDeque::new(),
+        })
+    }
+
+    fn done(&self) -> bool {
+        self.to_send.is_empty() && self.inflight.is_empty()
+    }
+
+    /// Puts up to `pipeline` requests in flight (one buffered write).
+    fn write_burst(&mut self, pipeline: usize, scratch: &mut Vec<u8>) -> io::Result<()> {
+        scratch.clear();
+        let now = Instant::now();
+        while self.inflight.len() < pipeline {
+            let Some((s, d)) = self.to_send.pop_front() else {
+                break;
+            };
+            match &self.wire {
+                Wire::Ascii(_) => {
+                    scratch
+                        .extend_from_slice(format!("route {} {s} {d}\n", self.dataset).as_bytes());
+                }
+                Wire::Binary(_) => {
+                    crate::frame::encode_route(scratch, &self.dataset, s, d);
+                }
+            }
+            self.inflight.push_back(((s, d), now));
+        }
+        if scratch.is_empty() {
+            return Ok(());
+        }
+        match &mut self.wire {
+            Wire::Ascii(c) => {
+                c.send_bytes(scratch)?;
+            }
+            Wire::Binary(c) => c.send_raw(scratch)?,
+        }
+        Ok(())
+    }
+
+    /// Reads every in-flight response, classifying each; `BUSY` replies
+    /// re-queue their request.
+    fn read_all(&mut self, out: &mut DriverOutcome) -> io::Result<()> {
+        while let Some((pair, sent_at)) = self.inflight.pop_front() {
+            enum Kind {
+                Answered,
+                NoRoute,
+                Busy,
+                Error,
+            }
+            let kind = match &mut self.wire {
+                Wire::Ascii(c) => {
+                    let line = c.read_line()?;
+                    if line.starts_with("OK") {
+                        Kind::Answered
+                    } else if line.starts_with("NOROUTE") {
+                        Kind::NoRoute
+                    } else if line.starts_with("BUSY") {
+                        Kind::Busy
+                    } else {
+                        Kind::Error
+                    }
+                }
+                Wire::Binary(c) => {
+                    let (status, payload) = c.read_frame()?;
+                    match crate::frame::decode_route_reply(status, &payload) {
+                        Ok(RouteReply::Route { .. }) => Kind::Answered,
+                        Ok(RouteReply::NoRoute) => Kind::NoRoute,
+                        Ok(RouteReply::Busy) => Kind::Busy,
+                        Ok(RouteReply::Err(_)) | Err(_) => Kind::Error,
+                    }
+                }
+            };
+            match kind {
+                Kind::Busy => {
+                    out.busy_retries += 1;
+                    self.to_send.push_back(pair);
+                }
+                kind => {
+                    out.latencies_us.push(sent_at.elapsed().as_secs_f64() * 1e6);
+                    match kind {
+                        Kind::Answered => out.answered += 1,
+                        Kind::NoRoute => out.noroutes += 1,
+                        _ => out.errors += 1,
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[derive(Default)]
+struct DriverOutcome {
+    latencies_us: Vec<f64>,
+    answered: u64,
+    noroutes: u64,
+    errors: u64,
+    busy_retries: u64,
+    error: Option<io::Error>,
+}
+
+/// Hammers a running server with `route` requests from
+/// [`LoadConfig::connections`] concurrent connections speaking
+/// [`LoadConfig::protocol`], keeping up to [`LoadConfig::pipeline`]
+/// requests in flight per connection, and aggregates latency and
+/// throughput.  Query endpoints are drawn deterministically (per-connection
+/// seeded LCG) over the dataset's vertex range, discovered via `info`.
+pub fn run_load(addr: SocketAddr, cfg: &LoadConfig) -> io::Result<LoadReport> {
+    let connections = cfg.connections.max(1);
+    let pipeline = cfg.pipeline.max(1);
+    // Discover the vertex range once over a short-lived ASCII probe (the
+    // server auto-detects protocols per connection, so this works no matter
+    // what the measured connections will speak).
+    let vertices = {
+        let mut probe = Client::connect(addr)?;
+        let info = probe.request(&format!("info {}", cfg.dataset))?;
+        info.split_whitespace()
+            .find_map(|f| {
+                f.strip_prefix("vertices=")
+                    .and_then(|v| v.parse::<u64>().ok())
+            })
+            .ok_or_else(|| io::Error::other(format!("unusable info response: {info}")))?
+    };
+    if vertices < 2 {
+        return Err(io::Error::other("dataset has fewer than 2 vertices"));
+    }
+
+    // Pre-draw every connection's query list so the run is deterministic
+    // regardless of how connections land on driver threads.
+    let mut plans: Vec<VecDeque<(u32, u32)>> = Vec::with_capacity(connections);
+    for conn in 0..connections {
+        let seed = cfg.seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(conn as u64 + 1));
+        let mut rng = Lcg(seed);
+        let mut queries = VecDeque::with_capacity(cfg.requests_per_conn);
+        for _ in 0..cfg.requests_per_conn {
+            let s = rng.next() % vertices;
+            let mut d = rng.next() % vertices;
+            if d == s {
+                d = (d + 1) % vertices;
+            }
+            queries.push_back((s as u32, d as u32));
+        }
+        plans.push(queries);
+    }
+
+    // Deal connections round-robin over the driver threads.
+    let threads = connections.clamp(1, LOAD_DRIVER_THREADS);
+    let mut per_thread: Vec<Vec<VecDeque<(u32, u32)>>> = (0..threads).map(|_| Vec::new()).collect();
+    for (conn, plan) in plans.into_iter().enumerate() {
+        per_thread[conn % threads].push(plan);
+    }
+
+    // The connect burst is *setup*, not load: a kernel SYN retransmit
+    // (backlog overflow under thousands of racing connects) costs a full
+    // second, which would otherwise swamp the measured window.  Every
+    // driver connects first, then all are released through a barrier and
+    // the clock starts.
+    let start_gate = std::sync::Barrier::new(threads + 1);
+    let (outcomes, wall) = std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(threads);
+        for plans in per_thread {
+            let dataset = cfg.dataset.clone();
+            let protocol = cfg.protocol;
+            let start_gate = &start_gate;
+            handles.push(scope.spawn(move || {
+                let mut out = DriverOutcome::default();
+                let mut conns = Vec::with_capacity(plans.len());
+                for plan in plans {
+                    match DrivenConn::connect(addr, protocol, &dataset, plan) {
+                        Ok(c) => conns.push(c),
+                        Err(e) => {
+                            out.error = Some(e);
+                            start_gate.wait();
+                            return out;
+                        }
+                    }
+                }
+                start_gate.wait();
+                let mut scratch = Vec::new();
+                // Bulk-synchronous driving: first arm *every* connection
+                // with a window of requests, then drain them — so the
+                // server faces all of this thread's connections at once.
+                while conns.iter().any(|c| !c.done()) {
+                    for conn in conns.iter_mut() {
+                        if let Err(e) = conn.write_burst(pipeline, &mut scratch) {
+                            out.error = Some(e);
+                            return out;
+                        }
+                    }
+                    for conn in conns.iter_mut() {
+                        if let Err(e) = conn.read_all(&mut out) {
+                            out.error = Some(e);
+                            return out;
+                        }
+                    }
+                }
+                out
+            }));
+        }
+        start_gate.wait();
+        let t0 = Instant::now();
+        let outcomes: Vec<DriverOutcome> = handles
+            .into_iter()
+            .map(|h| h.join().expect("load driver thread"))
+            .collect();
+        (outcomes, t0.elapsed())
+    });
+
+    let mut latencies: Vec<f64> = Vec::new();
+    let (mut answered, mut noroutes, mut errors, mut busy_retries) = (0u64, 0u64, 0u64, 0u64);
+    for mut outcome in outcomes {
+        if let Some(e) = outcome.error.take() {
+            return Err(e);
+        }
+        latencies.append(&mut outcome.latencies_us);
+        answered += outcome.answered;
+        noroutes += outcome.noroutes;
+        errors += outcome.errors;
+        busy_retries += outcome.busy_retries;
+    }
+    latencies.sort_by(|a, b| a.total_cmp(b));
+    let requests = latencies.len() as u64;
+    let mean_us = if latencies.is_empty() {
+        0.0
+    } else {
+        latencies.iter().sum::<f64>() / latencies.len() as f64
+    };
+    Ok(LoadReport {
+        requests,
+        answered,
+        noroutes,
+        errors,
+        busy_retries,
+        wall,
+        qps: if wall.as_secs_f64() > 0.0 {
+            requests as f64 / wall.as_secs_f64()
+        } else {
+            0.0
+        },
+        mean_us,
+        p50_us: percentile(&latencies, 50.0),
+        p99_us: percentile(&latencies, 99.0),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_use_nearest_rank() {
+        let sorted: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        assert_eq!(percentile(&sorted, 50.0), 50.0);
+        assert_eq!(percentile(&sorted, 99.0), 99.0);
+        assert_eq!(percentile(&[], 50.0), 0.0);
+    }
+
+    #[test]
+    fn lcg_is_deterministic_and_spreads() {
+        let mut a = Lcg(42);
+        let mut b = Lcg(42);
+        let xs: Vec<u64> = (0..8).map(|_| a.next()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.next()).collect();
+        assert_eq!(xs, ys);
+        let distinct: std::collections::HashSet<u64> = xs.iter().copied().collect();
+        assert!(distinct.len() >= 7);
+    }
+
+    #[test]
+    fn protocol_labels_parse_back() {
+        for p in [Protocol::Ascii, Protocol::Binary] {
+            assert_eq!(p.label().parse::<Protocol>().unwrap(), p);
+        }
+        assert!("carrier-pigeon".parse::<Protocol>().is_err());
+    }
+}

@@ -6,23 +6,27 @@
 //!     --model D1=target/model.D1.l2r --model D2=target/model.D2.l2r
 //!
 //! # hammer a running server and print latency/throughput:
-//! l2r-serve load --addr 127.0.0.1:7878 --dataset D1 --threads 4 --requests 5000
+//! l2r-serve load --addr 127.0.0.1:7878 --dataset D1 \
+//!     --protocol binary --connections 512 --pipeline 32 --requests 1000
 //!
-//! # self-contained end-to-end smoke (CI): start, exercise every command,
+//! # self-contained end-to-end smoke (CI): start, exercise both protocols,
 //! # hot-reload, clean shutdown — exits non-zero on any protocol deviation:
-//! l2r-serve smoke --model D1=target/model.D1.l2r
+//! l2r-serve smoke --model D1=target/model.D1.l2r --sweep 512
 //! ```
 
 use std::path::PathBuf;
 
-use l2r_serve::{registry_from_specs, run_load, run_smoke, LoadConfig, Server, DEFAULT_WORKERS};
+use l2r_serve::{
+    registry_from_specs, run_load, run_smoke_with, LoadConfig, Server, DEFAULT_WORKERS,
+};
 
 fn usage() -> ! {
     eprintln!(
         "usage:
   l2r-serve serve --listen <addr> [--workers N] --model NAME=PATH [--model NAME=PATH ...]
-  l2r-serve load  --addr <addr> --dataset NAME [--threads N] [--requests M] [--seed S]
-  l2r-serve smoke --model NAME=PATH [--model NAME=PATH ...]
+  l2r-serve load  --addr <addr> --dataset NAME [--protocol ascii|binary]
+                  [--connections N] [--pipeline W] [--requests M-per-conn] [--seed S]
+  l2r-serve smoke --model NAME=PATH [--model NAME=PATH ...] [--sweep N-connections]
 
 Model snapshots are the versioned `.l2r` files written by
 `reproduce -- fit --snapshot <path>`."
@@ -122,8 +126,14 @@ fn cmd_load(mut args: impl Iterator<Item = String>) {
         match arg.as_str() {
             "--addr" => addr = Some(parse_or_usage(args.next(), "--addr")),
             "--dataset" => cfg.dataset = parse_or_usage(args.next(), "--dataset"),
-            "--threads" => cfg.threads = parse_or_usage(args.next(), "--threads"),
-            "--requests" => cfg.requests_per_thread = parse_or_usage(args.next(), "--requests"),
+            "--protocol" => cfg.protocol = parse_or_usage(args.next(), "--protocol"),
+            // `--threads` predates the event loop; it now just sets the
+            // connection count.
+            "--connections" | "--threads" => {
+                cfg.connections = parse_or_usage(args.next(), "--connections")
+            }
+            "--pipeline" => cfg.pipeline = parse_or_usage(args.next(), "--pipeline"),
+            "--requests" => cfg.requests_per_conn = parse_or_usage(args.next(), "--requests"),
             "--seed" => cfg.seed = parse_or_usage(args.next(), "--seed"),
             other => {
                 eprintln!("unknown flag `{other}`");
@@ -145,9 +155,11 @@ fn cmd_load(mut args: impl Iterator<Item = String>) {
     match run_load(resolved, &cfg) {
         Ok(report) => {
             println!(
-                "load: {} requests over {} connections in {:.1} ms",
+                "load: {} {} requests over {} connections (pipeline {}) in {:.1} ms",
                 report.requests,
-                cfg.threads,
+                cfg.protocol.label(),
+                cfg.connections,
+                cfg.pipeline,
                 report.wall.as_secs_f64() * 1000.0
             );
             println!(
@@ -155,8 +167,8 @@ fn cmd_load(mut args: impl Iterator<Item = String>) {
                 report.qps, report.mean_us, report.p50_us, report.p99_us
             );
             println!(
-                "  answered {}, noroute {}, errors {}",
-                report.answered, report.noroutes, report.errors
+                "  answered {}, noroute {}, errors {}, busy retries {}",
+                report.answered, report.noroutes, report.errors, report.busy_retries
             );
             if report.errors > 0 {
                 std::process::exit(1);
@@ -171,19 +183,21 @@ fn cmd_load(mut args: impl Iterator<Item = String>) {
 
 fn cmd_smoke(mut args: impl Iterator<Item = String>) {
     let mut specs: Vec<(String, PathBuf)> = Vec::new();
+    let mut sweep: Option<usize> = None;
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--model" => {
                 let spec: String = parse_or_usage(args.next(), "--model");
                 specs.push(parse_model_spec(&spec));
             }
+            "--sweep" => sweep = Some(parse_or_usage(args.next(), "--sweep")),
             other => {
                 eprintln!("unknown flag `{other}`");
                 usage();
             }
         }
     }
-    match run_smoke(&specs) {
+    match run_smoke_with(&specs, sweep) {
         Ok(transcript) => {
             print!("{transcript}");
             println!("l2r-serve smoke: OK");

@@ -1,0 +1,923 @@
+//! The poll(2)-based readiness event loop behind [`crate::Server`].
+//!
+//! A fixed pool of event-loop threads (one per `worker`) multiplexes all
+//! connections over non-blocking sockets: each loop polls its connections
+//! plus the shared listener, reads whatever is ready, parses complete
+//! requests out of per-connection buffers, and writes responses back as
+//! sockets accept them.  No thread ever blocks on one client, so thousands
+//! of idle keep-alive connections cost one `pollfd` each instead of a
+//! pinned thread.
+//!
+//! ## Protocol auto-detection
+//!
+//! The first byte of a connection selects its protocol for life: the
+//! binary frame magic starts with `0xB1` (not valid ASCII), anything else
+//! is the legacy line protocol.
+//!
+//! ## Pipelining and response ordering
+//!
+//! Clients may pipeline: each parsed request claims the next *slot* in the
+//! connection's pending queue, and slots drain to the socket strictly in
+//! claim order.  Inline commands (`ping`, `info`, …) fill their slot
+//! immediately; `route` queries fill theirs when their batch executes —
+//! later inline responses wait behind them, so responses always come back
+//! in request order.
+//!
+//! ## Batching and load-shedding
+//!
+//! Admitted `route` queries from *all* connections of a loop coalesce into
+//! one batch, flushed when it reaches [`crate::ServerConfig::batch_max`],
+//! when the oldest entry has waited [`crate::ServerConfig::batch_budget`],
+//! or at the end of a poll iteration (whichever is first) — the natural
+//! batch is therefore "whatever arrived while the previous batch was
+//! executing", which adapts to load with zero added latency when the
+//! budget is zero.  Batches at or above [`PARALLEL_BATCH_MIN`] execute via
+//! [`Engine::route_many`]; smaller ones run serially on the loop's single
+//! pooled scratch, so a server never creates more scratches than workers.
+//! Queries that cannot win a slot in their dataset's bounded admission
+//! queue are answered `BUSY` immediately (see [`crate::queue`]).
+
+use std::collections::{HashMap, VecDeque};
+use std::io::{self, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::fd::AsRawFd;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use l2r_core::{Engine, QueryScratch, RouteResult, RouteStrategy};
+use l2r_road_network::codec::Reader;
+use l2r_road_network::codec::Writer;
+use l2r_road_network::VertexId;
+
+use crate::frame::{self, FrameParse, Opcode, Status, MAX_BATCH_PAIRS, MAX_NAME, MAX_PATH};
+use crate::queue::DatasetQueue;
+use crate::{format_route_response, respond_line, ServerConfig, ServerState};
+
+/// Batches at or above this size execute through [`Engine::route_many`]
+/// (parallel fan-out); smaller ones run serially on the loop's pooled
+/// scratch, which is faster below the fan-out overhead.
+pub const PARALLEL_BATCH_MIN: usize = 256;
+
+/// Per-connection cap on unanswered pipelined requests; beyond it the loop
+/// stops reading from the connection until responses drain (backpressure).
+const MAX_PIPELINE_DEPTH: usize = 1024;
+
+/// Stop reading a connection whose unparsed input exceeds this (resumes as
+/// soon as the parser catches up).
+const RBUF_SOFT_MAX: usize = 2 * (1 << 20);
+
+/// Longest ASCII request line accepted, as in the PR 5 server.
+const MAX_REQUEST_LINE: usize = 64 * 1024;
+
+/// How long a shutting-down loop keeps flushing pending responses before
+/// dropping the remaining connections.
+const SHUTDOWN_GRACE: Duration = Duration::from_secs(1);
+
+/// Poll timeout while idle; bounds how stale the shutdown-flag check and
+/// the batch-budget clock can get.
+const IDLE_POLL_MS: i32 = 50;
+
+// ---------------------------------------------------------------------------
+// poll(2) FFI (the workspace is dependency-free, so no libc crate)
+// ---------------------------------------------------------------------------
+
+const POLLIN: i16 = 0x001;
+const POLLOUT: i16 = 0x004;
+const POLLERR: i16 = 0x008;
+const POLLHUP: i16 = 0x010;
+const POLLNVAL: i16 = 0x020;
+
+#[repr(C)]
+#[derive(Clone, Copy)]
+struct PollFd {
+    fd: i32,
+    events: i16,
+    revents: i16,
+}
+
+extern "C" {
+    fn poll(fds: *mut PollFd, nfds: std::ffi::c_ulong, timeout: std::ffi::c_int) -> i32;
+}
+
+/// `poll(2)` with EINTR retry; a genuine failure is returned to the caller
+/// (the loop treats it as "nothing ready").
+fn poll_fds(fds: &mut [PollFd], timeout_ms: i32) -> io::Result<usize> {
+    loop {
+        let rc = unsafe { poll(fds.as_mut_ptr(), fds.len() as std::ffi::c_ulong, timeout_ms) };
+        if rc >= 0 {
+            return Ok(rc as usize);
+        }
+        let e = io::Error::last_os_error();
+        if e.kind() != io::ErrorKind::Interrupted {
+            return Err(e);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Connections
+// ---------------------------------------------------------------------------
+
+/// What a connection speaks; fixed by its first byte.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Protocol {
+    /// No byte received yet.
+    Detecting,
+    /// Legacy `\n`-terminated line protocol.
+    Ascii,
+    /// Length-prefixed binary frames ([`crate::frame`]).
+    Binary,
+}
+
+/// One multiplexed connection.
+struct Conn {
+    stream: TcpStream,
+    /// Generation tag: batch items verify it before filling a slot, so a
+    /// reused connection index can never receive a dead client's response.
+    id: u64,
+    protocol: Protocol,
+    /// Received-but-unparsed bytes; `rpos` is the consumed prefix.
+    rbuf: Vec<u8>,
+    rpos: usize,
+    /// Encoded-but-unsent response bytes; `wpos` is the sent prefix.
+    wbuf: Vec<u8>,
+    wpos: usize,
+    /// One slot per parsed request, drained to `wbuf` strictly in order.
+    /// `None` = response not ready yet (a route waiting in a batch).
+    pending: VecDeque<Option<Vec<u8>>>,
+    /// Slot sequence number of `pending.front()`.
+    base_seq: u64,
+    /// Stop reading, flush what is pending, then close.
+    closing: bool,
+}
+
+impl Conn {
+    fn new(stream: TcpStream, id: u64) -> Conn {
+        Conn {
+            stream,
+            id,
+            protocol: Protocol::Detecting,
+            rbuf: Vec::new(),
+            rpos: 0,
+            wbuf: Vec::new(),
+            wpos: 0,
+            pending: VecDeque::new(),
+            base_seq: 0,
+            closing: false,
+        }
+    }
+
+    fn unparsed(&self) -> usize {
+        self.rbuf.len() - self.rpos
+    }
+
+    /// Claims the next response slot, returning its sequence number.
+    fn claim_slot(&mut self) -> u64 {
+        self.pending.push_back(None);
+        self.base_seq + self.pending.len() as u64 - 1
+    }
+
+    /// Claims a slot and fills it immediately (inline commands).
+    fn push_response(&mut self, bytes: Vec<u8>) {
+        self.pending.push_back(Some(bytes));
+    }
+
+    /// Fills a previously claimed slot.
+    fn fill_slot(&mut self, seq: u64, bytes: Vec<u8>) {
+        let idx = (seq - self.base_seq) as usize;
+        debug_assert!(idx < self.pending.len());
+        if let Some(slot) = self.pending.get_mut(idx) {
+            debug_assert!(slot.is_none(), "slot {seq} filled twice");
+            *slot = Some(bytes);
+        }
+    }
+
+    /// Moves ready responses (in order) into the write buffer.
+    fn drain_ready(&mut self) {
+        while matches!(self.pending.front(), Some(Some(_))) {
+            let bytes = self.pending.pop_front().flatten().expect("checked Some");
+            self.base_seq += 1;
+            self.wbuf.extend_from_slice(&bytes);
+        }
+    }
+
+    /// Reads until `WouldBlock`, EOF, or the soft input cap.  Returns
+    /// `Ok(true)` on EOF.
+    fn try_read(&mut self, chunk: &mut [u8]) -> io::Result<bool> {
+        loop {
+            if self.unparsed() >= RBUF_SOFT_MAX {
+                return Ok(false);
+            }
+            match self.stream.read(chunk) {
+                Ok(0) => return Ok(true),
+                Ok(n) => self.rbuf.extend_from_slice(&chunk[..n]),
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(false),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Writes as much of `wbuf` as the socket accepts right now.
+    fn try_write(&mut self) -> io::Result<()> {
+        while self.wpos < self.wbuf.len() {
+            match self.stream.write(&self.wbuf[self.wpos..]) {
+                Ok(0) => return Err(io::ErrorKind::WriteZero.into()),
+                Ok(n) => self.wpos += n,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        if self.wpos == self.wbuf.len() {
+            self.wbuf.clear();
+            self.wpos = 0;
+        }
+        Ok(())
+    }
+
+    /// Reclaims consumed input-buffer space once the parser has caught up
+    /// (or the consumed prefix got large).
+    fn compact(&mut self) {
+        if self.rpos == self.rbuf.len() {
+            self.rbuf.clear();
+            self.rpos = 0;
+        } else if self.rpos >= 64 * 1024 {
+            self.rbuf.drain(..self.rpos);
+            self.rpos = 0;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The shared route batch
+// ---------------------------------------------------------------------------
+
+/// One admitted `route` query waiting for its batch to execute.
+struct BatchItem {
+    conn: usize,
+    conn_id: u64,
+    seq: u64,
+    engine: Arc<Engine>,
+    queue: Arc<DatasetQueue>,
+    src: VertexId,
+    dst: VertexId,
+}
+
+/// The loop-wide batch of admitted route queries.
+struct Batch {
+    items: Vec<BatchItem>,
+    /// When the oldest item was enqueued (drives the latency budget).
+    since: Option<Instant>,
+}
+
+impl Batch {
+    fn push(&mut self, item: BatchItem) {
+        if self.items.is_empty() {
+            self.since = Some(Instant::now());
+        }
+        self.items.push(item);
+    }
+}
+
+/// Encodes a route answer for the connection's protocol.
+fn encode_route_result(protocol: Protocol, result: &Option<RouteResult>) -> Vec<u8> {
+    match protocol {
+        Protocol::Binary => {
+            let mut out = Vec::new();
+            match result {
+                Some(r) => {
+                    let strategy = RouteStrategy::ALL
+                        .iter()
+                        .position(|s| *s == r.strategy)
+                        .expect("every strategy is in ALL")
+                        as u8;
+                    let mut w = Writer::new();
+                    w.u8(strategy);
+                    let vertices = r.path.vertices();
+                    w.length(vertices.len());
+                    for v in vertices {
+                        w.u32(v.0);
+                    }
+                    frame::write_frame(&mut out, Status::Ok as u8, w.as_slice());
+                }
+                None => frame::write_frame(&mut out, Status::NoRoute as u8, &[]),
+            }
+            out
+        }
+        _ => {
+            let mut line = format_route_response(result).into_bytes();
+            line.push(b'\n');
+            line
+        }
+    }
+}
+
+/// The retriable overload reply for the connection's protocol.
+fn encode_busy(protocol: Protocol) -> Vec<u8> {
+    match protocol {
+        Protocol::Binary => {
+            let mut out = Vec::new();
+            frame::write_frame(&mut out, Status::Busy as u8, &[]);
+            out
+        }
+        _ => b"BUSY\n".to_vec(),
+    }
+}
+
+/// A binary response frame carrying just a status and a payload.
+fn binary_frame(status: Status, payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::new();
+    frame::write_frame(&mut out, status as u8, payload);
+    out
+}
+
+/// A binary `ERR` frame with a message payload.
+fn binary_err(message: &str) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.str(message);
+    binary_frame(Status::Err, w.as_slice())
+}
+
+/// Executes and answers every queued route query, releasing admissions.
+fn flush_batch(
+    state: &ServerState,
+    batch: &mut Batch,
+    conns: &mut [Option<Conn>],
+    scratch: &mut QueryScratch,
+) {
+    if batch.items.is_empty() {
+        batch.since = None;
+        return;
+    }
+    let items = std::mem::take(&mut batch.items);
+    batch.since = None;
+    state.stats.batches.fetch_add(1, Ordering::Relaxed);
+
+    let mut executed = 0u64;
+    let mut answered = 0u64;
+    let fill = |conns: &mut [Option<Conn>], item: &BatchItem, result: &Option<RouteResult>| {
+        let live = conns
+            .get_mut(item.conn)
+            .and_then(|slot| slot.as_mut())
+            .filter(|c| c.id == item.conn_id);
+        if let Some(conn) = live {
+            let bytes = encode_route_result(conn.protocol, result);
+            conn.fill_slot(item.seq, bytes);
+        }
+    };
+
+    if items.len() < PARALLEL_BATCH_MIN {
+        // Small batch: serial on the loop's pooled scratch — no per-batch
+        // allocation, no fan-out overhead.
+        for item in &items {
+            let alive = conns
+                .get(item.conn)
+                .and_then(|slot| slot.as_ref())
+                .is_some_and(|c| c.id == item.conn_id);
+            if alive {
+                let result = item.engine.route(scratch, item.src, item.dst);
+                executed += 1;
+                if result.is_some() {
+                    answered += 1;
+                }
+                fill(conns, item, &result);
+            }
+            item.queue.release(1);
+        }
+    } else {
+        // Large batch: group by engine and fan out through `route_many`.
+        let mut groups: HashMap<usize, Vec<usize>> = HashMap::new();
+        for (i, item) in items.iter().enumerate() {
+            groups
+                .entry(Arc::as_ptr(&item.engine) as usize)
+                .or_default()
+                .push(i);
+        }
+        for indices in groups.values() {
+            let engine = &items[indices[0]].engine;
+            let pairs: Vec<(VertexId, VertexId)> = indices
+                .iter()
+                .map(|&i| (items[i].src, items[i].dst))
+                .collect();
+            let results = engine.route_many(&pairs);
+            executed += pairs.len() as u64;
+            for (&i, result) in indices.iter().zip(results.iter()) {
+                if result.is_some() {
+                    answered += 1;
+                }
+                fill(conns, &items[i], result);
+            }
+        }
+        for item in &items {
+            item.queue.release(1);
+        }
+    }
+    state.stats.queries.fetch_add(executed, Ordering::Relaxed);
+    state.stats.answered.fetch_add(answered, Ordering::Relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// Request handling
+// ---------------------------------------------------------------------------
+
+/// Outcome of one `process_conn` pass.
+#[derive(PartialEq, Eq)]
+enum Progress {
+    /// Parsed everything currently parseable.
+    Done,
+    /// Stopped because the batch hit `batch_max`; flush and call again.
+    BatchFull,
+}
+
+/// Admits one route query into the batch (or answers `BUSY`).
+#[allow(clippy::too_many_arguments)]
+fn enqueue_route(
+    state: &ServerState,
+    batch: &mut Batch,
+    conn: &mut Conn,
+    ci: usize,
+    dataset: &str,
+    engine: Arc<Engine>,
+    src: VertexId,
+    dst: VertexId,
+) {
+    let queue = state.queues.get(dataset);
+    if !queue.try_admit(1) {
+        state.stats.shed.fetch_add(1, Ordering::Relaxed);
+        let busy = encode_busy(conn.protocol);
+        conn.push_response(busy);
+        return;
+    }
+    let seq = conn.claim_slot();
+    batch.push(BatchItem {
+        conn: ci,
+        conn_id: conn.id,
+        seq,
+        engine,
+        queue,
+        src,
+        dst,
+    });
+}
+
+/// Handles one ASCII request line.  Returns `true` if it was `shutdown`.
+fn handle_ascii_line(
+    state: &ServerState,
+    batch: &mut Batch,
+    conn: &mut Conn,
+    ci: usize,
+    scratch: &mut QueryScratch,
+    line: &str,
+) -> bool {
+    let request = line.trim();
+    if request.is_empty() {
+        return false;
+    }
+    // Fast path: a well-formed `route` on a known dataset goes through
+    // admission + batching; everything else (including malformed routes,
+    // which need the protocol's exact ERR lines) runs inline.
+    let mut parts = request.split_whitespace();
+    if parts.next() == Some("route") {
+        if let (Some(dataset), Some(s), Some(d), None) =
+            (parts.next(), parts.next(), parts.next(), parts.next())
+        {
+            if let (Ok(s), Ok(d)) = (s.parse::<u32>(), d.parse::<u32>()) {
+                if let Some(engine) = state.registry.get(dataset) {
+                    enqueue_route(
+                        state,
+                        batch,
+                        conn,
+                        ci,
+                        dataset,
+                        engine,
+                        VertexId(s),
+                        VertexId(d),
+                    );
+                    return false;
+                }
+            }
+        }
+    }
+    let (response, shutdown) = respond_line(state, scratch, request);
+    let mut bytes = response.into_bytes();
+    bytes.push(b'\n');
+    conn.push_response(bytes);
+    shutdown
+}
+
+/// Handles one well-framed binary request.  Returns `true` on `shutdown`.
+fn handle_frame(
+    state: &ServerState,
+    batch: &mut Batch,
+    conn: &mut Conn,
+    ci: usize,
+    scratch: &mut QueryScratch,
+    kind: u8,
+    payload: &[u8],
+) -> bool {
+    // A malformed *payload* inside a well-formed frame only fails this
+    // request; the stream stays synchronised and the connection serves on.
+    let fail = |conn: &mut Conn, message: String| {
+        state.stats.errors.fetch_add(1, Ordering::Relaxed);
+        conn.push_response(binary_err(&message));
+    };
+    let Some(opcode) = Opcode::from_u8(kind) else {
+        fail(conn, format!("unknown opcode {kind:#04x}"));
+        return false;
+    };
+    let mut r = Reader::new(payload);
+    match opcode {
+        Opcode::Ping => conn.push_response(binary_frame(Status::Ok, &[])),
+        Opcode::Route => {
+            let decoded = (|| {
+                let dataset = r.str("route dataset", MAX_NAME)?;
+                let src = r.u32("route source")?;
+                let dst = r.u32("route destination")?;
+                Ok::<_, l2r_road_network::codec::CodecError>((dataset, src, dst))
+            })();
+            match decoded {
+                Ok((dataset, src, dst)) => match state.registry.get(dataset) {
+                    Some(engine) => enqueue_route(
+                        state,
+                        batch,
+                        conn,
+                        ci,
+                        dataset,
+                        engine,
+                        VertexId(src),
+                        VertexId(dst),
+                    ),
+                    None => fail(conn, format!("unknown dataset `{dataset}`")),
+                },
+                Err(e) => fail(conn, format!("bad route payload: {e}")),
+            }
+        }
+        Opcode::RouteBatch => {
+            let decoded = (|| {
+                let dataset = r.str("batch dataset", MAX_NAME)?.to_string();
+                let n = r.u32("batch size")? as usize;
+                if n == 0 || n > MAX_BATCH_PAIRS || n > r.remaining() / 8 {
+                    return Err(l2r_road_network::codec::CodecError::ImplausibleLength {
+                        what: "batch size",
+                        len: n as u64,
+                    });
+                }
+                let mut pairs = Vec::with_capacity(n);
+                for _ in 0..n {
+                    pairs.push((r.u32("batch source")?, r.u32("batch destination")?));
+                }
+                Ok((dataset, pairs))
+            })();
+            let (dataset, pairs) = match decoded {
+                Ok(v) => v,
+                Err(e) => {
+                    fail(conn, format!("bad route_batch payload: {e}"));
+                    return false;
+                }
+            };
+            let Some(engine) = state.registry.get(&dataset) else {
+                fail(conn, format!("unknown dataset `{dataset}`"));
+                return false;
+            };
+            // A client-side batch executes inline as one unit: it must win
+            // admission for all its queries or be shed as a whole.
+            let queue = state.queues.get(&dataset);
+            if !queue.try_admit(pairs.len()) {
+                state
+                    .stats
+                    .shed
+                    .fetch_add(pairs.len() as u64, Ordering::Relaxed);
+                conn.push_response(encode_busy(conn.protocol));
+                return false;
+            }
+            let mut w = Writer::new();
+            w.u32(pairs.len() as u32);
+            let mut answered = 0u32;
+            let mut body = Writer::new();
+            for &(s, d) in &pairs {
+                match engine.route(scratch, VertexId(s), VertexId(d)) {
+                    Some(result) => {
+                        answered += 1;
+                        let strategy = RouteStrategy::ALL
+                            .iter()
+                            .position(|st| *st == result.strategy)
+                            .expect("every strategy is in ALL")
+                            as u8;
+                        body.u8(strategy);
+                        body.u32(result.path.vertices().len() as u32);
+                    }
+                    None => {
+                        body.u8(u8::MAX);
+                        body.u32(0);
+                    }
+                }
+            }
+            queue.release(pairs.len());
+            state
+                .stats
+                .queries
+                .fetch_add(pairs.len() as u64, Ordering::Relaxed);
+            state
+                .stats
+                .answered
+                .fetch_add(answered as u64, Ordering::Relaxed);
+            w.u32(answered);
+            let mut payload = w.into_vec();
+            payload.extend_from_slice(body.as_slice());
+            conn.push_response(binary_frame(Status::Ok, &payload));
+        }
+        Opcode::Info => match r.str("info dataset", MAX_NAME) {
+            Ok(dataset) => match state.registry.get(dataset) {
+                Some(engine) => {
+                    let mut w = Writer::new();
+                    w.u64(engine.network().num_vertices() as u64);
+                    w.u64(engine.network().num_edges() as u64);
+                    w.u64(engine.region_graph().num_regions() as u64);
+                    w.u64(engine.num_connectors() as u64);
+                    w.u64(state.registry.generation(dataset).unwrap_or(0));
+                    w.str(dataset);
+                    conn.push_response(binary_frame(Status::Ok, w.as_slice()));
+                }
+                None => fail(conn, format!("unknown dataset `{dataset}`")),
+            },
+            Err(e) => fail(conn, format!("bad info payload: {e}")),
+        },
+        Opcode::Stats => {
+            let mut w = Writer::new();
+            w.str(&state.stats_line());
+            conn.push_response(binary_frame(Status::Ok, w.as_slice()));
+        }
+        Opcode::Reload => {
+            let decoded = (|| {
+                let dataset = r.str("reload dataset", MAX_NAME)?.to_string();
+                let path = r.str("reload path", MAX_PATH)?.to_string();
+                Ok::<_, l2r_road_network::codec::CodecError>((dataset, path))
+            })();
+            match decoded {
+                Ok((dataset, path)) => {
+                    match state.registry.reload(&dataset, std::path::Path::new(&path)) {
+                        Ok(_) => {
+                            state.stats.reloads.fetch_add(1, Ordering::Relaxed);
+                            let mut w = Writer::new();
+                            w.u64(state.registry.generation(&dataset).unwrap_or(0));
+                            conn.push_response(binary_frame(Status::Ok, w.as_slice()));
+                        }
+                        Err(e) => fail(conn, format!("reload failed: {e}")),
+                    }
+                }
+                Err(e) => fail(conn, format!("bad reload payload: {e}")),
+            }
+        }
+        Opcode::Shutdown => {
+            conn.push_response(binary_frame(Status::Ok, &[]));
+            return true;
+        }
+    }
+    false
+}
+
+/// Parses and handles every complete request in `conn`'s input buffer,
+/// stopping early (with [`Progress::BatchFull`]) when the shared batch
+/// needs flushing.
+fn process_conn(
+    state: &ServerState,
+    cfg: &ServerConfig,
+    batch: &mut Batch,
+    conn: &mut Conn,
+    ci: usize,
+    scratch: &mut QueryScratch,
+) -> Progress {
+    while !conn.closing && conn.unparsed() > 0 {
+        if batch.items.len() >= cfg.batch_max {
+            return Progress::BatchFull;
+        }
+        if conn.protocol == Protocol::Detecting {
+            conn.protocol = if conn.rbuf[conn.rpos] == frame::FRAME_MAGIC[0] {
+                Protocol::Binary
+            } else {
+                Protocol::Ascii
+            };
+        }
+        match conn.protocol {
+            Protocol::Ascii => {
+                let buf = &conn.rbuf[conn.rpos..];
+                let Some(nl) = buf.iter().position(|&b| b == b'\n') else {
+                    if buf.len() > MAX_REQUEST_LINE {
+                        state.stats.errors.fetch_add(1, Ordering::Relaxed);
+                        conn.push_response(b"ERR request line exceeds the size limit\n".to_vec());
+                        conn.closing = true;
+                    }
+                    break;
+                };
+                let line = String::from_utf8_lossy(&buf[..nl]).into_owned();
+                conn.rpos += nl + 1;
+                if handle_ascii_line(state, batch, conn, ci, scratch, &line) {
+                    conn.closing = true;
+                    state.request_shutdown();
+                }
+            }
+            Protocol::Binary => match frame::parse_frame(&conn.rbuf[conn.rpos..]) {
+                FrameParse::Incomplete => break,
+                FrameParse::Frame {
+                    kind,
+                    payload,
+                    consumed,
+                } => {
+                    // The payload borrows the input buffer while the
+                    // handler needs `&mut Conn`: copy it out (requests are
+                    // small; responses dominate traffic).
+                    let payload = payload.to_vec();
+                    conn.rpos += consumed;
+                    if handle_frame(state, batch, conn, ci, scratch, kind, &payload) {
+                        conn.closing = true;
+                        state.request_shutdown();
+                    }
+                }
+                FrameParse::Bad(e) => {
+                    // Framing violations are connection-fatal: one final
+                    // ERR frame, then close (the stream cannot resync).
+                    state.stats.errors.fetch_add(1, Ordering::Relaxed);
+                    conn.push_response(binary_err(&e.to_string()));
+                    conn.closing = true;
+                    break;
+                }
+            },
+            Protocol::Detecting => unreachable!("protocol detected above"),
+        }
+    }
+    conn.compact();
+    Progress::Done
+}
+
+// ---------------------------------------------------------------------------
+// The event loop
+// ---------------------------------------------------------------------------
+
+/// Runs one event loop until shutdown completes.  `workers` of these share
+/// the (non-blocking) listener.
+pub(crate) fn event_loop(listener: TcpListener, state: &ServerState, cfg: &ServerConfig) {
+    let _ = listener.set_nonblocking(true);
+    // Exactly one pooled scratch per event loop, for the life of the loop:
+    // peak pool size can never exceed the worker count.
+    let mut scratch = state.scratch.acquire();
+    let mut conns: Vec<Option<Conn>> = Vec::new();
+    let mut free: Vec<usize> = Vec::new();
+    let mut batch = Batch {
+        items: Vec::new(),
+        since: None,
+    };
+    let mut pollfds: Vec<PollFd> = Vec::new();
+    let mut poll_conns: Vec<usize> = Vec::new();
+    let mut chunk = vec![0u8; 64 * 1024];
+    let mut next_id: u64 = 1;
+    let mut drain_deadline: Option<Instant> = None;
+
+    loop {
+        let shutting_down = state.shutdown_requested();
+        if shutting_down {
+            let deadline = *drain_deadline.get_or_insert_with(|| Instant::now() + SHUTDOWN_GRACE);
+            let all_idle = conns.iter().flatten().all(|c| c.wbuf.is_empty())
+                && batch.items.is_empty()
+                && conns.iter().flatten().all(|c| c.pending.is_empty());
+            if all_idle || Instant::now() >= deadline {
+                break;
+            }
+        }
+
+        // 1. Poll the listener plus every live connection.
+        pollfds.clear();
+        poll_conns.clear();
+        pollfds.push(PollFd {
+            fd: listener.as_raw_fd(),
+            events: POLLIN,
+            revents: 0,
+        });
+        for (ci, slot) in conns.iter().enumerate() {
+            let Some(conn) = slot else { continue };
+            let mut events = 0i16;
+            let throttled =
+                conn.pending.len() >= MAX_PIPELINE_DEPTH || conn.unparsed() >= RBUF_SOFT_MAX;
+            if !conn.closing && !shutting_down && !throttled {
+                events |= POLLIN;
+            }
+            if conn.wpos < conn.wbuf.len() {
+                events |= POLLOUT;
+            }
+            pollfds.push(PollFd {
+                fd: conn.stream.as_raw_fd(),
+                events,
+                revents: 0,
+            });
+            poll_conns.push(ci);
+        }
+        let timeout_ms = if shutting_down {
+            5
+        } else if !batch.items.is_empty() {
+            // A held batch caps the wait at its remaining latency budget.
+            let elapsed = batch.since.map(|t| t.elapsed()).unwrap_or_default();
+            let left = cfg.batch_budget.saturating_sub(elapsed);
+            (left.as_millis() as i32).clamp(1, IDLE_POLL_MS)
+        } else {
+            IDLE_POLL_MS
+        };
+        if poll_fds(&mut pollfds, timeout_ms).is_err() {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+
+        // 2. Accept whatever is queued (connections stick to this loop).
+        if pollfds[0].revents & (POLLIN | POLLERR) != 0 {
+            loop {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        if shutting_down {
+                            // Keep draining the backlog so the listener
+                            // does not stay readable all through shutdown.
+                            drop(stream);
+                            continue;
+                        }
+                        let _ = stream.set_nonblocking(true);
+                        let _ = stream.set_nodelay(true);
+                        state.stats.connections.fetch_add(1, Ordering::Relaxed);
+                        let conn = Conn::new(stream, next_id);
+                        next_id += 1;
+                        match free.pop() {
+                            Some(ci) => conns[ci] = Some(conn),
+                            None => conns.push(Some(conn)),
+                        }
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                    Err(_) => break,
+                }
+            }
+        }
+
+        // 3. Read + parse connections with fresh bytes *or* a backlog of
+        //    unparsed input (a previously throttled pipeline must resume
+        //    without waiting for new bytes); flush the batch whenever it
+        //    fills so queue depth stays bounded by `batch_max`.
+        for (pi, &ci) in poll_conns.iter().enumerate() {
+            let revents = pollfds[pi + 1].revents;
+            let readable = revents & (POLLIN | POLLHUP | POLLERR | POLLNVAL) != 0;
+            let backlog = conns[ci]
+                .as_ref()
+                .is_some_and(|c| c.unparsed() > 0 && !c.closing);
+            if !readable && !backlog {
+                continue;
+            }
+            let mut eof = false;
+            if readable {
+                let Some(conn) = conns[ci].as_mut() else {
+                    continue;
+                };
+                match conn.try_read(&mut chunk) {
+                    Ok(e) => eof = e,
+                    Err(_) => {
+                        // Hard read error (reset): nothing more to deliver.
+                        conns[ci] = None;
+                        free.push(ci);
+                        continue;
+                    }
+                }
+            }
+            while let Some(conn) = conns[ci].as_mut() {
+                match process_conn(state, cfg, &mut batch, conn, ci, &mut scratch) {
+                    Progress::Done => break,
+                    Progress::BatchFull => flush_batch(state, &mut batch, &mut conns, &mut scratch),
+                }
+            }
+            if eof {
+                if let Some(conn) = conns[ci].as_mut() {
+                    conn.closing = true;
+                }
+            }
+        }
+
+        // 4. Flush the batch: immediately with a zero budget, otherwise
+        //    when the oldest entry has waited out the budget (or we are
+        //    shutting down and must answer everything now).
+        let budget_spent = batch
+            .since
+            .map(|t| t.elapsed() >= cfg.batch_budget)
+            .unwrap_or(false);
+        if !batch.items.is_empty() && (cfg.batch_budget.is_zero() || budget_spent || shutting_down)
+        {
+            flush_batch(state, &mut batch, &mut conns, &mut scratch);
+        }
+
+        // 5. Drain in-order responses into write buffers and push bytes.
+        for (ci, slot) in conns.iter_mut().enumerate() {
+            let Some(conn) = slot.as_mut() else {
+                continue;
+            };
+            conn.drain_ready();
+            let write_failed = conn.wpos < conn.wbuf.len() && conn.try_write().is_err();
+            let fully_drained = conn.closing && conn.wbuf.is_empty() && conn.pending.is_empty();
+            if write_failed || fully_drained {
+                *slot = None;
+                free.push(ci);
+            }
+        }
+    }
+}
