@@ -259,6 +259,22 @@ fn main() {
             );
             std::process::exit(1);
         }
+        // The resilience run is a pass/fail harness: any violated
+        // fault-tolerance invariant (panic accounting off, a dead worker,
+        // a leaked connection) invalidates the serving report.
+        let mut resilience_broken = false;
+        for d in &report.serving {
+            for violation in &d.resilience.invariant_violations {
+                eprintln!(
+                    "ERROR: resilience invariant violated on {}: {violation}",
+                    d.name
+                );
+                resilience_broken = true;
+            }
+        }
+        if resilience_broken {
+            std::process::exit(1);
+        }
     }
 }
 
@@ -508,8 +524,8 @@ fn run_online(ds: &Dataset, rounds: usize, snapshot_base: Option<&str>) -> Onlin
 
 /// Runs the multi-threaded serving benchmark of one dataset (shared
 /// `Arc<Engine>` thread sweep, hot-swap under load, TCP loopback via
-/// `l2r-serve`) and prints the summary; the entry lands in the `serving`
-/// section of `BENCH_online.json`.
+/// `l2r-serve`, resilience under injected faults) and prints the summary;
+/// the entry lands in the `serving` section of `BENCH_online.json`.
 fn run_serving(
     ds: &Dataset,
     rounds: usize,
@@ -580,6 +596,34 @@ fn run_serving(
             p.busy_retries
         );
     }
+    let rs = &entry.resilience;
+    println!(
+        "  resilience (1% injected panics, {} slow clients of {}): {:.0} qps, {} requests — {} answered, {} noroute, {} internal, {} deadline, {} other errors, {} busy retries",
+        rs.slow_connections,
+        rs.connections,
+        rs.qps,
+        rs.requests,
+        rs.answered,
+        rs.noroutes,
+        rs.internal_errors,
+        rs.deadline_exceeded,
+        rs.other_errors,
+        rs.busy_retries
+    );
+    println!(
+        "    panics {} injected / {} caught, {} workers respawned, {} reaped, {} write stalls, {} conns left open — {}",
+        rs.panics_injected,
+        rs.panics_caught,
+        rs.workers_respawned,
+        rs.idle_reaped,
+        rs.write_stalls,
+        rs.open_connections_after,
+        if rs.invariant_violations.is_empty() {
+            "all invariants held".to_string()
+        } else {
+            format!("INVARIANTS VIOLATED: {}", rs.invariant_violations.join("; "))
+        }
+    );
     println!();
     entry
 }

@@ -18,7 +18,8 @@ pub mod serving;
 
 pub use legacy::legacy_route;
 pub use serving::{
-    serving_bench_for, ConcurrencySweepPoint, HotSwapReport, ServingBenchDataset, ServingSweepPoint,
+    serving_bench_for, ConcurrencySweepPoint, HotSwapReport, ResilienceReport, ServingBenchDataset,
+    ServingSweepPoint,
 };
 
 use std::time::Instant;
@@ -699,7 +700,39 @@ fn serving_json(out: &mut String, entries: &[ServingBenchDataset]) {
                 if j + 1 < ds.concurrency.len() { "," } else { "" }
             ));
         }
-        out.push_str("      ]\n");
+        out.push_str("      ],\n");
+        let rs = &ds.resilience;
+        out.push_str("      \"resilience\": {\n");
+        out.push_str(&format!(
+            "        \"connections\": {}, \"slow_connections\": {}, \"requests\": {}, \"answered\": {}, \"noroutes\": {},\n",
+            rs.connections, rs.slow_connections, rs.requests, rs.answered, rs.noroutes
+        ));
+        out.push_str(&format!(
+            "        \"internal_errors\": {}, \"deadline_exceeded\": {}, \"other_errors\": {}, \"busy_retries\": {},\n",
+            rs.internal_errors, rs.deadline_exceeded, rs.other_errors, rs.busy_retries
+        ));
+        out.push_str(&format!(
+            "        \"qps\": {:.0}, \"p50_us\": {:.3}, \"p99_us\": {:.3},\n",
+            rs.qps, rs.p50_us, rs.p99_us
+        ));
+        out.push_str(&format!(
+            "        \"panics_injected\": {}, \"panics_caught\": {}, \"workers_respawned\": {}, \"idle_reaped\": {}, \"write_stalls\": {}, \"open_connections_after\": {},\n",
+            rs.panics_injected,
+            rs.panics_caught,
+            rs.workers_respawned,
+            rs.idle_reaped,
+            rs.write_stalls,
+            rs.open_connections_after
+        ));
+        out.push_str(&format!(
+            "        \"invariant_violations\": [{}]\n",
+            rs.invariant_violations
+                .iter()
+                .map(|v| format!("\"{}\"", v.replace('\\', "\\\\").replace('"', "\\\"")))
+                .collect::<Vec<_>>()
+                .join(", ")
+        ));
+        out.push_str("      }\n");
         out.push_str(&format!(
             "    }}{}\n",
             if i + 1 < entries.len() { "," } else { "" }
@@ -895,6 +928,27 @@ mod tests {
                     p99_us: 700.0,
                 },
             ],
+            resilience: serving::ResilienceReport {
+                connections: 20,
+                slow_connections: 2,
+                requests: 4000,
+                answered: 3950,
+                noroutes: 10,
+                internal_errors: 40,
+                deadline_exceeded: 0,
+                other_errors: 0,
+                busy_retries: 7,
+                qps: 50_000.0,
+                p50_us: 90.0,
+                p99_us: 1500.0,
+                panics_injected: 40,
+                panics_caught: 40,
+                workers_respawned: 0,
+                idle_reaped: 0,
+                write_stalls: 0,
+                open_connections_after: 0,
+                invariant_violations: vec!["example \"violation\"".to_string()],
+            },
         };
         let report = OnlineBenchReport {
             scale: Scale::Quick,
@@ -912,6 +966,13 @@ mod tests {
         assert!(json.contains("\"concurrency_sweep\": ["), "{json}");
         assert!(json.contains("\"protocol\": \"binary\""), "{json}");
         assert!(json.contains("\"busy_retries\": 3"), "{json}");
+        assert!(json.contains("\"resilience\": {"), "{json}");
+        assert!(json.contains("\"panics_injected\": 40"), "{json}");
+        // Violation strings are JSON-escaped.
+        assert!(
+            json.contains("\"invariant_violations\": [\"example \\\"violation\\\"\"]"),
+            "{json}"
+        );
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());
     }
@@ -968,6 +1029,26 @@ mod tests {
             .concurrency
             .iter()
             .any(|p| p.protocol == "binary" && p.pipeline > 1));
+        // Resilience: faults were genuinely injected, the error taxonomy
+        // accounts for all of them, and every invariant held.
+        let rs = &entry.resilience;
+        assert!(rs.requests > 0);
+        assert!(rs.qps > 0.0);
+        assert!(
+            rs.panics_injected > 0,
+            "1% of {} requests must inject at least one panic",
+            rs.requests
+        );
+        assert_eq!(rs.panics_caught, rs.panics_injected);
+        assert_eq!(rs.internal_errors, rs.panics_injected);
+        assert_eq!(rs.workers_respawned, 0);
+        assert_eq!(rs.other_errors, 0);
+        assert_eq!(rs.open_connections_after, 0);
+        assert_eq!(
+            rs.invariant_violations,
+            Vec::<String>::new(),
+            "resilience invariants must hold"
+        );
     }
 
     #[test]

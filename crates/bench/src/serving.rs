@@ -1,6 +1,6 @@
 //! The multi-threaded serving benchmark behind `reproduce -- serving`.
 //!
-//! Three measurements per dataset, all over one shared `Arc<Engine>` (the
+//! Four measurements per dataset, all over one shared `Arc<Engine>` (the
 //! production serving shape — PR 3's single-scratch numbers measured the
 //! same engine from one thread):
 //!
@@ -18,6 +18,12 @@
 //! 3. **TCP loopback** — an actual `l2r-serve` server on an ephemeral
 //!    loopback port, driven end-to-end (load generator + a live `reload`)
 //!    so the full wire path is on the record.
+//! 4. **Resilience** — a second server with a deterministic
+//!    [`FaultPlan`] injecting 1% handler panics, driven with a tenth of
+//!    the connections acting as slow clients; qps, the full error
+//!    taxonomy, and an invariant checklist (exact panic accounting, no
+//!    worker deaths, no leaked connections) go on the record and
+//!    `reproduce -- serving` fails on any violation.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -25,7 +31,7 @@ use std::time::{Duration, Instant};
 
 use l2r_core::{Engine, ModelRegistry, QueryScratch, RouteResult, ScratchPool};
 use l2r_eval::{build_test_queries, Dataset, TestQuery};
-use l2r_serve::{Client, LoadConfig, Protocol, Server};
+use l2r_serve::{Client, FaultConfig, FaultPlan, LoadConfig, Protocol, Server, ServerConfig};
 
 /// One thread-count measurement of the sweep.
 #[derive(Debug, Clone)]
@@ -93,6 +99,58 @@ pub struct ConcurrencySweepPoint {
     pub p99_us: f64,
 }
 
+/// Resilience measurement: qps and error taxonomy of a loopback server
+/// running under a deterministic fault plan (1% injected handler panics)
+/// while a tenth of the client connections are deliberately slow
+/// (fragmented, stalling writers).  The `invariant_violations` list is the
+/// verdict — it **must be empty**: every injected panic surfaced as
+/// exactly one request-scoped error, no worker died, no protocol error
+/// leaked, no connection was left behind.
+#[derive(Debug, Clone)]
+pub struct ResilienceReport {
+    /// Concurrent client connections of the run.
+    pub connections: usize,
+    /// How many of them were slow clients.
+    pub slow_connections: usize,
+    /// Total requests completed.
+    pub requests: u64,
+    /// Requests answered with a route.
+    pub answered: u64,
+    /// Requests answered `NOROUTE`.
+    pub noroutes: u64,
+    /// Requests answered with an isolated-panic internal error (must equal
+    /// `panics_injected` exactly).
+    pub internal_errors: u64,
+    /// Requests answered "deadline exceeded".
+    pub deadline_exceeded: u64,
+    /// Any other `ERR` replies (must be zero).
+    pub other_errors: u64,
+    /// `BUSY` replies retried until served.
+    pub busy_retries: u64,
+    /// Aggregate requests/second under the fault plan.
+    pub qps: f64,
+    /// Median round-trip latency (µs).
+    pub p50_us: f64,
+    /// 99th-percentile round-trip latency (µs).
+    pub p99_us: f64,
+    /// Handler panics the fault plan injected.
+    pub panics_injected: u64,
+    /// Panics the server's isolation layer caught.
+    pub panics_caught: u64,
+    /// Event loops the watchdog had to respawn (must be zero — a handler
+    /// panic never kills a worker).
+    pub workers_respawned: u64,
+    /// Idle connections reaped during the run.
+    pub idle_reaped: u64,
+    /// Write-stalled connections disconnected during the run.
+    pub write_stalls: u64,
+    /// Connections still registered after shutdown (must be zero).
+    pub open_connections_after: usize,
+    /// Human-readable description of every violated invariant; an empty
+    /// list is the pass verdict `reproduce -- serving` gates on.
+    pub invariant_violations: Vec<String>,
+}
+
 /// End-to-end TCP measurement through a real `l2r-serve` server.
 #[derive(Debug, Clone)]
 pub struct TcpReport {
@@ -138,6 +196,8 @@ pub struct ServingBenchDataset {
     pub tcp: TcpReport,
     /// Connection-concurrency sweep over both wire protocols.
     pub concurrency: Vec<ConcurrencySweepPoint>,
+    /// Fault-injection resilience measurement.
+    pub resilience: ResilienceReport,
 }
 
 use crate::percentile;
@@ -349,6 +409,7 @@ pub fn serving_bench_for(
             pipeline: 1,
             requests_per_conn,
             seed: 0x5E17_1E55,
+            ..LoadConfig::default()
         },
     )
     .expect("load generator against loopback server");
@@ -368,6 +429,7 @@ pub fn serving_bench_for(
                     pipeline,
                     requests_per_conn: (32_768 / connections).max(8),
                     seed: 0x5E17_1E55 ^ connections as u64,
+                    ..LoadConfig::default()
                 },
             )
             .unwrap_or_else(|e| panic!("{connections}-connection {protocol:?} sweep failed: {e}"));
@@ -384,6 +446,123 @@ pub fn serving_bench_for(
             });
         }
     }
+
+    // --- 4. Resilience under injected faults ------------------------------
+    // A dedicated server with a deterministic fault plan: 1% of route
+    // executions panic inside the handler, and every 10th client is a slow
+    // (fragmented, stalling) writer.  The server must convert each panic
+    // into exactly one request-scoped error and lose nothing else.
+    let resilience = {
+        // Injected faults panic on purpose; keep their spam out of the
+        // bench output while leaving every other panic loud.
+        static QUIET: std::sync::Once = std::sync::Once::new();
+        QUIET.call_once(|| {
+            let default = std::panic::take_hook();
+            std::panic::set_hook(Box::new(move |info| {
+                let injected = info
+                    .payload()
+                    .downcast_ref::<&str>()
+                    .is_some_and(|m| m.contains("injected"));
+                if !injected {
+                    default(info);
+                }
+            }));
+        });
+        let plan = Arc::new(FaultPlan::new(FaultConfig {
+            handler_panic_per_mille: 10,
+            ..FaultConfig::default()
+        }));
+        let chaos_registry = ModelRegistry::new();
+        chaos_registry.insert_shared(ds.spec.name, Arc::clone(&engine));
+        let chaos_server = Server::bind_with(
+            "127.0.0.1:0",
+            ServerConfig {
+                workers: 2,
+                faults: Some(Arc::clone(&plan)),
+                ..ServerConfig::default()
+            },
+            chaos_registry,
+        )
+        .expect("bind resilience bench server");
+        let chaos_addr = chaos_server.local_addr();
+        let chaos_state = chaos_server.state();
+        let chaos_handle = chaos_server.start();
+        let connections = 20usize;
+        let slow_every = 10usize;
+        let load = l2r_serve::run_load(
+            chaos_addr,
+            &LoadConfig {
+                dataset: ds.spec.name.to_string(),
+                protocol: Protocol::Binary,
+                connections,
+                pipeline: 8,
+                requests_per_conn: (queries.len() * rounds).clamp(100, 500),
+                seed: 0xC4A0_5EED,
+                slow_every,
+                ..LoadConfig::default()
+            },
+        )
+        .expect("load generator against resilience bench server");
+        chaos_handle
+            .shutdown()
+            .expect("clean resilience server shutdown");
+
+        let counters = plan.counters();
+        let stats = chaos_state.stats();
+        let mut violations = Vec::new();
+        if stats.panics_caught() != counters.panics_injected {
+            violations.push(format!(
+                "panics_caught {} != panics_injected {}",
+                stats.panics_caught(),
+                counters.panics_injected
+            ));
+        }
+        if load.internal_errors != counters.panics_injected {
+            violations.push(format!(
+                "clients saw {} internal errors for {} injected panics",
+                load.internal_errors, counters.panics_injected
+            ));
+        }
+        if stats.workers_respawned() != 0 {
+            violations.push(format!(
+                "{} worker(s) died under isolated handler panics",
+                stats.workers_respawned()
+            ));
+        }
+        if load.errors != 0 {
+            violations.push(format!("{} unexplained ERR replies", load.errors));
+        }
+        if chaos_state.open_connections() != 0 {
+            violations.push(format!(
+                "{} connection(s) leaked past shutdown",
+                chaos_state.open_connections()
+            ));
+        }
+        if load.qps <= 0.0 {
+            violations.push("zero throughput under faults".to_string());
+        }
+        ResilienceReport {
+            connections,
+            slow_connections: connections / slow_every,
+            requests: load.requests,
+            answered: load.answered,
+            noroutes: load.noroutes,
+            internal_errors: load.internal_errors,
+            deadline_exceeded: load.deadline_exceeded,
+            other_errors: load.errors,
+            busy_retries: load.busy_retries,
+            qps: load.qps,
+            p50_us: load.p50_us,
+            p99_us: load.p99_us,
+            panics_injected: counters.panics_injected,
+            panics_caught: stats.panics_caught(),
+            workers_respawned: stats.workers_respawned(),
+            idle_reaped: stats.idle_reaped(),
+            write_stalls: stats.write_stalls(),
+            open_connections_after: chaos_state.open_connections(),
+            invariant_violations: violations,
+        }
+    };
 
     let mut client = Client::connect(addr).expect("client connect");
     let reload_resp = client
@@ -431,6 +610,7 @@ pub fn serving_bench_for(
         hot_swap,
         tcp,
         concurrency,
+        resilience,
     }
 }
 

@@ -17,9 +17,60 @@ use crate::frame::{
     self, decode_route_reply, FrameParse, RouteReply, Status, MAX_FRAME_PAYLOAD, MAX_NAME,
 };
 
-/// Socket read timeout of both clients: a dead server fails the call
-/// instead of hanging it forever.
-const CLIENT_READ_TIMEOUT: Duration = Duration::from_secs(30);
+/// Default socket read timeout of both clients: a dead server fails the
+/// call instead of hanging it forever.  Override per-client with
+/// [`Client::connect_with`] / [`BinClient::connect_with`].
+pub const DEFAULT_CLIENT_READ_TIMEOUT: Duration = Duration::from_secs(30);
+
+// ---------------------------------------------------------------------------
+// Retry policy
+// ---------------------------------------------------------------------------
+
+/// Bounded retry with jittered exponential backoff, for `BUSY` responses.
+///
+/// A shedding server answers `BUSY` when its admission queue is full; the
+/// right client reaction is to back off and retry a bounded number of
+/// times rather than hammer the queue or give up on the first push-back.
+/// Jitter is drawn from a small seeded LCG so retry storms decorrelate
+/// across clients while each client stays reproducible.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Total attempts (first try included).  `1` disables retrying.
+    pub attempts: u32,
+    /// Backoff before the first retry; doubles each retry.
+    pub base: Duration,
+    /// Upper bound on any single backoff sleep.
+    pub cap: Duration,
+    /// Jitter seed; each sleep is scaled by a factor in `[0.5, 1.5)`.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            attempts: 4,
+            base: Duration::from_millis(2),
+            cap: Duration::from_millis(50),
+            seed: 0x5EED_CAFE,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The jittered backoff to sleep before retry number `retry` (0-based),
+    /// advancing the internal jitter stream.
+    pub(crate) fn backoff(&mut self, retry: u32) -> Duration {
+        self.seed = self
+            .seed
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        // Map the top bits onto [0.5, 1.5): half-to-one-and-a-half of the
+        // nominal exponential step, capped.
+        let jitter = 0.5 + (self.seed >> 33) as f64 / (1u64 << 31) as f64;
+        let nominal = self.base.saturating_mul(1u32 << retry.min(16));
+        nominal.min(self.cap).mul_f64(jitter).min(self.cap)
+    }
+}
 
 // ---------------------------------------------------------------------------
 // ASCII client
@@ -34,16 +85,30 @@ pub struct Client {
 }
 
 impl Client {
-    /// Connects to a running server.
+    /// Connects to a running server with the default read timeout.
     pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<Client> {
         Client::from_stream(TcpStream::connect(addr)?)
     }
 
+    /// Connects with an explicit read timeout (`None` blocks forever).
+    pub fn connect_with<A: ToSocketAddrs>(
+        addr: A,
+        timeout: Option<Duration>,
+    ) -> io::Result<Client> {
+        Client::from_stream_with(TcpStream::connect(addr)?, timeout)
+    }
+
     /// Wraps an already-connected stream (e.g. one that sat idle for a
-    /// while) into a client.
+    /// while) into a client with the default read timeout.
     pub fn from_stream(stream: TcpStream) -> io::Result<Client> {
+        Client::from_stream_with(stream, Some(DEFAULT_CLIENT_READ_TIMEOUT))
+    }
+
+    /// Wraps an already-connected stream into a client with an explicit
+    /// read timeout (`None` blocks forever).
+    pub fn from_stream_with(stream: TcpStream, timeout: Option<Duration>) -> io::Result<Client> {
         stream.set_nodelay(true)?;
-        stream.set_read_timeout(Some(CLIENT_READ_TIMEOUT))?;
+        stream.set_read_timeout(timeout)?;
         let read_half = stream.try_clone()?;
         Ok(Client {
             writer: stream,
@@ -139,15 +204,30 @@ fn bad_data(message: String) -> io::Error {
 }
 
 impl BinClient {
-    /// Connects to a running server.
+    /// Connects to a running server with the default read timeout.
     pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<BinClient> {
         BinClient::from_stream(TcpStream::connect(addr)?)
     }
 
-    /// Wraps an already-connected stream into a binary client.
+    /// Connects with an explicit read timeout (`None` blocks forever).
+    pub fn connect_with<A: ToSocketAddrs>(
+        addr: A,
+        timeout: Option<Duration>,
+    ) -> io::Result<BinClient> {
+        BinClient::from_stream_with(TcpStream::connect(addr)?, timeout)
+    }
+
+    /// Wraps an already-connected stream into a binary client with the
+    /// default read timeout.
     pub fn from_stream(stream: TcpStream) -> io::Result<BinClient> {
+        BinClient::from_stream_with(stream, Some(DEFAULT_CLIENT_READ_TIMEOUT))
+    }
+
+    /// Wraps an already-connected stream into a binary client with an
+    /// explicit read timeout (`None` blocks forever).
+    pub fn from_stream_with(stream: TcpStream, timeout: Option<Duration>) -> io::Result<BinClient> {
         stream.set_nodelay(true)?;
-        stream.set_read_timeout(Some(CLIENT_READ_TIMEOUT))?;
+        stream.set_read_timeout(timeout)?;
         Ok(BinClient {
             stream,
             rbuf: Vec::new(),
@@ -212,6 +292,10 @@ impl BinClient {
                 Err(io::Error::other(format!("{what}: {message}")))
             }
             Status::Busy => Err(io::Error::other(format!("{what}: server is busy"))),
+            Status::DeadlineExceeded => Err(io::Error::new(
+                io::ErrorKind::TimedOut,
+                format!("{what}: deadline exceeded"),
+            )),
             Status::NoRoute => Err(bad_data(format!("{what}: unexpected NOROUTE"))),
         }
     }
@@ -231,6 +315,27 @@ impl BinClient {
         self.send_raw(&out)?;
         let (status, payload) = self.read_frame()?;
         decode_route_reply(status, &payload).map_err(|e| bad_data(e.to_string()))
+    }
+
+    /// One route query, retrying `BUSY` responses under `policy` with
+    /// jittered exponential backoff.  Returns the last `BUSY` reply if the
+    /// attempt budget runs out; every other reply returns immediately.
+    pub fn route_with_retry(
+        &mut self,
+        dataset: &str,
+        src: u32,
+        dst: u32,
+        policy: &mut RetryPolicy,
+    ) -> io::Result<RouteReply> {
+        let attempts = policy.attempts.max(1);
+        for retry in 0..attempts {
+            let reply = self.route(dataset, src, dst)?;
+            if !matches!(reply, RouteReply::Busy) || retry + 1 == attempts {
+                return Ok(reply);
+            }
+            std::thread::sleep(policy.backoff(retry));
+        }
+        unreachable!("retry loop always returns on its last attempt")
     }
 
     /// Pipelines `route` queries with at most `window` in flight, returning
@@ -363,6 +468,7 @@ pub fn route_reply_to_line(reply: &RouteReply) -> String {
         }
         RouteReply::NoRoute => "NOROUTE".to_string(),
         RouteReply::Busy => "BUSY".to_string(),
+        RouteReply::DeadlineExceeded => "ERR deadline exceeded".to_string(),
         RouteReply::Err(message) => format!("ERR {message}"),
     }
 }

@@ -53,9 +53,12 @@ pub const MAX_BATCH_PAIRS: usize = 65_536;
 pub enum Opcode {
     /// Liveness probe; empty payload.
     Ping = 0x01,
-    /// One route query: `str dataset, u32 src, u32 dst`.
+    /// One route query: `str dataset, u32 src, u32 dst` plus an optional
+    /// trailing `u32 deadline_ms` (milliseconds of budget granted to the
+    /// request; omitted ⇒ the server's default deadline applies).
     Route = 0x02,
-    /// Batched route queries: `str dataset, u32 n, n × (u32 src, u32 dst)`.
+    /// Batched route queries: `str dataset, u32 n, n × (u32 src, u32 dst)`
+    /// plus an optional trailing `u32 deadline_ms` shared by every pair.
     RouteBatch = 0x03,
     /// Dataset metadata: `str dataset`.
     Info = 0x04,
@@ -96,6 +99,10 @@ pub enum Status {
     /// The dataset's request queue is full; empty payload.  **Retriable**:
     /// the connection stays open, resend the request after backing off.
     Busy = 0x03,
+    /// The request's deadline expired before a reply could be produced;
+    /// empty payload.  The route was not (fully) computed — retry with a
+    /// larger budget if the answer still matters.
+    DeadlineExceeded = 0x04,
 }
 
 impl Status {
@@ -106,6 +113,7 @@ impl Status {
             0x01 => Status::NoRoute,
             0x02 => Status::Err,
             0x03 => Status::Busy,
+            0x04 => Status::DeadlineExceeded,
             _ => return None,
         })
     }
@@ -299,23 +307,54 @@ pub fn encode_ping(out: &mut Vec<u8>) {
     write_frame(out, Opcode::Ping as u8, &[]);
 }
 
-/// Appends a `route` request frame.
+/// Appends a `route` request frame carrying the server's default deadline.
 pub fn encode_route(out: &mut Vec<u8>, dataset: &str, src: u32, dst: u32) {
+    encode_route_deadline(out, dataset, src, dst, None);
+}
+
+/// Appends a `route` request frame with an explicit deadline budget in
+/// milliseconds (`None` ⇒ the field is omitted and the server default
+/// applies; `Some(0)` ⇒ already expired, useful for testing accounting).
+pub fn encode_route_deadline(
+    out: &mut Vec<u8>,
+    dataset: &str,
+    src: u32,
+    dst: u32,
+    deadline_ms: Option<u32>,
+) {
     let mut w = Writer::new();
     w.str(dataset);
     w.u32(src);
     w.u32(dst);
+    if let Some(ms) = deadline_ms {
+        w.u32(ms);
+    }
     write_frame(out, Opcode::Route as u8, w.as_slice());
 }
 
-/// Appends a `route_batch` request frame.
+/// Appends a `route_batch` request frame carrying the server's default
+/// deadline.
 pub fn encode_route_batch(out: &mut Vec<u8>, dataset: &str, pairs: &[(u32, u32)]) {
+    encode_route_batch_deadline(out, dataset, pairs, None);
+}
+
+/// Appends a `route_batch` request frame with an explicit deadline budget
+/// (in milliseconds) shared by every pair.
+pub fn encode_route_batch_deadline(
+    out: &mut Vec<u8>,
+    dataset: &str,
+    pairs: &[(u32, u32)],
+    deadline_ms: Option<u32>,
+) {
     let mut w = Writer::new();
     w.str(dataset);
     w.u32(pairs.len() as u32);
     for &(s, d) in pairs {
         w.u32(s);
         w.u32(d);
+    }
+    if let Some(ms) = deadline_ms {
+        w.u32(ms);
     }
     write_frame(out, Opcode::RouteBatch as u8, w.as_slice());
 }
@@ -363,6 +402,8 @@ pub enum RouteReply {
     NoRoute,
     /// The request was shed; retry after backing off.
     Busy,
+    /// The request's deadline expired before it could be answered.
+    DeadlineExceeded,
     /// The request failed.
     Err(String),
 }
@@ -372,6 +413,7 @@ pub fn decode_route_reply(status: Status, payload: &[u8]) -> Result<RouteReply, 
     match status {
         Status::NoRoute => Ok(RouteReply::NoRoute),
         Status::Busy => Ok(RouteReply::Busy),
+        Status::DeadlineExceeded => Ok(RouteReply::DeadlineExceeded),
         Status::Err => {
             let mut r = Reader::new(payload);
             Ok(RouteReply::Err(
@@ -423,6 +465,56 @@ mod tests {
             }
             other => panic!("expected a frame, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn deadline_field_is_optional_and_trailing() {
+        let mut out = Vec::new();
+        encode_route_deadline(&mut out, "D1", 7, 42, Some(250));
+        match parse_frame(&out) {
+            FrameParse::Frame { kind, payload, .. } => {
+                assert_eq!(kind, Opcode::Route as u8);
+                let mut r = Reader::new(payload);
+                r.str("dataset", MAX_NAME).unwrap();
+                r.u32("src").unwrap();
+                r.u32("dst").unwrap();
+                assert!(!r.is_exhausted());
+                assert_eq!(r.u32("deadline_ms").unwrap(), 250);
+                assert!(r.is_exhausted());
+            }
+            other => panic!("expected a frame, got {other:?}"),
+        }
+        // The no-deadline encoder stays byte-compatible with PR 6 clients.
+        let mut bare = Vec::new();
+        encode_route(&mut bare, "D1", 7, 42);
+        let mut explicit_none = Vec::new();
+        encode_route_deadline(&mut explicit_none, "D1", 7, 42, None);
+        assert_eq!(bare, explicit_none);
+
+        let mut out = Vec::new();
+        encode_route_batch_deadline(&mut out, "D1", &[(1, 2), (3, 4)], Some(9));
+        match parse_frame(&out) {
+            FrameParse::Frame { payload, .. } => {
+                let mut r = Reader::new(payload);
+                r.str("dataset", MAX_NAME).unwrap();
+                let n = r.u32("n").unwrap();
+                for _ in 0..2 * n {
+                    r.u32("pair half").unwrap();
+                }
+                assert_eq!(r.u32("deadline_ms").unwrap(), 9);
+                assert!(r.is_exhausted());
+            }
+            other => panic!("expected a frame, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn deadline_status_roundtrips() {
+        assert_eq!(Status::from_u8(0x04), Some(Status::DeadlineExceeded));
+        assert_eq!(
+            decode_route_reply(Status::DeadlineExceeded, &[]).unwrap(),
+            RouteReply::DeadlineExceeded
+        );
     }
 
     #[test]

@@ -22,10 +22,10 @@
 //! | request | response |
 //! |---|---|
 //! | `ping` | `OK pong` |
-//! | `route <dataset> <src> <dst>` | `OK <strategy> <n> <v0> … <vn-1>` \| `NOROUTE` \| `BUSY` \| `ERR …` |
+//! | `route <dataset> <src> <dst> [<deadline_ms>]` | `OK <strategy> <n> <v0> … <vn-1>` \| `NOROUTE` \| `BUSY` \| `ERR deadline …` \| `ERR internal …` \| `ERR …` |
 //! | `route_batch <dataset> <s,d> [<s,d> …]` | `OK <total> <answered> <item> …` (item = `<strategy>:<n>` or `-`) |
 //! | `info <dataset>` | `OK dataset=… vertices=… edges=… regions=… connectors=… generation=…` |
-//! | `stats` | `OK uptime_ms=… connections=… queries=… answered=… errors=… reloads=… shed=… batches=… datasets=…` |
+//! | `stats` | `OK uptime_ms=… connections=… queries=… answered=… errors=… reloads=… shed=… batches=… deadline_exceeded=… panics_caught=… idle_reaped=… write_stalls=… rejected=… respawned=… datasets=…` |
 //! | `reload <dataset> <path>` | `OK dataset=… generation=…` \| `ERR reload failed: …` |
 //! | `shutdown` | `OK bye` (server drains and exits) |
 //!
@@ -33,7 +33,36 @@
 //! is atomic and only happens after the snapshot decoded and compiled
 //! cleanly.  `BUSY` means the dataset's bounded admission queue
 //! ([`queue`]) was full; the connection stays open and the request should
-//! be retried.
+//! be retried.  Both protocols report the same failure taxonomy: a route
+//! whose deadline expired answers `ERR deadline …` on the line protocol
+//! and [`frame::Status::DeadlineExceeded`] on the binary protocol; a route
+//! whose handler panicked answers `ERR internal …` / a binary
+//! [`frame::Status::Err`] whose message starts with `internal` — in every
+//! case request-scoped: the connection keeps serving.
+//!
+//! ## Operational behaviour
+//!
+//! The server is self-healing by construction (see [`ServerConfig`] for
+//! the knobs and the README's "Operational behaviour" section for the
+//! operator view):
+//!
+//! * **deadlines** — every route carries a budget (client-supplied or
+//!   [`ServerConfig::default_deadline`]), enforced at admission, at
+//!   batch-coalesce time (a batch never waits past its earliest member's
+//!   budget) and again before execution;
+//! * **panic isolation** — route execution runs under `catch_unwind`; a
+//!   panicking handler costs one request, never a worker thread, and a
+//!   watchdog respawns any event loop that dies anyway;
+//! * **connection hygiene** — idle connections are reaped, write-stalled
+//!   (slow-loris) readers are disconnected once their outbound backlog
+//!   exceeds a cap for too long, and accepts beyond
+//!   [`ServerConfig::max_connections`] are shed at accept time;
+//! * **graceful drain** — `shutdown` stops accepting, answers everything
+//!   already admitted, flushes outbound buffers, then exits, bounded by
+//!   [`ServerConfig::drain_deadline`];
+//! * **fault injection** — a deterministic [`faults::FaultPlan`] can be
+//!   installed to rehearse all of the above (tests + the `resilience`
+//!   bench section).
 //!
 //! ## Architecture
 //!
@@ -53,6 +82,7 @@
 
 #![warn(missing_docs)]
 
+pub mod faults;
 pub mod frame;
 pub mod queue;
 
@@ -64,14 +94,18 @@ mod smoke;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::Path;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use l2r_core::{ModelRegistry, QueryScratch, RouteResult, ScratchPool};
 use l2r_road_network::VertexId;
 
-pub use client::{route_reply_to_line, BatchItemReply, BinClient, Client, DatasetInfo};
+pub use client::{
+    route_reply_to_line, BatchItemReply, BinClient, Client, DatasetInfo, RetryPolicy,
+    DEFAULT_CLIENT_READ_TIMEOUT,
+};
+pub use faults::{FaultConfig, FaultCounters, FaultPlan};
 pub use load::{run_load, LoadConfig, LoadReport, Protocol};
 pub use queue::{DatasetQueue, DEFAULT_QUEUE_CAPACITY};
 pub use reactor::PARALLEL_BATCH_MIN;
@@ -82,6 +116,18 @@ pub const DEFAULT_WORKERS: usize = 4;
 
 /// Default flush threshold of the per-loop route batch.
 pub const DEFAULT_BATCH_MAX: usize = 64;
+
+/// Default per-request deadline granted to routes that carry none.
+pub const DEFAULT_DEADLINE: Duration = Duration::from_secs(5);
+
+/// Default idle-connection reaping timeout.
+pub const DEFAULT_IDLE_TIMEOUT: Duration = Duration::from_secs(60);
+
+/// Default cap on concurrently open connections per server.
+pub const DEFAULT_MAX_CONNECTIONS: usize = 65_536;
+
+/// How often the watchdog thread checks its event loops for panics.
+const WATCHDOG_TICK: Duration = Duration::from_millis(10);
 
 // ---------------------------------------------------------------------------
 // Configuration
@@ -103,6 +149,28 @@ pub struct ServerConfig {
     /// then form naturally from whatever arrived while the previous batch
     /// executed, adding no latency.
     pub batch_budget: Duration,
+    /// Deadline granted to route requests that do not carry their own.
+    /// Enforced at admission, at batch-coalesce time and before execution;
+    /// an expired request answers `DeadlineExceeded` / `ERR deadline`.
+    pub default_deadline: Duration,
+    /// Connections idle (no admitted work, nothing buffered in or out)
+    /// longer than this are reaped.  `Duration::ZERO` disables reaping.
+    pub idle_timeout: Duration,
+    /// A connection whose outbound buffer has exceeded
+    /// [`ServerConfig::write_stall_cap`] for longer than this is treated
+    /// as a slow-loris reader and disconnected.
+    pub write_stall_timeout: Duration,
+    /// Outbound-backlog size that arms write-stall detection.
+    pub write_stall_cap: usize,
+    /// Cap on concurrently open connections across all event loops;
+    /// accepts beyond it are shed (connection closed immediately).
+    pub max_connections: usize,
+    /// Hard bound on graceful drain: after `shutdown`, event loops finish
+    /// admitted requests and flush replies for at most this long.
+    pub drain_deadline: Duration,
+    /// Deterministic fault-injection plan (tests and chaos benches only;
+    /// `None` in production — every hook is then a cheap branch).
+    pub faults: Option<Arc<FaultPlan>>,
 }
 
 impl Default for ServerConfig {
@@ -112,6 +180,13 @@ impl Default for ServerConfig {
             queue_capacity: DEFAULT_QUEUE_CAPACITY,
             batch_max: DEFAULT_BATCH_MAX,
             batch_budget: Duration::ZERO,
+            default_deadline: DEFAULT_DEADLINE,
+            idle_timeout: DEFAULT_IDLE_TIMEOUT,
+            write_stall_timeout: Duration::from_secs(5),
+            write_stall_cap: 256 * 1024,
+            max_connections: DEFAULT_MAX_CONNECTIONS,
+            drain_deadline: Duration::from_secs(1),
+            faults: None,
         }
     }
 }
@@ -132,6 +207,12 @@ pub struct ServerStats {
     pub(crate) reloads: AtomicU64,
     pub(crate) shed: AtomicU64,
     pub(crate) batches: AtomicU64,
+    pub(crate) deadline_exceeded: AtomicU64,
+    pub(crate) panics_caught: AtomicU64,
+    pub(crate) idle_reaped: AtomicU64,
+    pub(crate) write_stalls: AtomicU64,
+    pub(crate) conns_rejected: AtomicU64,
+    pub(crate) workers_respawned: AtomicU64,
 }
 
 impl ServerStats {
@@ -145,6 +226,12 @@ impl ServerStats {
             reloads: AtomicU64::new(0),
             shed: AtomicU64::new(0),
             batches: AtomicU64::new(0),
+            deadline_exceeded: AtomicU64::new(0),
+            panics_caught: AtomicU64::new(0),
+            idle_reaped: AtomicU64::new(0),
+            write_stalls: AtomicU64::new(0),
+            conns_rejected: AtomicU64::new(0),
+            workers_respawned: AtomicU64::new(0),
         }
     }
 
@@ -182,6 +269,39 @@ impl ServerStats {
     pub fn batches(&self) -> u64 {
         self.batches.load(Ordering::Relaxed)
     }
+
+    /// Route requests that expired before they could be answered
+    /// (`DeadlineExceeded` / `ERR deadline`).
+    pub fn deadline_exceeded(&self) -> u64 {
+        self.deadline_exceeded.load(Ordering::Relaxed)
+    }
+
+    /// Handler panics converted into request-scoped `ERR internal`
+    /// replies by panic isolation.
+    pub fn panics_caught(&self) -> u64 {
+        self.panics_caught.load(Ordering::Relaxed)
+    }
+
+    /// Connections reaped for exceeding the idle timeout.
+    pub fn idle_reaped(&self) -> u64 {
+        self.idle_reaped.load(Ordering::Relaxed)
+    }
+
+    /// Connections disconnected by write-stall (slow-loris) detection.
+    pub fn write_stalls(&self) -> u64 {
+        self.write_stalls.load(Ordering::Relaxed)
+    }
+
+    /// Connections shed at accept time by the connection cap.
+    pub fn conns_rejected(&self) -> u64 {
+        self.conns_rejected.load(Ordering::Relaxed)
+    }
+
+    /// Event-loop threads respawned by the watchdog after dying to a
+    /// panic that escaped request-scoped isolation.
+    pub fn workers_respawned(&self) -> u64 {
+        self.workers_respawned.load(Ordering::Relaxed)
+    }
 }
 
 /// Everything the event loops share: the model registry, the scratch pool,
@@ -193,6 +313,10 @@ pub struct ServerState {
     pub(crate) stats: ServerStats,
     pub(crate) queues: queue::DatasetQueues,
     pub(crate) shutdown: AtomicBool,
+    /// Gauge of currently open connections across all event loops (the
+    /// accept-time connection cap works against this; it must return to
+    /// zero after every drain — tests assert no connection leaks).
+    pub(crate) open_conns: AtomicUsize,
 }
 
 impl ServerState {
@@ -209,6 +333,7 @@ impl ServerState {
             stats: ServerStats::new(),
             queues: queue::DatasetQueues::new(cfg.queue_capacity),
             shutdown: AtomicBool::new(false),
+            open_conns: AtomicUsize::new(0),
         }
     }
 
@@ -237,6 +362,13 @@ impl ServerState {
         self.scratch.created()
     }
 
+    /// Currently open connections across all event loops.  Returns to
+    /// exactly zero after a drain — a non-zero value with no clients
+    /// attached is a connection leak.
+    pub fn open_connections(&self) -> usize {
+        self.open_conns.load(Ordering::SeqCst)
+    }
+
     /// Whether shutdown has been requested.
     pub fn shutdown_requested(&self) -> bool {
         self.shutdown.load(Ordering::SeqCst)
@@ -257,7 +389,9 @@ impl ServerState {
             names.join(",")
         };
         format!(
-            "uptime_ms={} connections={} queries={} answered={} errors={} reloads={} shed={} batches={} datasets={datasets}",
+            "uptime_ms={} connections={} queries={} answered={} errors={} reloads={} shed={} \
+             batches={} deadline_exceeded={} panics_caught={} idle_reaped={} write_stalls={} \
+             rejected={} respawned={} datasets={datasets}",
             self.stats.started.elapsed().as_millis(),
             self.stats.connections(),
             self.stats.queries(),
@@ -266,6 +400,12 @@ impl ServerState {
             self.stats.reloads(),
             self.stats.shed(),
             self.stats.batches(),
+            self.stats.deadline_exceeded(),
+            self.stats.panics_caught(),
+            self.stats.idle_reaped(),
+            self.stats.write_stalls(),
+            self.stats.conns_rejected(),
+            self.stats.workers_respawned(),
         )
     }
 }
@@ -337,21 +477,45 @@ impl Server {
 
     /// Serves until shutdown is requested (by the `shutdown` command or
     /// [`ServerState::request_shutdown`] + a wake-up connection).  Blocks
-    /// the calling thread; the event loops run on scoped threads.
+    /// the calling thread; the event loops run on scoped threads, watched
+    /// by this thread: an event loop that dies to a panic (request-scoped
+    /// isolation should make that impossible, but belt *and* braces) is
+    /// respawned with a fresh listener clone, and the `workers_respawned`
+    /// counter records every such resurrection.
     pub fn run(self) -> io::Result<()> {
         self.listener.set_nonblocking(true)?;
-        let mut listeners = Vec::with_capacity(self.cfg.workers);
-        for _ in 0..self.cfg.workers {
-            listeners.push(self.listener.try_clone()?);
-        }
         let state = &self.state;
         let cfg = &self.cfg;
-        std::thread::scope(|scope| {
-            for listener in listeners {
-                scope.spawn(move || reactor::event_loop(listener, state, cfg));
+        let listener = &self.listener;
+        std::thread::scope(|scope| -> io::Result<()> {
+            let mut workers = Vec::with_capacity(cfg.workers);
+            for _ in 0..cfg.workers {
+                let clone = listener.try_clone()?;
+                workers.push(scope.spawn(move || reactor::event_loop(clone, state, cfg)));
             }
-        });
-        Ok(())
+            while !workers.is_empty() {
+                std::thread::sleep(WATCHDOG_TICK);
+                let mut alive = Vec::with_capacity(workers.len());
+                for worker in workers.drain(..) {
+                    if !worker.is_finished() {
+                        alive.push(worker);
+                        continue;
+                    }
+                    // A clean return means the loop saw the shutdown flag
+                    // and drained; a join error means it panicked.
+                    if worker.join().is_err() && !state.shutdown_requested() {
+                        state
+                            .stats
+                            .workers_respawned
+                            .fetch_add(1, Ordering::Relaxed);
+                        let clone = listener.try_clone()?;
+                        alive.push(scope.spawn(move || reactor::event_loop(clone, state, cfg)));
+                    }
+                }
+                workers = alive;
+            }
+            Ok(())
+        })
     }
 
     /// Runs the server on a background thread, returning immediately.
@@ -381,8 +545,23 @@ impl ServerHandle {
         wake_workers(self.addr, 1);
         match self.join.join() {
             Ok(result) => result,
-            Err(_) => Err(io::Error::other("server thread panicked")),
+            Err(payload) => Err(io::Error::other(format!(
+                "server thread panicked: {}",
+                panic_message(&payload)
+            ))),
         }
+    }
+}
+
+/// Best-effort extraction of a panic payload's message (panics carry
+/// `&str` or `String` in practice; anything else gets a placeholder).
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        s
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s
+    } else {
+        "<non-string panic payload>"
     }
 }
 
@@ -473,7 +652,10 @@ fn cmd_route<'a>(
     parts: &mut impl Iterator<Item = &'a str>,
 ) -> String {
     let Some(dataset) = parts.next() else {
-        return err(state, "usage: route <dataset> <src> <dst>".to_string());
+        return err(
+            state,
+            "usage: route <dataset> <src> <dst> [<deadline_ms>]".to_string(),
+        );
     };
     let (s, d) = match (
         parse_vertex(parts.next(), "source"),
@@ -482,9 +664,31 @@ fn cmd_route<'a>(
         (Ok(s), Ok(d)) => (s, d),
         (Err(e), _) | (_, Err(e)) => return err(state, e),
     };
+    let deadline_ms = match parts.next() {
+        None => None,
+        Some(raw) => match raw.parse::<u32>() {
+            Ok(ms) => Some(ms),
+            Err(_) => {
+                return err(
+                    state,
+                    format!("deadline `{raw}` is not a millisecond count"),
+                )
+            }
+        },
+    };
     let Some(engine) = state.registry.get(dataset) else {
         return err(state, format!("unknown dataset `{dataset}`"));
     };
+    // The inline path executes immediately, so only an already-spent
+    // budget can expire here; the reactor's admission/batch path does the
+    // full three-point enforcement.
+    if deadline_ms == Some(0) {
+        state
+            .stats
+            .deadline_exceeded
+            .fetch_add(1, Ordering::Relaxed);
+        return "ERR deadline exceeded".to_string();
+    }
     let result = engine.route(scratch, s, d);
     state.stats.queries.fetch_add(1, Ordering::Relaxed);
     if result.is_some() {
@@ -752,6 +956,7 @@ mod tests {
                 pipeline: 1,
                 requests_per_conn: 50,
                 seed: 7,
+                ..LoadConfig::default()
             },
         )
         .unwrap();

@@ -15,7 +15,7 @@ use std::io;
 use std::net::SocketAddr;
 use std::time::{Duration, Instant};
 
-use crate::client::{BinClient, Client};
+use crate::client::{BinClient, Client, RetryPolicy};
 use crate::frame::RouteReply;
 
 /// Driver threads the load generator multiplexes its connections over.
@@ -72,6 +72,12 @@ pub struct LoadConfig {
     pub requests_per_conn: usize,
     /// Seed of the per-connection query generator.
     pub seed: u64,
+    /// Make every `slow_every`-th connection a *slow client*: strict
+    /// request/response (no pipelining), each request written in two
+    /// fragments with a short stall between them.  `0` disables.
+    pub slow_every: usize,
+    /// Socket read timeout of every connection (`None` blocks forever).
+    pub read_timeout: Option<Duration>,
 }
 
 impl Default for LoadConfig {
@@ -83,6 +89,8 @@ impl Default for LoadConfig {
             pipeline: 1,
             requests_per_conn: 1000,
             seed: 0x51ED_5EED,
+            slow_every: 0,
+            read_timeout: Some(crate::client::DEFAULT_CLIENT_READ_TIMEOUT),
         }
     }
 }
@@ -96,8 +104,15 @@ pub struct LoadReport {
     pub answered: u64,
     /// Requests answered `NOROUTE`.
     pub noroutes: u64,
-    /// Requests answered `ERR` (must be 0 on a healthy run).
+    /// Requests answered `ERR` (must be 0 on a healthy run), excluding the
+    /// deadline and internal-error taxa counted separately below.
     pub errors: u64,
+    /// Requests answered "deadline exceeded" (`ERR deadline …` on the
+    /// ASCII protocol, the dedicated status on the binary protocol).
+    pub deadline_exceeded: u64,
+    /// Requests answered with an internal server error — an isolated
+    /// handler panic surfaced as `ERR internal …`.
+    pub internal_errors: u64,
     /// `BUSY` replies received; each one was retried until served.
     pub busy_retries: u64,
     /// Wall time of the whole run (excluding the connect phase).
@@ -135,6 +150,9 @@ impl Lcg {
     }
 }
 
+/// A connection's pre-drawn query list plus its slow-client flag.
+type ConnPlan = (VecDeque<(u32, u32)>, bool);
+
 /// One driven connection: either protocol behind a common send/receive
 /// surface.
 enum Wire {
@@ -145,6 +163,8 @@ enum Wire {
 struct DrivenConn {
     wire: Wire,
     dataset: String,
+    /// A slow client: strict request/response, fragmented stalling writes.
+    slow: bool,
     /// Queries not yet (re)issued.
     to_send: VecDeque<(u32, u32)>,
     /// Issued queries awaiting their in-order response, with send times.
@@ -157,6 +177,8 @@ impl DrivenConn {
         protocol: Protocol,
         dataset: &str,
         queries: VecDeque<(u32, u32)>,
+        read_timeout: Option<Duration>,
+        slow: bool,
     ) -> io::Result<DrivenConn> {
         // The server accepts in event-loop-sized gulps: a burst of
         // thousands of connects can transiently overflow the listener
@@ -164,8 +186,8 @@ impl DrivenConn {
         let deadline = Instant::now() + CONNECT_RETRY;
         let wire = loop {
             let attempt = match protocol {
-                Protocol::Ascii => Client::connect(addr).map(Wire::Ascii),
-                Protocol::Binary => BinClient::connect(addr).map(Wire::Binary),
+                Protocol::Ascii => Client::connect_with(addr, read_timeout).map(Wire::Ascii),
+                Protocol::Binary => BinClient::connect_with(addr, read_timeout).map(Wire::Binary),
             };
             match attempt {
                 Ok(wire) => break wire,
@@ -180,6 +202,7 @@ impl DrivenConn {
         Ok(DrivenConn {
             wire,
             dataset: dataset.to_string(),
+            slow,
             to_send: queries,
             inflight: VecDeque::new(),
         })
@@ -189,9 +212,14 @@ impl DrivenConn {
         self.to_send.is_empty() && self.inflight.is_empty()
     }
 
-    /// Puts up to `pipeline` requests in flight (one buffered write).
+    /// Puts up to `pipeline` requests in flight (one buffered write).  A
+    /// slow connection ignores the window (strict request/response) and
+    /// writes each request in two fragments with a stall between them —
+    /// the slow-loris shape the server's hygiene pass must tolerate for
+    /// well-behaved-but-slow peers.
     fn write_burst(&mut self, pipeline: usize, scratch: &mut Vec<u8>) -> io::Result<()> {
         scratch.clear();
+        let pipeline = if self.slow { 1 } else { pipeline };
         let now = Instant::now();
         while self.inflight.len() < pipeline {
             let Some((s, d)) = self.to_send.pop_front() else {
@@ -211,6 +239,23 @@ impl DrivenConn {
         if scratch.is_empty() {
             return Ok(());
         }
+        if self.slow && scratch.len() >= 2 {
+            let split = scratch.len() / 2;
+            let (head, tail) = (scratch[..split].to_vec(), scratch[split..].to_vec());
+            match &mut self.wire {
+                Wire::Ascii(c) => {
+                    c.send_bytes(&head)?;
+                    std::thread::sleep(Duration::from_millis(1));
+                    c.send_bytes(&tail)?;
+                }
+                Wire::Binary(c) => {
+                    c.send_raw(&head)?;
+                    std::thread::sleep(Duration::from_millis(1));
+                    c.send_raw(&tail)?;
+                }
+            }
+            return Ok(());
+        }
         match &mut self.wire {
             Wire::Ascii(c) => {
                 c.send_bytes(scratch)?;
@@ -228,6 +273,8 @@ impl DrivenConn {
                 Answered,
                 NoRoute,
                 Busy,
+                Deadline,
+                Internal,
                 Error,
             }
             let kind = match &mut self.wire {
@@ -239,6 +286,10 @@ impl DrivenConn {
                         Kind::NoRoute
                     } else if line.starts_with("BUSY") {
                         Kind::Busy
+                    } else if line.starts_with("ERR deadline") {
+                        Kind::Deadline
+                    } else if line.starts_with("ERR internal") {
+                        Kind::Internal
                     } else {
                         Kind::Error
                     }
@@ -249,6 +300,10 @@ impl DrivenConn {
                         Ok(RouteReply::Route { .. }) => Kind::Answered,
                         Ok(RouteReply::NoRoute) => Kind::NoRoute,
                         Ok(RouteReply::Busy) => Kind::Busy,
+                        Ok(RouteReply::DeadlineExceeded) => Kind::Deadline,
+                        Ok(RouteReply::Err(message)) if message.starts_with("internal") => {
+                            Kind::Internal
+                        }
                         Ok(RouteReply::Err(_)) | Err(_) => Kind::Error,
                     }
                 }
@@ -263,6 +318,8 @@ impl DrivenConn {
                     match kind {
                         Kind::Answered => out.answered += 1,
                         Kind::NoRoute => out.noroutes += 1,
+                        Kind::Deadline => out.deadline_exceeded += 1,
+                        Kind::Internal => out.internal_errors += 1,
                         _ => out.errors += 1,
                     }
                 }
@@ -278,6 +335,8 @@ struct DriverOutcome {
     answered: u64,
     noroutes: u64,
     errors: u64,
+    deadline_exceeded: u64,
+    internal_errors: u64,
     busy_retries: u64,
     error: Option<io::Error>,
 }
@@ -309,8 +368,9 @@ pub fn run_load(addr: SocketAddr, cfg: &LoadConfig) -> io::Result<LoadReport> {
     }
 
     // Pre-draw every connection's query list so the run is deterministic
-    // regardless of how connections land on driver threads.
-    let mut plans: Vec<VecDeque<(u32, u32)>> = Vec::with_capacity(connections);
+    // regardless of how connections land on driver threads.  Every
+    // `slow_every`-th connection is marked slow.
+    let mut plans: Vec<ConnPlan> = Vec::with_capacity(connections);
     for conn in 0..connections {
         let seed = cfg.seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(conn as u64 + 1));
         let mut rng = Lcg(seed);
@@ -323,12 +383,13 @@ pub fn run_load(addr: SocketAddr, cfg: &LoadConfig) -> io::Result<LoadReport> {
             }
             queries.push_back((s as u32, d as u32));
         }
-        plans.push(queries);
+        let slow = cfg.slow_every > 0 && (conn + 1) % cfg.slow_every == 0;
+        plans.push((queries, slow));
     }
 
     // Deal connections round-robin over the driver threads.
     let threads = connections.clamp(1, LOAD_DRIVER_THREADS);
-    let mut per_thread: Vec<Vec<VecDeque<(u32, u32)>>> = (0..threads).map(|_| Vec::new()).collect();
+    let mut per_thread: Vec<Vec<ConnPlan>> = (0..threads).map(|_| Vec::new()).collect();
     for (conn, plan) in plans.into_iter().enumerate() {
         per_thread[conn % threads].push(plan);
     }
@@ -341,15 +402,20 @@ pub fn run_load(addr: SocketAddr, cfg: &LoadConfig) -> io::Result<LoadReport> {
     let start_gate = std::sync::Barrier::new(threads + 1);
     let (outcomes, wall) = std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(threads);
-        for plans in per_thread {
+        for (driver, plans) in per_thread.into_iter().enumerate() {
             let dataset = cfg.dataset.clone();
             let protocol = cfg.protocol;
+            let read_timeout = cfg.read_timeout;
+            let mut backoff = RetryPolicy {
+                seed: cfg.seed ^ (driver as u64).wrapping_mul(0xD1B5_4A32_D192_ED03),
+                ..RetryPolicy::default()
+            };
             let start_gate = &start_gate;
             handles.push(scope.spawn(move || {
                 let mut out = DriverOutcome::default();
                 let mut conns = Vec::with_capacity(plans.len());
-                for plan in plans {
-                    match DrivenConn::connect(addr, protocol, &dataset, plan) {
+                for (plan, slow) in plans {
+                    match DrivenConn::connect(addr, protocol, &dataset, plan, read_timeout, slow) {
                         Ok(c) => conns.push(c),
                         Err(e) => {
                             out.error = Some(e);
@@ -363,6 +429,10 @@ pub fn run_load(addr: SocketAddr, cfg: &LoadConfig) -> io::Result<LoadReport> {
                 // Bulk-synchronous driving: first arm *every* connection
                 // with a window of requests, then drain them — so the
                 // server faces all of this thread's connections at once.
+                // Rounds that only collect `BUSY` push-back sleep a
+                // jittered, growing backoff instead of hammering the
+                // admission queue.
+                let mut busy_rounds = 0u32;
                 while conns.iter().any(|c| !c.done()) {
                     for conn in conns.iter_mut() {
                         if let Err(e) = conn.write_burst(pipeline, &mut scratch) {
@@ -370,11 +440,18 @@ pub fn run_load(addr: SocketAddr, cfg: &LoadConfig) -> io::Result<LoadReport> {
                             return out;
                         }
                     }
+                    let done_before = out.latencies_us.len();
                     for conn in conns.iter_mut() {
                         if let Err(e) = conn.read_all(&mut out) {
                             out.error = Some(e);
                             return out;
                         }
+                    }
+                    if out.latencies_us.len() == done_before {
+                        std::thread::sleep(backoff.backoff(busy_rounds.min(4)));
+                        busy_rounds += 1;
+                    } else {
+                        busy_rounds = 0;
                     }
                 }
                 out
@@ -391,6 +468,7 @@ pub fn run_load(addr: SocketAddr, cfg: &LoadConfig) -> io::Result<LoadReport> {
 
     let mut latencies: Vec<f64> = Vec::new();
     let (mut answered, mut noroutes, mut errors, mut busy_retries) = (0u64, 0u64, 0u64, 0u64);
+    let (mut deadline_exceeded, mut internal_errors) = (0u64, 0u64);
     for mut outcome in outcomes {
         if let Some(e) = outcome.error.take() {
             return Err(e);
@@ -399,6 +477,8 @@ pub fn run_load(addr: SocketAddr, cfg: &LoadConfig) -> io::Result<LoadReport> {
         answered += outcome.answered;
         noroutes += outcome.noroutes;
         errors += outcome.errors;
+        deadline_exceeded += outcome.deadline_exceeded;
+        internal_errors += outcome.internal_errors;
         busy_retries += outcome.busy_retries;
     }
     latencies.sort_by(|a, b| a.total_cmp(b));
@@ -413,6 +493,8 @@ pub fn run_load(addr: SocketAddr, cfg: &LoadConfig) -> io::Result<LoadReport> {
         answered,
         noroutes,
         errors,
+        deadline_exceeded,
+        internal_errors,
         busy_retries,
         wall,
         qps: if wall.as_secs_f64() > 0.0 {

@@ -15,17 +15,18 @@
 //! ```
 
 use std::path::PathBuf;
+use std::time::Duration;
 
-use l2r_serve::{
-    registry_from_specs, run_load, run_smoke_with, LoadConfig, Server, DEFAULT_WORKERS,
-};
+use l2r_serve::{registry_from_specs, run_load, run_smoke_with, LoadConfig, Server, ServerConfig};
 
 fn usage() -> ! {
     eprintln!(
         "usage:
   l2r-serve serve --listen <addr> [--workers N] --model NAME=PATH [--model NAME=PATH ...]
+                  [--deadline-ms D] [--idle-timeout-ms I] [--max-connections C] [--drain-ms G]
   l2r-serve load  --addr <addr> --dataset NAME [--protocol ascii|binary]
                   [--connections N] [--pipeline W] [--requests M-per-conn] [--seed S]
+                  [--slow-every K] [--timeout-ms T]
   l2r-serve smoke --model NAME=PATH [--model NAME=PATH ...] [--sweep N-connections]
 
 Model snapshots are the versioned `.l2r` files written by
@@ -75,12 +76,27 @@ fn main() {
 
 fn cmd_serve(mut args: impl Iterator<Item = String>) {
     let mut listen = "127.0.0.1:7878".to_string();
-    let mut workers = DEFAULT_WORKERS;
+    let mut cfg = ServerConfig::default();
     let mut specs: Vec<(String, PathBuf)> = Vec::new();
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--listen" => listen = parse_or_usage(args.next(), "--listen"),
-            "--workers" => workers = parse_or_usage(args.next(), "--workers"),
+            "--workers" => cfg.workers = parse_or_usage(args.next(), "--workers"),
+            "--deadline-ms" => {
+                cfg.default_deadline =
+                    Duration::from_millis(parse_or_usage(args.next(), "--deadline-ms"))
+            }
+            "--idle-timeout-ms" => {
+                cfg.idle_timeout =
+                    Duration::from_millis(parse_or_usage(args.next(), "--idle-timeout-ms"))
+            }
+            "--max-connections" => {
+                cfg.max_connections = parse_or_usage(args.next(), "--max-connections")
+            }
+            "--drain-ms" => {
+                cfg.drain_deadline =
+                    Duration::from_millis(parse_or_usage(args.next(), "--drain-ms"))
+            }
             "--model" => {
                 let spec: String = parse_or_usage(args.next(), "--model");
                 specs.push(parse_model_spec(&spec));
@@ -101,7 +117,8 @@ fn cmd_serve(mut args: impl Iterator<Item = String>) {
     for (name, path) in &specs {
         println!("loaded {name} from {}", path.display());
     }
-    let server = match Server::bind(&listen, workers, registry) {
+    let workers = cfg.workers;
+    let server = match Server::bind_with(&listen, cfg, registry) {
         Ok(s) => s,
         Err(e) => {
             eprintln!("failed to bind {listen}: {e}");
@@ -135,6 +152,13 @@ fn cmd_load(mut args: impl Iterator<Item = String>) {
             "--pipeline" => cfg.pipeline = parse_or_usage(args.next(), "--pipeline"),
             "--requests" => cfg.requests_per_conn = parse_or_usage(args.next(), "--requests"),
             "--seed" => cfg.seed = parse_or_usage(args.next(), "--seed"),
+            "--slow-every" => cfg.slow_every = parse_or_usage(args.next(), "--slow-every"),
+            "--timeout-ms" => {
+                cfg.read_timeout = Some(Duration::from_millis(parse_or_usage(
+                    args.next(),
+                    "--timeout-ms",
+                )))
+            }
             other => {
                 eprintln!("unknown flag `{other}`");
                 usage();
@@ -167,10 +191,15 @@ fn cmd_load(mut args: impl Iterator<Item = String>) {
                 report.qps, report.mean_us, report.p50_us, report.p99_us
             );
             println!(
-                "  answered {}, noroute {}, errors {}, busy retries {}",
-                report.answered, report.noroutes, report.errors, report.busy_retries
+                "  answered {}, noroute {}, errors {}, deadline {}, internal {}, busy retries {}",
+                report.answered,
+                report.noroutes,
+                report.errors,
+                report.deadline_exceeded,
+                report.internal_errors,
+                report.busy_retries
             );
-            if report.errors > 0 {
+            if report.errors > 0 || report.internal_errors > 0 {
                 std::process::exit(1);
             }
         }

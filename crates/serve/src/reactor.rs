@@ -41,7 +41,8 @@ use std::collections::{HashMap, VecDeque};
 use std::io::{self, Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::os::fd::AsRawFd;
-use std::sync::atomic::Ordering;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -50,9 +51,10 @@ use l2r_road_network::codec::Reader;
 use l2r_road_network::codec::Writer;
 use l2r_road_network::VertexId;
 
+use crate::faults::FaultPlan;
 use crate::frame::{self, FrameParse, Opcode, Status, MAX_BATCH_PAIRS, MAX_NAME, MAX_PATH};
 use crate::queue::DatasetQueue;
-use crate::{format_route_response, respond_line, ServerConfig, ServerState};
+use crate::{format_route_response, panic_message, respond_line, ServerConfig, ServerState};
 
 /// Batches at or above this size execute through [`Engine::route_many`]
 /// (parallel fan-out); smaller ones run serially on the loop's pooled
@@ -70,13 +72,13 @@ const RBUF_SOFT_MAX: usize = 2 * (1 << 20);
 /// Longest ASCII request line accepted, as in the PR 5 server.
 const MAX_REQUEST_LINE: usize = 64 * 1024;
 
-/// How long a shutting-down loop keeps flushing pending responses before
-/// dropping the remaining connections.
-const SHUTDOWN_GRACE: Duration = Duration::from_secs(1);
-
 /// Poll timeout while idle; bounds how stale the shutdown-flag check and
 /// the batch-budget clock can get.
 const IDLE_POLL_MS: i32 = 50;
+
+/// A coalescing batch flushes once its earliest member's deadline is this
+/// close, so batching never pushes a request past its budget.
+const DEADLINE_FLUSH_SLACK: Duration = Duration::from_millis(5);
 
 // ---------------------------------------------------------------------------
 // poll(2) FFI (the workspace is dependency-free, so no libc crate)
@@ -98,6 +100,33 @@ struct PollFd {
 
 extern "C" {
     fn poll(fds: *mut PollFd, nfds: std::ffi::c_ulong, timeout: std::ffi::c_int) -> i32;
+    fn setsockopt(
+        fd: std::ffi::c_int,
+        level: std::ffi::c_int,
+        optname: std::ffi::c_int,
+        optval: *const std::ffi::c_void,
+        optlen: u32,
+    ) -> std::ffi::c_int;
+}
+
+// Linux values (the poll constants above are equally platform-specific).
+const SOL_SOCKET: i32 = 1;
+const SO_SNDBUF: i32 = 7;
+
+/// Shrinks a socket's kernel send buffer (best effort) — fault plans use
+/// this to make write-stall detection testable with kilobytes of backlog
+/// instead of the default multi-megabyte buffers.
+fn set_sndbuf(stream: &TcpStream, bytes: u32) {
+    let v = bytes as i32;
+    unsafe {
+        setsockopt(
+            stream.as_raw_fd(),
+            SOL_SOCKET,
+            SO_SNDBUF,
+            &v as *const i32 as *const std::ffi::c_void,
+            std::mem::size_of::<i32>() as u32,
+        );
+    }
 }
 
 /// `poll(2)` with EINTR retry; a genuine failure is returned to the caller
@@ -150,6 +179,11 @@ struct Conn {
     base_seq: u64,
     /// Stop reading, flush what is pending, then close.
     closing: bool,
+    /// When the connection last delivered bytes (drives idle reaping).
+    last_activity: Instant,
+    /// When the outbound backlog first exceeded the write-stall cap
+    /// (`None` while below it); drives slow-loris disconnection.
+    wstall_since: Option<Instant>,
 }
 
 impl Conn {
@@ -165,6 +199,8 @@ impl Conn {
             pending: VecDeque::new(),
             base_seq: 0,
             closing: false,
+            last_activity: Instant::now(),
+            wstall_since: None,
         }
     }
 
@@ -203,15 +239,24 @@ impl Conn {
     }
 
     /// Reads until `WouldBlock`, EOF, or the soft input cap.  Returns
-    /// `Ok(true)` on EOF.
-    fn try_read(&mut self, chunk: &mut [u8]) -> io::Result<bool> {
+    /// `Ok(true)` on EOF.  An injected short read delivers only a few
+    /// bytes and returns early, so the parser sees a genuine fragment.
+    fn try_read(&mut self, chunk: &mut [u8], faults: Option<&FaultPlan>) -> io::Result<bool> {
         loop {
             if self.unparsed() >= RBUF_SOFT_MAX {
                 return Ok(false);
             }
-            match self.stream.read(chunk) {
+            let cap = faults.and_then(|f| f.short_read_cap());
+            let window = cap.unwrap_or(chunk.len()).min(chunk.len());
+            match self.stream.read(&mut chunk[..window]) {
                 Ok(0) => return Ok(true),
-                Ok(n) => self.rbuf.extend_from_slice(&chunk[..n]),
+                Ok(n) => {
+                    self.rbuf.extend_from_slice(&chunk[..n]);
+                    self.last_activity = Instant::now();
+                    if cap.is_some() {
+                        return Ok(false);
+                    }
+                }
                 Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(false),
                 Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
                 Err(e) => return Err(e),
@@ -219,12 +264,24 @@ impl Conn {
         }
     }
 
-    /// Writes as much of `wbuf` as the socket accepts right now.
-    fn try_write(&mut self) -> io::Result<()> {
+    /// Writes as much of `wbuf` as the socket accepts right now.  An
+    /// injected short write flushes only a few bytes and stops, leaving
+    /// the rest buffered for the next readiness round.
+    fn try_write(&mut self, faults: Option<&FaultPlan>) -> io::Result<()> {
         while self.wpos < self.wbuf.len() {
-            match self.stream.write(&self.wbuf[self.wpos..]) {
+            let cap = faults.and_then(|f| f.short_write_cap());
+            let end = match cap {
+                Some(c) => (self.wpos + c).min(self.wbuf.len()),
+                None => self.wbuf.len(),
+            };
+            match self.stream.write(&self.wbuf[self.wpos..end]) {
                 Ok(0) => return Err(io::ErrorKind::WriteZero.into()),
-                Ok(n) => self.wpos += n,
+                Ok(n) => {
+                    self.wpos += n;
+                    if cap.is_some() {
+                        break;
+                    }
+                }
                 Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
                 Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
                 Err(e) => return Err(e),
@@ -263,6 +320,9 @@ struct BatchItem {
     queue: Arc<DatasetQueue>,
     src: VertexId,
     dst: VertexId,
+    /// When this request's budget runs out; checked again at execution and
+    /// before the reply is filled.
+    deadline: Instant,
 }
 
 /// The loop-wide batch of admitted route queries.
@@ -270,6 +330,8 @@ struct Batch {
     items: Vec<BatchItem>,
     /// When the oldest item was enqueued (drives the latency budget).
     since: Option<Instant>,
+    /// The earliest member deadline: coalescing never waits past it.
+    earliest_deadline: Option<Instant>,
 }
 
 impl Batch {
@@ -277,8 +339,20 @@ impl Batch {
         if self.items.is_empty() {
             self.since = Some(Instant::now());
         }
+        self.earliest_deadline = Some(match self.earliest_deadline {
+            Some(d) => d.min(item.deadline),
+            None => item.deadline,
+        });
         self.items.push(item);
     }
+}
+
+/// The absolute deadline of a request given its optional wire budget.
+fn request_deadline(cfg: &ServerConfig, deadline_ms: Option<u32>) -> Instant {
+    let budget = deadline_ms
+        .map(|ms| Duration::from_millis(ms as u64))
+        .unwrap_or(cfg.default_deadline);
+    Instant::now() + budget
 }
 
 /// Encodes a route answer for the connection's protocol.
@@ -326,6 +400,24 @@ fn encode_busy(protocol: Protocol) -> Vec<u8> {
     }
 }
 
+/// The expired-budget reply for the connection's protocol (both sides of
+/// the taxonomy table: `DeadlineExceeded` frame / `ERR deadline` line).
+fn encode_deadline_exceeded(protocol: Protocol) -> Vec<u8> {
+    match protocol {
+        Protocol::Binary => binary_frame(Status::DeadlineExceeded, &[]),
+        _ => b"ERR deadline exceeded\n".to_vec(),
+    }
+}
+
+/// The request-scoped internal-failure reply (`Err` frame whose message
+/// starts with `internal` / `ERR internal …` line).
+fn encode_route_error(protocol: Protocol, message: &str) -> Vec<u8> {
+    match protocol {
+        Protocol::Binary => binary_err(message),
+        _ => format!("ERR {message}\n").into_bytes(),
+    }
+}
+
 /// A binary response frame carrying just a status and a payload.
 fn binary_frame(status: Status, payload: &[u8]) -> Vec<u8> {
     let mut out = Vec::new();
@@ -340,33 +432,85 @@ fn binary_err(message: &str) -> Vec<u8> {
     binary_frame(Status::Err, w.as_slice())
 }
 
+/// Fills a batch item's response slot if its connection is still the one
+/// that issued the request (the generation tag defeats index reuse).
+fn fill_outcome(
+    conns: &mut [Option<Conn>],
+    item: &BatchItem,
+    encode: impl FnOnce(Protocol) -> Vec<u8>,
+) {
+    let live = conns
+        .get_mut(item.conn)
+        .and_then(|slot| slot.as_mut())
+        .filter(|c| c.id == item.conn_id);
+    if let Some(conn) = live {
+        let bytes = encode(conn.protocol);
+        conn.fill_slot(item.seq, bytes);
+    }
+}
+
+/// Runs one route under panic isolation, with fault hooks.  A handler
+/// panic costs exactly this request: the (possibly poisoned) scratch is
+/// discarded, `panics_caught` counts the catch, and the caller gets a
+/// request-scoped `internal` error message.
+fn isolated_route(
+    state: &ServerState,
+    faults: Option<&FaultPlan>,
+    engine: &Engine,
+    scratch: &mut QueryScratch,
+    src: VertexId,
+    dst: VertexId,
+) -> Result<Option<RouteResult>, String> {
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        if let Some(f) = faults {
+            if let Some(latency) = f.inject_handler_latency() {
+                std::thread::sleep(latency);
+            }
+            if f.inject_handler_panic() {
+                panic!("injected handler fault");
+            }
+        }
+        engine.route(scratch, src, dst)
+    }));
+    match outcome {
+        Ok(result) => Ok(result),
+        Err(payload) => {
+            // Mid-search state is unusable after an unwind; start fresh
+            // (a plain swap, so the pool's created count stays put).
+            *scratch = QueryScratch::new();
+            state.stats.panics_caught.fetch_add(1, Ordering::Relaxed);
+            Err(format!(
+                "internal: handler panicked: {}",
+                panic_message(&payload)
+            ))
+        }
+    }
+}
+
 /// Executes and answers every queued route query, releasing admissions.
+/// Deadlines are enforced per item before *and* after execution; handler
+/// panics are confined to the item (serial path) or the engine group
+/// (parallel path) that raised them.
 fn flush_batch(
     state: &ServerState,
+    faults: Option<&FaultPlan>,
     batch: &mut Batch,
     conns: &mut [Option<Conn>],
     scratch: &mut QueryScratch,
 ) {
     if batch.items.is_empty() {
         batch.since = None;
+        batch.earliest_deadline = None;
         return;
     }
     let items = std::mem::take(&mut batch.items);
     batch.since = None;
+    batch.earliest_deadline = None;
     state.stats.batches.fetch_add(1, Ordering::Relaxed);
 
     let mut executed = 0u64;
     let mut answered = 0u64;
-    let fill = |conns: &mut [Option<Conn>], item: &BatchItem, result: &Option<RouteResult>| {
-        let live = conns
-            .get_mut(item.conn)
-            .and_then(|slot| slot.as_mut())
-            .filter(|c| c.id == item.conn_id);
-        if let Some(conn) = live {
-            let bytes = encode_route_result(conn.protocol, result);
-            conn.fill_slot(item.seq, bytes);
-        }
-    };
+    let mut expired = 0u64;
 
     if items.len() < PARALLEL_BATCH_MIN {
         // Small batch: serial on the loop's pooled scratch — no per-batch
@@ -377,23 +521,72 @@ fn flush_batch(
                 .and_then(|slot| slot.as_ref())
                 .is_some_and(|c| c.id == item.conn_id);
             if alive {
-                let result = item.engine.route(scratch, item.src, item.dst);
-                executed += 1;
-                if result.is_some() {
-                    answered += 1;
+                if Instant::now() >= item.deadline {
+                    expired += 1;
+                    fill_outcome(conns, item, encode_deadline_exceeded);
+                } else {
+                    match isolated_route(state, faults, &item.engine, scratch, item.src, item.dst) {
+                        Ok(result) => {
+                            executed += 1;
+                            if Instant::now() >= item.deadline {
+                                expired += 1;
+                                fill_outcome(conns, item, encode_deadline_exceeded);
+                            } else {
+                                if result.is_some() {
+                                    answered += 1;
+                                }
+                                fill_outcome(conns, item, |p| encode_route_result(p, &result));
+                            }
+                        }
+                        Err(message) => {
+                            fill_outcome(conns, item, |p| encode_route_error(p, &message));
+                        }
+                    }
                 }
-                fill(conns, item, &result);
             }
             item.queue.release(1);
         }
     } else {
-        // Large batch: group by engine and fan out through `route_many`.
+        // Large batch: resolve expiry and injected faults per item first,
+        // then group the survivors by engine and fan out through
+        // `route_many`.  (Injected faults are drawn per query here too, so
+        // `panics_caught` accounting matches the serial path exactly; a
+        // *real* panic inside the fan-out fails its whole engine group —
+        // the price of sharing one parallel execution.)
+        let now = Instant::now();
+        let mut runnable = vec![true; items.len()];
+        for (i, item) in items.iter().enumerate() {
+            let alive = conns
+                .get(item.conn)
+                .and_then(|slot| slot.as_ref())
+                .is_some_and(|c| c.id == item.conn_id);
+            if !alive {
+                runnable[i] = false;
+            } else if now >= item.deadline {
+                runnable[i] = false;
+                expired += 1;
+                fill_outcome(conns, item, encode_deadline_exceeded);
+            } else if let Some(f) = faults {
+                if let Some(latency) = f.inject_handler_latency() {
+                    std::thread::sleep(latency);
+                }
+                if f.inject_handler_panic() {
+                    runnable[i] = false;
+                    state.stats.panics_caught.fetch_add(1, Ordering::Relaxed);
+                    fill_outcome(conns, item, |p| {
+                        encode_route_error(p, "internal: handler panicked: injected handler fault")
+                    });
+                }
+            }
+        }
         let mut groups: HashMap<usize, Vec<usize>> = HashMap::new();
         for (i, item) in items.iter().enumerate() {
-            groups
-                .entry(Arc::as_ptr(&item.engine) as usize)
-                .or_default()
-                .push(i);
+            if runnable[i] {
+                groups
+                    .entry(Arc::as_ptr(&item.engine) as usize)
+                    .or_default()
+                    .push(i);
+            }
         }
         for indices in groups.values() {
             let engine = &items[indices[0]].engine;
@@ -401,13 +594,29 @@ fn flush_batch(
                 .iter()
                 .map(|&i| (items[i].src, items[i].dst))
                 .collect();
-            let results = engine.route_many(&pairs);
-            executed += pairs.len() as u64;
-            for (&i, result) in indices.iter().zip(results.iter()) {
-                if result.is_some() {
-                    answered += 1;
+            match catch_unwind(AssertUnwindSafe(|| engine.route_many(&pairs))) {
+                Ok(results) => {
+                    executed += pairs.len() as u64;
+                    for (&i, result) in indices.iter().zip(results.iter()) {
+                        if Instant::now() >= items[i].deadline {
+                            expired += 1;
+                            fill_outcome(conns, &items[i], encode_deadline_exceeded);
+                        } else {
+                            if result.is_some() {
+                                answered += 1;
+                            }
+                            fill_outcome(conns, &items[i], |p| encode_route_result(p, result));
+                        }
+                    }
                 }
-                fill(conns, &items[i], result);
+                Err(payload) => {
+                    state.stats.panics_caught.fetch_add(1, Ordering::Relaxed);
+                    let message =
+                        format!("internal: handler panicked: {}", panic_message(&payload));
+                    for &i in indices {
+                        fill_outcome(conns, &items[i], |p| encode_route_error(p, &message));
+                    }
+                }
             }
         }
         for item in &items {
@@ -416,6 +625,10 @@ fn flush_batch(
     }
     state.stats.queries.fetch_add(executed, Ordering::Relaxed);
     state.stats.answered.fetch_add(answered, Ordering::Relaxed);
+    state
+        .stats
+        .deadline_exceeded
+        .fetch_add(expired, Ordering::Relaxed);
 }
 
 // ---------------------------------------------------------------------------
@@ -431,7 +644,9 @@ enum Progress {
     BatchFull,
 }
 
-/// Admits one route query into the batch (or answers `BUSY`).
+/// Admits one route query into the batch (or answers `BUSY`; an already
+/// expired deadline answers `DeadlineExceeded` without costing a queue
+/// slot — admission-time enforcement).
 #[allow(clippy::too_many_arguments)]
 fn enqueue_route(
     state: &ServerState,
@@ -442,7 +657,17 @@ fn enqueue_route(
     engine: Arc<Engine>,
     src: VertexId,
     dst: VertexId,
+    deadline: Instant,
 ) {
+    if Instant::now() >= deadline {
+        state
+            .stats
+            .deadline_exceeded
+            .fetch_add(1, Ordering::Relaxed);
+        let reply = encode_deadline_exceeded(conn.protocol);
+        conn.push_response(reply);
+        return;
+    }
     let queue = state.queues.get(dataset);
     if !queue.try_admit(1) {
         state.stats.shed.fetch_add(1, Ordering::Relaxed);
@@ -459,12 +684,15 @@ fn enqueue_route(
         queue,
         src,
         dst,
+        deadline,
     });
 }
 
 /// Handles one ASCII request line.  Returns `true` if it was `shutdown`.
+#[allow(clippy::too_many_arguments)]
 fn handle_ascii_line(
     state: &ServerState,
+    cfg: &ServerConfig,
     batch: &mut Batch,
     conn: &mut Conn,
     ci: usize,
@@ -478,29 +706,63 @@ fn handle_ascii_line(
     // Fast path: a well-formed `route` on a known dataset goes through
     // admission + batching; everything else (including malformed routes,
     // which need the protocol's exact ERR lines) runs inline.
-    let mut parts = request.split_whitespace();
-    if parts.next() == Some("route") {
-        if let (Some(dataset), Some(s), Some(d), None) =
-            (parts.next(), parts.next(), parts.next(), parts.next())
-        {
-            if let (Ok(s), Ok(d)) = (s.parse::<u32>(), d.parse::<u32>()) {
-                if let Some(engine) = state.registry.get(dataset) {
-                    enqueue_route(
-                        state,
-                        batch,
-                        conn,
-                        ci,
-                        dataset,
-                        engine,
-                        VertexId(s),
-                        VertexId(d),
-                    );
-                    return false;
-                }
-            }
+    'fast: {
+        let mut parts = request.split_whitespace();
+        if parts.next() != Some("route") {
+            break 'fast;
         }
+        let (Some(dataset), Some(s), Some(d)) = (parts.next(), parts.next(), parts.next()) else {
+            break 'fast;
+        };
+        let deadline_tok = parts.next();
+        if parts.next().is_some() {
+            break 'fast;
+        }
+        let (Ok(s), Ok(d)) = (s.parse::<u32>(), d.parse::<u32>()) else {
+            break 'fast;
+        };
+        let deadline_ms = match deadline_tok {
+            None => None,
+            Some(raw) => match raw.parse::<u32>() {
+                Ok(ms) => Some(ms),
+                Err(_) => break 'fast,
+            },
+        };
+        let Some(engine) = state.registry.get(dataset) else {
+            break 'fast;
+        };
+        let deadline = request_deadline(cfg, deadline_ms);
+        enqueue_route(
+            state,
+            batch,
+            conn,
+            ci,
+            dataset,
+            engine,
+            VertexId(s),
+            VertexId(d),
+            deadline,
+        );
+        return false;
     }
-    let (response, shutdown) = respond_line(state, scratch, request);
+    // Inline commands run under the same panic isolation as batched
+    // routes: a panicking handler answers `ERR internal …` and the
+    // connection (and loop) live on.
+    let outcome = catch_unwind(AssertUnwindSafe(|| respond_line(state, scratch, request)));
+    let (response, shutdown) = match outcome {
+        Ok(pair) => pair,
+        Err(payload) => {
+            *scratch = QueryScratch::new();
+            state.stats.panics_caught.fetch_add(1, Ordering::Relaxed);
+            (
+                format!(
+                    "ERR internal: handler panicked: {}",
+                    panic_message(&payload)
+                ),
+                false,
+            )
+        }
+    };
     let mut bytes = response.into_bytes();
     bytes.push(b'\n');
     conn.push_response(bytes);
@@ -508,8 +770,11 @@ fn handle_ascii_line(
 }
 
 /// Handles one well-framed binary request.  Returns `true` on `shutdown`.
+#[allow(clippy::too_many_arguments)]
 fn handle_frame(
     state: &ServerState,
+    cfg: &ServerConfig,
+    faults: Option<&FaultPlan>,
     batch: &mut Batch,
     conn: &mut Conn,
     ci: usize,
@@ -535,20 +800,29 @@ fn handle_frame(
                 let dataset = r.str("route dataset", MAX_NAME)?;
                 let src = r.u32("route source")?;
                 let dst = r.u32("route destination")?;
-                Ok::<_, l2r_road_network::codec::CodecError>((dataset, src, dst))
+                let deadline_ms = if r.is_exhausted() {
+                    None
+                } else {
+                    Some(r.u32("route deadline")?)
+                };
+                Ok::<_, l2r_road_network::codec::CodecError>((dataset, src, dst, deadline_ms))
             })();
             match decoded {
-                Ok((dataset, src, dst)) => match state.registry.get(dataset) {
-                    Some(engine) => enqueue_route(
-                        state,
-                        batch,
-                        conn,
-                        ci,
-                        dataset,
-                        engine,
-                        VertexId(src),
-                        VertexId(dst),
-                    ),
+                Ok((dataset, src, dst, deadline_ms)) => match state.registry.get(dataset) {
+                    Some(engine) => {
+                        let deadline = request_deadline(cfg, deadline_ms);
+                        enqueue_route(
+                            state,
+                            batch,
+                            conn,
+                            ci,
+                            dataset,
+                            engine,
+                            VertexId(src),
+                            VertexId(dst),
+                            deadline,
+                        );
+                    }
                     None => fail(conn, format!("unknown dataset `{dataset}`")),
                 },
                 Err(e) => fail(conn, format!("bad route payload: {e}")),
@@ -568,9 +842,14 @@ fn handle_frame(
                 for _ in 0..n {
                     pairs.push((r.u32("batch source")?, r.u32("batch destination")?));
                 }
-                Ok((dataset, pairs))
+                let deadline_ms = if r.is_exhausted() {
+                    None
+                } else {
+                    Some(r.u32("batch deadline")?)
+                };
+                Ok((dataset, pairs, deadline_ms))
             })();
-            let (dataset, pairs) = match decoded {
+            let (dataset, pairs, deadline_ms) = match decoded {
                 Ok(v) => v,
                 Err(e) => {
                     fail(conn, format!("bad route_batch payload: {e}"));
@@ -581,6 +860,17 @@ fn handle_frame(
                 fail(conn, format!("unknown dataset `{dataset}`"));
                 return false;
             };
+            // The shared budget is enforced for the batch as a whole: if
+            // it is already spent, every pair is expired (no queue slots).
+            let deadline = request_deadline(cfg, deadline_ms);
+            if Instant::now() >= deadline {
+                state
+                    .stats
+                    .deadline_exceeded
+                    .fetch_add(pairs.len() as u64, Ordering::Relaxed);
+                conn.push_response(encode_deadline_exceeded(conn.protocol));
+                return false;
+            }
             // A client-side batch executes inline as one unit: it must win
             // admission for all its queries or be shed as a whole.
             let queue = state.queues.get(&dataset);
@@ -595,10 +885,13 @@ fn handle_frame(
             let mut w = Writer::new();
             w.u32(pairs.len() as u32);
             let mut answered = 0u32;
+            let mut executed = 0u64;
             let mut body = Writer::new();
+            let mut internal: Option<String> = None;
             for &(s, d) in &pairs {
-                match engine.route(scratch, VertexId(s), VertexId(d)) {
-                    Some(result) => {
+                match isolated_route(state, faults, &engine, scratch, VertexId(s), VertexId(d)) {
+                    Ok(Some(result)) => {
+                        executed += 1;
                         answered += 1;
                         let strategy = RouteStrategy::ALL
                             .iter()
@@ -608,25 +901,34 @@ fn handle_frame(
                         body.u8(strategy);
                         body.u32(result.path.vertices().len() as u32);
                     }
-                    None => {
+                    Ok(None) => {
+                        executed += 1;
                         body.u8(u8::MAX);
                         body.u32(0);
+                    }
+                    // The batch reply format has no per-item error slot, so
+                    // the first panic fails the whole batch request-scoped.
+                    Err(message) => {
+                        internal = Some(message);
+                        break;
                     }
                 }
             }
             queue.release(pairs.len());
-            state
-                .stats
-                .queries
-                .fetch_add(pairs.len() as u64, Ordering::Relaxed);
+            state.stats.queries.fetch_add(executed, Ordering::Relaxed);
             state
                 .stats
                 .answered
                 .fetch_add(answered as u64, Ordering::Relaxed);
-            w.u32(answered);
-            let mut payload = w.into_vec();
-            payload.extend_from_slice(body.as_slice());
-            conn.push_response(binary_frame(Status::Ok, &payload));
+            match internal {
+                Some(message) => conn.push_response(binary_err(&message)),
+                None => {
+                    w.u32(answered);
+                    let mut payload = w.into_vec();
+                    payload.extend_from_slice(body.as_slice());
+                    conn.push_response(binary_frame(Status::Ok, &payload));
+                }
+            }
         }
         Opcode::Info => match r.str("info dataset", MAX_NAME) {
             Ok(dataset) => match state.registry.get(dataset) {
@@ -684,6 +986,7 @@ fn handle_frame(
 fn process_conn(
     state: &ServerState,
     cfg: &ServerConfig,
+    faults: Option<&FaultPlan>,
     batch: &mut Batch,
     conn: &mut Conn,
     ci: usize,
@@ -713,7 +1016,7 @@ fn process_conn(
                 };
                 let line = String::from_utf8_lossy(&buf[..nl]).into_owned();
                 conn.rpos += nl + 1;
-                if handle_ascii_line(state, batch, conn, ci, scratch, &line) {
+                if handle_ascii_line(state, cfg, batch, conn, ci, scratch, &line) {
                     conn.closing = true;
                     state.request_shutdown();
                 }
@@ -730,7 +1033,7 @@ fn process_conn(
                     // small; responses dominate traffic).
                     let payload = payload.to_vec();
                     conn.rpos += consumed;
-                    if handle_frame(state, batch, conn, ci, scratch, kind, &payload) {
+                    if handle_frame(state, cfg, faults, batch, conn, ci, scratch, kind, &payload) {
                         conn.closing = true;
                         state.request_shutdown();
                     }
@@ -755,18 +1058,63 @@ fn process_conn(
 // The event loop
 // ---------------------------------------------------------------------------
 
+/// Keeps the server-wide open-connection gauge honest for one event loop:
+/// every accept adds, every drop subtracts, and — critically — an unwinding
+/// loop (injected worker kill, or a bug that escapes request isolation)
+/// subtracts everything it still owned on `Drop`, so a respawned worker
+/// starts from a truthful gauge and drains leave it at exactly zero.
+struct OpenConns<'a> {
+    gauge: &'a AtomicUsize,
+    owned: usize,
+}
+
+impl<'a> OpenConns<'a> {
+    fn new(gauge: &'a AtomicUsize) -> OpenConns<'a> {
+        OpenConns { gauge, owned: 0 }
+    }
+
+    /// Claims a connection slot unless the server-wide cap is reached.
+    fn try_add(&mut self, cap: usize) -> bool {
+        let won = self
+            .gauge
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| {
+                (n < cap).then_some(n + 1)
+            })
+            .is_ok();
+        if won {
+            self.owned += 1;
+        }
+        won
+    }
+
+    fn remove(&mut self) {
+        debug_assert!(self.owned > 0);
+        self.owned -= 1;
+        self.gauge.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+impl Drop for OpenConns<'_> {
+    fn drop(&mut self) {
+        self.gauge.fetch_sub(self.owned, Ordering::SeqCst);
+    }
+}
+
 /// Runs one event loop until shutdown completes.  `workers` of these share
 /// the (non-blocking) listener.
 pub(crate) fn event_loop(listener: TcpListener, state: &ServerState, cfg: &ServerConfig) {
     let _ = listener.set_nonblocking(true);
+    let faults = cfg.faults.as_deref();
     // Exactly one pooled scratch per event loop, for the life of the loop:
     // peak pool size can never exceed the worker count.
     let mut scratch = state.scratch.acquire();
     let mut conns: Vec<Option<Conn>> = Vec::new();
     let mut free: Vec<usize> = Vec::new();
+    let mut open = OpenConns::new(&state.open_conns);
     let mut batch = Batch {
         items: Vec::new(),
         since: None,
+        earliest_deadline: None,
     };
     let mut pollfds: Vec<PollFd> = Vec::new();
     let mut poll_conns: Vec<usize> = Vec::new();
@@ -777,7 +1125,8 @@ pub(crate) fn event_loop(listener: TcpListener, state: &ServerState, cfg: &Serve
     loop {
         let shutting_down = state.shutdown_requested();
         if shutting_down {
-            let deadline = *drain_deadline.get_or_insert_with(|| Instant::now() + SHUTDOWN_GRACE);
+            let deadline =
+                *drain_deadline.get_or_insert_with(|| Instant::now() + cfg.drain_deadline);
             let all_idle = conns.iter().flatten().all(|c| c.wbuf.is_empty())
                 && batch.items.is_empty()
                 && conns.iter().flatten().all(|c| c.pending.is_empty());
@@ -815,9 +1164,18 @@ pub(crate) fn event_loop(listener: TcpListener, state: &ServerState, cfg: &Serve
         let timeout_ms = if shutting_down {
             5
         } else if !batch.items.is_empty() {
-            // A held batch caps the wait at its remaining latency budget.
+            // A held batch caps the wait at its remaining latency budget —
+            // and never waits past its earliest member's deadline.
             let elapsed = batch.since.map(|t| t.elapsed()).unwrap_or_default();
-            let left = cfg.batch_budget.saturating_sub(elapsed);
+            let budget_left = cfg.batch_budget.saturating_sub(elapsed);
+            let deadline_left = batch
+                .earliest_deadline
+                .map(|d| {
+                    d.saturating_duration_since(Instant::now())
+                        .saturating_sub(DEADLINE_FLUSH_SLACK)
+                })
+                .unwrap_or(budget_left);
+            let left = budget_left.min(deadline_left);
             (left.as_millis() as i32).clamp(1, IDLE_POLL_MS)
         } else {
             IDLE_POLL_MS
@@ -831,9 +1189,30 @@ pub(crate) fn event_loop(listener: TcpListener, state: &ServerState, cfg: &Serve
             loop {
                 match listener.accept() {
                     Ok((stream, _)) => {
-                        if shutting_down {
+                        // Re-check the flag per accept: a drain that began
+                        // mid-burst must refuse the rest of the burst.
+                        if state.shutdown_requested() {
                             // Keep draining the backlog so the listener
                             // does not stay readable all through shutdown.
+                            drop(stream);
+                            continue;
+                        }
+                        if let Some(f) = faults {
+                            if f.inject_worker_kill() {
+                                panic!("injected worker kill");
+                            }
+                            if f.inject_conn_drop() {
+                                drop(stream);
+                                continue;
+                            }
+                            if let Some(bytes) = f.config().sndbuf {
+                                set_sndbuf(&stream, bytes);
+                            }
+                        }
+                        if !open.try_add(cfg.max_connections) {
+                            // Accept-time shedding: over the cap, close
+                            // immediately rather than queue unbounded fds.
+                            state.stats.conns_rejected.fetch_add(1, Ordering::Relaxed);
                             drop(stream);
                             continue;
                         }
@@ -871,20 +1250,23 @@ pub(crate) fn event_loop(listener: TcpListener, state: &ServerState, cfg: &Serve
                 let Some(conn) = conns[ci].as_mut() else {
                     continue;
                 };
-                match conn.try_read(&mut chunk) {
+                match conn.try_read(&mut chunk, faults) {
                     Ok(e) => eof = e,
                     Err(_) => {
                         // Hard read error (reset): nothing more to deliver.
                         conns[ci] = None;
+                        open.remove();
                         free.push(ci);
                         continue;
                     }
                 }
             }
             while let Some(conn) = conns[ci].as_mut() {
-                match process_conn(state, cfg, &mut batch, conn, ci, &mut scratch) {
+                match process_conn(state, cfg, faults, &mut batch, conn, ci, &mut scratch) {
                     Progress::Done => break,
-                    Progress::BatchFull => flush_batch(state, &mut batch, &mut conns, &mut scratch),
+                    Progress::BatchFull => {
+                        flush_batch(state, faults, &mut batch, &mut conns, &mut scratch)
+                    }
                 }
             }
             if eof {
@@ -895,27 +1277,70 @@ pub(crate) fn event_loop(listener: TcpListener, state: &ServerState, cfg: &Serve
         }
 
         // 4. Flush the batch: immediately with a zero budget, otherwise
-        //    when the oldest entry has waited out the budget (or we are
-        //    shutting down and must answer everything now).
+        //    when the oldest entry has waited out the budget, when the
+        //    earliest member deadline is about to land (coalescing never
+        //    pushes a request past its budget), or when we are shutting
+        //    down and must answer everything now.
         let budget_spent = batch
             .since
             .map(|t| t.elapsed() >= cfg.batch_budget)
             .unwrap_or(false);
-        if !batch.items.is_empty() && (cfg.batch_budget.is_zero() || budget_spent || shutting_down)
+        let deadline_pressure = batch
+            .earliest_deadline
+            .is_some_and(|d| Instant::now() + DEADLINE_FLUSH_SLACK >= d);
+        if !batch.items.is_empty()
+            && (cfg.batch_budget.is_zero() || budget_spent || deadline_pressure || shutting_down)
         {
-            flush_batch(state, &mut batch, &mut conns, &mut scratch);
+            flush_batch(state, faults, &mut batch, &mut conns, &mut scratch);
         }
 
-        // 5. Drain in-order responses into write buffers and push bytes.
+        // 5. Connection hygiene: disconnect write-stalled (slow-loris)
+        //    peers whose outbound backlog has sat above the cap for too
+        //    long, and reap connections idle past the timeout.
+        let now = Instant::now();
+        for (ci, slot) in conns.iter_mut().enumerate() {
+            let Some(conn) = slot.as_mut() else {
+                continue;
+            };
+            let outstanding = conn.wbuf.len() - conn.wpos;
+            if outstanding > cfg.write_stall_cap {
+                let stalled_since = *conn.wstall_since.get_or_insert(now);
+                if now.duration_since(stalled_since) >= cfg.write_stall_timeout {
+                    state.stats.write_stalls.fetch_add(1, Ordering::Relaxed);
+                    *slot = None;
+                    open.remove();
+                    free.push(ci);
+                    continue;
+                }
+            } else {
+                conn.wstall_since = None;
+            }
+            if !shutting_down
+                && !conn.closing
+                && !cfg.idle_timeout.is_zero()
+                && conn.pending.is_empty()
+                && conn.wbuf.is_empty()
+                && conn.unparsed() == 0
+                && now.duration_since(conn.last_activity) >= cfg.idle_timeout
+            {
+                state.stats.idle_reaped.fetch_add(1, Ordering::Relaxed);
+                *slot = None;
+                open.remove();
+                free.push(ci);
+            }
+        }
+
+        // 6. Drain in-order responses into write buffers and push bytes.
         for (ci, slot) in conns.iter_mut().enumerate() {
             let Some(conn) = slot.as_mut() else {
                 continue;
             };
             conn.drain_ready();
-            let write_failed = conn.wpos < conn.wbuf.len() && conn.try_write().is_err();
+            let write_failed = conn.wpos < conn.wbuf.len() && conn.try_write(faults).is_err();
             let fully_drained = conn.closing && conn.wbuf.is_empty() && conn.pending.is_empty();
             if write_failed || fully_drained {
                 *slot = None;
+                open.remove();
                 free.push(ci);
             }
         }

@@ -229,6 +229,7 @@ pub fn run_smoke_with(
                     pipeline: 16,
                     requests_per_conn: (8192 / connections).max(4),
                     seed: 0x5E17_1E55,
+                    ..LoadConfig::default()
                 },
             )
             .map_err(|e| format!("{connections}-connection sweep failed: {e}"))?;

@@ -20,6 +20,7 @@ fn shedding_config() -> ServerConfig {
         queue_capacity: 2,
         batch_max: 1024,
         batch_budget: Duration::from_millis(150),
+        ..ServerConfig::default()
     }
 }
 
