@@ -275,6 +275,22 @@ fn main() {
         if resilience_broken {
             std::process::exit(1);
         }
+        // So is the lifecycle run: a swap that diverged a query, a poisoned
+        // snapshot that slipped through, or a crash point the store could
+        // not recover from invalidates the serving report.
+        let mut lifecycle_broken = false;
+        for d in &report.serving {
+            for violation in &d.lifecycle.invariant_violations {
+                eprintln!(
+                    "ERROR: lifecycle invariant violated on {}: {violation}",
+                    d.name
+                );
+                lifecycle_broken = true;
+            }
+        }
+        if lifecycle_broken {
+            std::process::exit(1);
+        }
     }
 }
 
@@ -441,7 +457,9 @@ fn validated_snapshot_path(
     let path = snapshot_path_for(snapshot_base?, ds.spec.name);
     match l2r_core::load_model(&path) {
         Ok(_) => Some(path),
-        Err(l2r_core::SnapshotError::Io(e)) if e.kind() == std::io::ErrorKind::NotFound => {
+        Err(l2r_core::SnapshotError::Io { ref source, .. })
+            if source.kind() == std::io::ErrorKind::NotFound =>
+        {
             eprintln!(
                 "snapshot {} not found — run `reproduce -- fit --snapshot <path>` first \
                  (or `reproduce -- fit online serving --snapshot <path>` in one go)",
@@ -622,6 +640,30 @@ fn run_serving(
             "all invariants held".to_string()
         } else {
             format!("INVARIANTS VIOLATED: {}", rs.invariant_violations.join("; "))
+        }
+    );
+    let lc = &entry.lifecycle;
+    println!(
+        "  lifecycle: {} durable publishes (mean {:.2} ms, max {:.2} ms), {} store reloads + {} rollbacks under load ({} diverged), {} poisoned snapshot rejected",
+        lc.publishes,
+        lc.publish_mean_ms,
+        lc.publish_max_ms,
+        lc.store_reloads,
+        lc.rollbacks,
+        lc.swap_failed,
+        lc.canary_rejections
+    );
+    println!(
+        "    crash matrix: {} of {} simulated crash points recovered a durable generation — {}",
+        lc.crash_recoveries,
+        lc.crash_points,
+        if lc.invariant_violations.is_empty() {
+            "all invariants held".to_string()
+        } else {
+            format!(
+                "INVARIANTS VIOLATED: {}",
+                lc.invariant_violations.join("; ")
+            )
         }
     );
     println!();

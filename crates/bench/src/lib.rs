@@ -732,6 +732,29 @@ fn serving_json(out: &mut String, entries: &[ServingBenchDataset]) {
                 .collect::<Vec<_>>()
                 .join(", ")
         ));
+        out.push_str("      },\n");
+        let lc = &ds.lifecycle;
+        out.push_str("      \"lifecycle\": {\n");
+        out.push_str(&format!(
+            "        \"publishes\": {}, \"publish_mean_ms\": {:.3}, \"publish_max_ms\": {:.3},\n",
+            lc.publishes, lc.publish_mean_ms, lc.publish_max_ms
+        ));
+        out.push_str(&format!(
+            "        \"store_reloads\": {}, \"rollbacks\": {}, \"swap_failed\": {}, \"canary_rejections\": {},\n",
+            lc.store_reloads, lc.rollbacks, lc.swap_failed, lc.canary_rejections
+        ));
+        out.push_str(&format!(
+            "        \"crash_points\": {}, \"crash_recoveries\": {},\n",
+            lc.crash_points, lc.crash_recoveries
+        ));
+        out.push_str(&format!(
+            "        \"invariant_violations\": [{}]\n",
+            lc.invariant_violations
+                .iter()
+                .map(|v| format!("\"{}\"", v.replace('\\', "\\\\").replace('"', "\\\"")))
+                .collect::<Vec<_>>()
+                .join(", ")
+        ));
         out.push_str("      }\n");
         out.push_str(&format!(
             "    }}{}\n",
@@ -949,6 +972,18 @@ mod tests {
                 open_connections_after: 0,
                 invariant_violations: vec!["example \"violation\"".to_string()],
             },
+            lifecycle: serving::LifecycleReport {
+                publishes: 5,
+                publish_mean_ms: 1.25,
+                publish_max_ms: 3.0,
+                store_reloads: 3,
+                rollbacks: 3,
+                swap_failed: 0,
+                canary_rejections: 1,
+                crash_points: 9,
+                crash_recoveries: 9,
+                invariant_violations: Vec::new(),
+            },
         };
         let report = OnlineBenchReport {
             scale: Scale::Quick,
@@ -968,6 +1003,9 @@ mod tests {
         assert!(json.contains("\"busy_retries\": 3"), "{json}");
         assert!(json.contains("\"resilience\": {"), "{json}");
         assert!(json.contains("\"panics_injected\": 40"), "{json}");
+        assert!(json.contains("\"lifecycle\": {"), "{json}");
+        assert!(json.contains("\"canary_rejections\": 1"), "{json}");
+        assert!(json.contains("\"crash_recoveries\": 9"), "{json}");
         // Violation strings are JSON-escaped.
         assert!(
             json.contains("\"invariant_violations\": [\"example \\\"violation\\\"\"]"),
@@ -1048,6 +1086,29 @@ mod tests {
             rs.invariant_violations,
             Vec::<String>::new(),
             "resilience invariants must hold"
+        );
+        // Lifecycle: durable publishes happened, swaps + rollbacks were
+        // exercised under load, the poisoned snapshot was rejected, and
+        // every simulated crash point recovered to a durable generation.
+        let lc = &entry.lifecycle;
+        assert_eq!(lc.publishes, 5);
+        assert!(lc.publish_mean_ms > 0.0 && lc.publish_max_ms >= lc.publish_mean_ms);
+        assert_eq!(lc.store_reloads, 3);
+        assert_eq!(lc.rollbacks, 3);
+        assert_eq!(lc.swap_failed, 0, "no query may diverge across a swap");
+        assert_eq!(
+            lc.canary_rejections, 1,
+            "poisoned snapshot must be rejected"
+        );
+        assert!(
+            lc.crash_points > 0,
+            "the crash matrix must cover real fs ops"
+        );
+        assert_eq!(lc.crash_recoveries, lc.crash_points);
+        assert_eq!(
+            lc.invariant_violations,
+            Vec::<String>::new(),
+            "lifecycle invariants must hold"
         );
     }
 

@@ -24,12 +24,25 @@
 //!    taxonomy, and an invariant checklist (exact panic accounting, no
 //!    worker deaths, no leaked connections) go on the record and
 //!    `reproduce -- serving` fails on any violation.
+//! 5. **Model lifecycle** — the crash-safe model store end to end: publish
+//!    latency, store-reloads and rollbacks applied while workers route
+//!    (every answer still bit-exact), a poisoned-canary snapshot that must
+//!    be rejected with the old engine serving on, and a compact crash
+//!    matrix (a simulated crash at every mutating filesystem operation of
+//!    a publish, each of which must recover to the newest durable
+//!    generation).  Violations gate `reproduce -- serving` like the
+//!    resilience checklist does.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use l2r_core::{Engine, ModelRegistry, QueryScratch, RouteResult, ScratchPool};
+use l2r_core::store::PUBLISH_OP_COMMIT;
+use l2r_core::{
+    compute_canaries, encode_snapshot_with, Engine, FaultFs, FsFaultConfig, FsFaultKind,
+    ModelRegistry, ModelStore, QueryScratch, RegistryError, RouteResult, ScratchPool, StoreFs,
+    StoreOptions,
+};
 use l2r_eval::{build_test_queries, Dataset, TestQuery};
 use l2r_serve::{Client, FaultConfig, FaultPlan, LoadConfig, Protocol, Server, ServerConfig};
 
@@ -151,6 +164,38 @@ pub struct ResilienceReport {
     pub invariant_violations: Vec<String>,
 }
 
+/// Model-lifecycle measurement: the crash-safe store, validated hot-swap
+/// and rollback exercised under live query load, plus a compact crash
+/// matrix.  Like the resilience checklist, `invariant_violations` **must
+/// be empty** — `reproduce -- serving` fails otherwise.
+#[derive(Debug, Clone)]
+pub struct LifecycleReport {
+    /// Generations published into the store for the latency measurement.
+    pub publishes: u64,
+    /// Mean durable-publish latency (encode + fsync-chained rename), ms.
+    pub publish_mean_ms: f64,
+    /// Slowest durable publish of the run, ms.
+    pub publish_max_ms: f64,
+    /// Store-directory hot-swaps applied while workers were routing.
+    pub store_reloads: u64,
+    /// Rollbacks applied while workers were routing.
+    pub rollbacks: u64,
+    /// Queries that diverged from the serial reference during the
+    /// swap/rollback hammering — must be zero.
+    pub swap_failed: u64,
+    /// Poisoned-canary snapshots correctly rejected (expected: 1).
+    pub canary_rejections: u64,
+    /// Crash-injection points exercised (one per mutating fs op of a
+    /// publish).
+    pub crash_points: u64,
+    /// Crash points after which the store recovered the newest durable
+    /// generation (must equal `crash_points`).
+    pub crash_recoveries: u64,
+    /// Human-readable description of every violated invariant; empty is
+    /// the pass verdict.
+    pub invariant_violations: Vec<String>,
+}
+
 /// End-to-end TCP measurement through a real `l2r-serve` server.
 #[derive(Debug, Clone)]
 pub struct TcpReport {
@@ -198,6 +243,8 @@ pub struct ServingBenchDataset {
     pub concurrency: Vec<ConcurrencySweepPoint>,
     /// Fault-injection resilience measurement.
     pub resilience: ResilienceReport,
+    /// Crash-safe store + validated-swap lifecycle measurement.
+    pub lifecycle: LifecycleReport,
 }
 
 use crate::percentile;
@@ -564,6 +611,9 @@ pub fn serving_bench_for(
         }
     };
 
+    // --- 5. Model lifecycle ------------------------------------------------
+    let lifecycle = lifecycle_bench(ds, &engine, &queries, &expected, worker_threads);
+
     let mut client = Client::connect(addr).expect("client connect");
     let reload_resp = client
         .request(&format!("reload {} {}", ds.spec.name, swap_path.display()))
@@ -611,6 +661,198 @@ pub fn serving_bench_for(
         tcp,
         concurrency,
         resilience,
+        lifecycle,
+    }
+}
+
+/// The lifecycle phase of the serving bench: store publish latency,
+/// store-reloads + rollbacks under live load, a poisoned-canary rejection
+/// drill, and a compact crash matrix.  Invariant breaches are *recorded*
+/// (not panicked) so the whole checklist lands in `BENCH_online.json` and
+/// `reproduce -- serving` can gate on it.
+fn lifecycle_bench(
+    ds: &Dataset,
+    engine: &Arc<Engine>,
+    queries: &[TestQuery],
+    expected: &[Option<RouteResult>],
+    worker_threads: usize,
+) -> LifecycleReport {
+    let dir = std::env::temp_dir().join(format!(
+        "l2r-lifecycle-bench-{}-{}",
+        ds.spec.name,
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut violations: Vec<String> = Vec::new();
+
+    // Publish latency: every generation is a full durable publish (encode,
+    // temp write, fsync, rename, manifest replace, directory fsync).
+    let mut store = ModelStore::create(&dir, ds.spec.name, StoreOptions::default())
+        .expect("create bench store");
+    let mut publish_ms: Vec<f64> = Vec::new();
+    for _ in 0..5 {
+        let t0 = Instant::now();
+        store.publish(&ds.model).expect("durable publish");
+        publish_ms.push(t0.elapsed().as_secs_f64() * 1000.0);
+    }
+    drop(store);
+    let store = ModelStore::open(&dir).expect("reopen bench store");
+    let publish_mean_ms = publish_ms.iter().sum::<f64>() / publish_ms.len() as f64;
+    let publish_max_ms = publish_ms.iter().fold(0.0f64, |a, &b| a.max(b));
+
+    // Store-reloads + rollbacks while workers route: every swap is
+    // validated (dataset stamp + canary replay) and every answer before,
+    // during and after must stay bit-exact.
+    let registry = ModelRegistry::new();
+    registry.insert_shared(ds.spec.name, Arc::clone(engine));
+    let store_reloads = AtomicU64::new(0);
+    let rollbacks = AtomicU64::new(0);
+    let (swap_outcome, _) = hammer_registry(
+        &registry,
+        ds.spec.name,
+        queries,
+        expected,
+        worker_threads,
+        |_stop| {
+            for _ in 0..3 {
+                registry
+                    .reload_from_store(ds.spec.name, &store, None)
+                    .expect("store reload under load");
+                store_reloads.fetch_add(1, Ordering::Relaxed);
+                std::thread::sleep(Duration::from_millis(2));
+                registry
+                    .rollback(ds.spec.name)
+                    .expect("rollback under load");
+                rollbacks.fetch_add(1, Ordering::Relaxed);
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            0
+        },
+    );
+    if swap_outcome.failed > 0 {
+        violations.push(format!(
+            "{} queries diverged during store-reload/rollback hammering",
+            swap_outcome.failed
+        ));
+    }
+
+    // Poisoned-canary drill: recorded digests that cannot reproduce must
+    // reject the swap with the old engine still serving bit-identically.
+    let mut canary_rejections = 0u64;
+    let mut canaries = compute_canaries(&ds.model, 4);
+    if canaries.is_empty() {
+        violations.push("model yielded no canary probes".to_string());
+    } else {
+        for c in &mut canaries {
+            c.digest ^= 0xDEAD_BEEF;
+        }
+        let poisoned = dir.join("poisoned.l2r");
+        std::fs::write(
+            &poisoned,
+            encode_snapshot_with(&ds.model, ds.spec.name, &canaries),
+        )
+        .expect("write poisoned snapshot");
+        match registry.reload(ds.spec.name, &poisoned) {
+            Err(RegistryError::CanaryMismatch { .. }) => canary_rejections += 1,
+            Err(e) => violations.push(format!(
+                "poisoned snapshot rejected with the wrong error: {e}"
+            )),
+            Ok(_) => violations.push("poisoned snapshot was swapped in".to_string()),
+        }
+        let live = registry.get(ds.spec.name).expect("dataset registered");
+        let mut scratch = QueryScratch::new();
+        for (q, exp) in queries.iter().zip(expected.iter()).take(50) {
+            if live.route(&mut scratch, q.source, q.destination) != *exp {
+                violations.push("engine diverged after a rejected swap".to_string());
+                break;
+            }
+        }
+    }
+
+    // Compact crash matrix: a simulated crash at every mutating fs op of a
+    // publish; recovery must serve the newest durable generation (the
+    // manifest rename is the durability boundary).
+    let ops = {
+        let count_dir = dir.join("crash-opcount");
+        let mut s = ModelStore::create(&count_dir, ds.spec.name, StoreOptions { retain: 1 })
+            .expect("create op-count store");
+        s.publish(&ds.model).expect("seed publish");
+        drop(s);
+        let fs = Arc::new(FaultFs::new(FsFaultConfig {
+            seed: 0xFA17_5EED,
+            fault_at: None,
+            kind: FsFaultKind::Crash,
+        }));
+        let mut s = ModelStore::open_with_options(
+            Arc::clone(&fs) as Arc<dyn StoreFs>,
+            &count_dir,
+            StoreOptions { retain: 1 },
+        )
+        .expect("reopen op-count store");
+        s.publish(&ds.model).expect("un-faulted publish");
+        fs.ops()
+    };
+    let mut crash_points = 0u64;
+    let mut crash_recoveries = 0u64;
+    for op in 0..ops {
+        crash_points += 1;
+        let d = dir.join(format!("crash-{op}"));
+        let mut s = ModelStore::create(&d, ds.spec.name, StoreOptions { retain: 1 })
+            .expect("create crash-point store");
+        s.publish(&ds.model).expect("seed publish");
+        drop(s);
+        let fs = Arc::new(FaultFs::new(FsFaultConfig {
+            seed: 0xFA17_5EED ^ op,
+            fault_at: Some(op),
+            kind: FsFaultKind::Crash,
+        }));
+        let mut s = ModelStore::open_with_options(
+            Arc::clone(&fs) as Arc<dyn StoreFs>,
+            &d,
+            StoreOptions { retain: 1 },
+        )
+        .expect("reopen crash-point store");
+        let published = s.publish(&ds.model).is_ok();
+        drop(s);
+        let committed = op > PUBLISH_OP_COMMIT;
+        if !committed && published {
+            violations.push(format!(
+                "crash at op {op}: uncommitted publish claimed success"
+            ));
+        }
+        match ModelStore::open(&d) {
+            Ok(recovered) => {
+                let expect_gen = if committed { 2 } else { 1 };
+                if recovered.latest() != Some(expect_gen) {
+                    violations.push(format!(
+                        "crash at op {op}: recovered generation {:?}, expected {expect_gen}",
+                        recovered.latest()
+                    ));
+                } else if recovered.load(expect_gen).is_err() {
+                    violations.push(format!(
+                        "crash at op {op}: the recovered generation failed to decode"
+                    ));
+                } else {
+                    crash_recoveries += 1;
+                }
+            }
+            Err(e) => violations.push(format!("crash at op {op}: store failed to open: {e}")),
+        }
+        let _ = std::fs::remove_dir_all(&d);
+    }
+
+    let _ = std::fs::remove_dir_all(&dir);
+    LifecycleReport {
+        publishes: publish_ms.len() as u64,
+        publish_mean_ms,
+        publish_max_ms,
+        store_reloads: store_reloads.load(Ordering::Relaxed),
+        rollbacks: rollbacks.load(Ordering::Relaxed),
+        swap_failed: swap_outcome.failed,
+        canary_rejections,
+        crash_points,
+        crash_recoveries,
+        invariant_violations: violations,
     }
 }
 

@@ -56,6 +56,7 @@ pub mod region_routing;
 pub mod registry;
 pub mod router;
 pub mod snapshot;
+pub mod store;
 
 pub use apply::{apply_preferences_to_b_edges, path_under_preference, ApplyStats};
 pub use config::L2rConfig;
@@ -63,9 +64,15 @@ pub use engine::{Engine, QueryScratch};
 pub use error::L2rError;
 pub use pipeline::{L2r, OfflineStats};
 pub use region_routing::{find_region_path, RegionPath, RegionSearchSpace};
-pub use registry::{ModelRegistry, PooledScratch, ScratchPool};
+pub use registry::{ModelRegistry, PooledScratch, RegistryError, ScratchPool};
 pub use router::{region_coverage, route, RegionCoverage, RouteResult, RouteStrategy};
 pub use snapshot::{
-    decode_model, encode_model, load_model, save_model, SnapshotError, SNAPSHOT_MAGIC,
+    compute_canaries, decode_model, decode_snapshot, encode_model, encode_snapshot,
+    encode_snapshot_with, load_model, load_snapshot, route_digest, save_model, save_snapshot,
+    verify_frame, Canary, Snapshot, SnapshotError, DEFAULT_CANARY_COUNT, SNAPSHOT_MAGIC,
     SNAPSHOT_VERSION,
+};
+pub use store::{
+    decode_manifest, encode_manifest, FaultFs, FsFaultConfig, FsFaultKind, Manifest, ManifestEntry,
+    ManifestError, ModelStore, RealFs, StoreError, StoreFs, StoreOptions,
 };

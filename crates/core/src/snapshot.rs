@@ -20,45 +20,73 @@
 //! ```text
 //! offset  size  field
 //!      0     8  magic  b"L2RSNAP\0"
-//!      8     1  format version (currently 1)
+//!      8     1  format version (currently 2)
 //!      9     8  payload length in bytes (u64)
 //!     17     4  CRC-32 (IEEE) of the payload (u32)
-//!     21     n  payload: network, region graph, learned preferences,
-//!               transferred preferences, config, offline stats
+//!     21     n  payload: dataset name, network, region graph, learned
+//!               preferences, transferred preferences, config, offline
+//!               stats, canary probes
 //! ```
+//!
+//! Version 2 stamps two pieces of provenance into the (checksummed)
+//! payload: the **dataset name** the model was fitted on — so a `reload`
+//! can refuse to swap dataset A's engine in under name B — and a set of
+//! **canary probes**: deterministic route queries whose answer digests are
+//! recorded at save time ([`compute_canaries`]) and replayed against the
+//! freshly compiled engine before a hot-swap commits
+//! ([`crate::ModelRegistry`]'s validation stage).
 //!
 //! Loading performs a single file read, decodes into preallocated vectors,
 //! and validates every embedded id against the counts stored in the same
 //! payload — a corrupt or truncated file produces a [`SnapshotError`],
 //! never a panic.  Encoding is deterministic (hash maps are written in
-//! sorted key order), so `encode → decode → encode` reproduces the exact
-//! bytes; the tests lean on that for cheap whole-model equality.
+//! sorted key order and canaries are derived from a fixed probe schedule),
+//! so `encode → decode → encode` reproduces the exact bytes; the tests
+//! lean on that for cheap whole-model equality.
 
 use std::collections::HashMap;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
 use l2r_preference::{LearnedPreference, Preference};
 use l2r_region_graph::{decode_region_graph, RegionEdgeId, RegionGraph};
-use l2r_road_network::{CodecError, Decode, Encode, Reader, RoadNetwork, Writer};
+use l2r_road_network::{CodecError, Decode, Encode, Reader, RoadNetwork, VertexId, Writer};
 
 use crate::config::L2rConfig;
 use crate::pipeline::{L2r, OfflineStats};
+use crate::router::RouteResult;
 
 /// Magic bytes identifying an L2R snapshot file.
 pub const SNAPSHOT_MAGIC: [u8; 8] = *b"L2RSNAP\0";
 
 /// Current snapshot format version.  Bumped on any wire-format change;
-/// loaders reject versions they do not know.
-pub const SNAPSHOT_VERSION: u8 = 1;
+/// loaders reject versions they do not know.  Version 2 added the dataset
+/// name and canary probes to the payload.
+pub const SNAPSHOT_VERSION: u8 = 2;
 
 /// Size of the fixed header preceding the payload.
 const HEADER_LEN: usize = 8 + 1 + 8 + 4;
 
+/// Longest dataset name a snapshot may carry.
+pub const MAX_DATASET_NAME: usize = 256;
+
+/// Most canary probes a snapshot may carry.
+pub const MAX_CANARIES: usize = 4096;
+
+/// Canary probes recorded by default at save time.
+pub const DEFAULT_CANARY_COUNT: usize = 16;
+
 /// An error raised while saving or loading a snapshot.
 #[derive(Debug)]
 pub enum SnapshotError {
-    /// The underlying file could not be read or written.
-    Io(std::io::Error),
+    /// The underlying file could not be read or written.  Carries the
+    /// offending path so operator-facing reload/rollback messages say
+    /// *which* file failed.
+    Io {
+        /// The file the operation failed on.
+        path: PathBuf,
+        /// The underlying I/O error.
+        source: std::io::Error,
+    },
     /// The file does not start with [`SNAPSHOT_MAGIC`].
     BadMagic,
     /// The file was written by a newer (or unknown) format version.
@@ -88,10 +116,22 @@ pub enum SnapshotError {
     Codec(CodecError),
 }
 
+impl SnapshotError {
+    /// Wraps an I/O failure with the path it happened on.
+    pub fn io(path: &Path, source: std::io::Error) -> SnapshotError {
+        SnapshotError::Io {
+            path: path.to_path_buf(),
+            source,
+        }
+    }
+}
+
 impl std::fmt::Display for SnapshotError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            SnapshotError::Io(e) => write!(f, "snapshot I/O error: {e}"),
+            SnapshotError::Io { path, source } => {
+                write!(f, "snapshot I/O error at `{}`: {source}", path.display())
+            }
             SnapshotError::BadMagic => write!(f, "not an L2R snapshot (bad magic)"),
             SnapshotError::UnsupportedVersion(v) => {
                 write!(
@@ -126,16 +166,10 @@ impl std::fmt::Display for SnapshotError {
 impl std::error::Error for SnapshotError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
-            SnapshotError::Io(e) => Some(e),
+            SnapshotError::Io { source, .. } => Some(source),
             SnapshotError::Codec(e) => Some(e),
             _ => None,
         }
-    }
-}
-
-impl From<std::io::Error> for SnapshotError {
-    fn from(e: std::io::Error) -> Self {
-        SnapshotError::Io(e)
     }
 }
 
@@ -146,7 +180,8 @@ impl From<CodecError> for SnapshotError {
 }
 
 /// CRC-32 (IEEE 802.3, reflected) of `data`; table built once per process.
-fn crc32(data: &[u8]) -> u32 {
+/// Shared with the model store's `MANIFEST` codec.
+pub(crate) fn crc32(data: &[u8]) -> u32 {
     use std::sync::OnceLock;
     static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
     let table = TABLE.get_or_init(|| {
@@ -169,6 +204,87 @@ fn crc32(data: &[u8]) -> u32 {
         crc = (crc >> 8) ^ table[((crc ^ b as u32) & 0xFF) as usize];
     }
     !crc
+}
+
+// ---------------------------------------------------------------------------
+// Canary probes
+// ---------------------------------------------------------------------------
+
+/// One canary probe: a route query and the digest of its answer, recorded
+/// at save time and replayed before a hot-swap commits.  A digest mismatch
+/// means the snapshot's model does not answer like the model that was
+/// saved — the swap is rejected and the old engine keeps serving.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Canary {
+    /// Probe source vertex.
+    pub src: VertexId,
+    /// Probe destination vertex.
+    pub dst: VertexId,
+    /// [`route_digest`] of the model's answer at save time.
+    pub digest: u64,
+}
+
+/// A decoded snapshot: the fitted model plus its provenance metadata.
+#[derive(Debug)]
+pub struct Snapshot {
+    /// The dataset name stamped at save time (empty for unnamed saves).
+    pub dataset: String,
+    /// Canary probes recorded at save time.
+    pub canaries: Vec<Canary>,
+    /// The fitted model itself.
+    pub model: L2r,
+}
+
+/// The finalization step of splitmix64 — a cheap, well-mixed hash.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Order-sensitive digest of one route answer: folds the strategy label
+/// and every path vertex through splitmix64.  `None` (no route) has its
+/// own fixed digest.  Deterministic across processes and platforms — the
+/// same answer always digests the same.
+pub fn route_digest(result: &Option<RouteResult>) -> u64 {
+    let Some(r) = result else {
+        return 0x4E4F_524F_5554_4531; // fixed "NOROUTE" sentinel
+    };
+    let mut h = 0xD16E_5715_0CA4_A21Eu64;
+    for &b in r.strategy.label().as_bytes() {
+        h = splitmix64(h ^ b as u64);
+    }
+    let vertices = r.path.vertices();
+    h = splitmix64(h ^ vertices.len() as u64);
+    for v in vertices {
+        h = splitmix64(h ^ v.0 as u64);
+    }
+    h
+}
+
+/// Computes `count` canary probes for `model`: a deterministic schedule of
+/// source/destination pairs (seeded only by the network's shape, so
+/// `encode → decode → encode` reproduces the exact probes) routed through
+/// the *free* (uncompiled) router — which the engine-equivalence invariant
+/// guarantees answers bit-identically to a compiled [`crate::Engine`].
+pub fn compute_canaries(model: &L2r, count: usize) -> Vec<Canary> {
+    let n = model.network().num_vertices() as u64;
+    if n < 2 || count == 0 {
+        return Vec::new();
+    }
+    let seed = 0x5EED_CAFE_D15C_0B01u64 ^ (n << 20) ^ model.network().num_edges() as u64;
+    let mut canaries = Vec::with_capacity(count);
+    for i in 0..count as u64 {
+        let src = VertexId((splitmix64(seed ^ (2 * i)) % n) as u32);
+        let mut dst = VertexId((splitmix64(seed ^ (2 * i + 1)) % n) as u32);
+        if dst == src {
+            dst = VertexId(((dst.0 as u64 + 1) % n) as u32);
+        }
+        let digest = route_digest(&model.route(src, dst));
+        canaries.push(Canary { src, dst, digest });
+    }
+    canaries
 }
 
 fn encode_duration(w: &mut Writer, d: std::time::Duration) {
@@ -219,8 +335,9 @@ fn decode_stats(r: &mut Reader<'_>) -> Result<OfflineStats, CodecError> {
 
 /// Encodes the model payload (header not included).  Hash-map entries are
 /// written in ascending edge-id order, making the byte stream deterministic.
-fn encode_payload(model: &L2r) -> Vec<u8> {
+fn encode_payload(model: &L2r, dataset: &str, canaries: &[Canary]) -> Vec<u8> {
     let mut w = Writer::new();
+    w.str(dataset);
     model.network().encode(&mut w);
     model.region_graph().encode(&mut w);
 
@@ -255,11 +372,19 @@ fn encode_payload(model: &L2r) -> Vec<u8> {
     w.length(config.max_transfer_center_pairs);
 
     encode_stats(&mut w, model.stats());
+
+    w.length(canaries.len());
+    for c in canaries {
+        w.u32(c.src.0);
+        w.u32(c.dst.0);
+        w.u64(c.digest);
+    }
     w.into_vec()
 }
 
-fn decode_payload(payload: &[u8]) -> Result<L2r, SnapshotError> {
+fn decode_payload(payload: &[u8]) -> Result<Snapshot, SnapshotError> {
     let mut r = Reader::new(payload);
+    let dataset = r.str("dataset name", MAX_DATASET_NAME)?.to_string();
     let net = RoadNetwork::decode(&mut r)?;
     let region_graph: RegionGraph = decode_region_graph(&mut r, &net)?;
     let num_edges = region_graph.num_edges();
@@ -301,24 +426,56 @@ fn decode_payload(payload: &[u8]) -> Result<L2r, SnapshotError> {
     };
 
     let stats = decode_stats(&mut r)?;
+
+    let canary_len = r.length("canary count", 16)?;
+    if canary_len > MAX_CANARIES {
+        return Err(CodecError::ImplausibleLength {
+            what: "canary count",
+            len: canary_len as u64,
+        }
+        .into());
+    }
+    let num_vertices = net.num_vertices() as u32;
+    let mut canaries = Vec::with_capacity(canary_len);
+    for _ in 0..canary_len {
+        let src = r.u32("canary source")?;
+        let dst = r.u32("canary destination")?;
+        if src >= num_vertices || dst >= num_vertices {
+            return Err(CodecError::Invalid("canary vertex id out of range").into());
+        }
+        canaries.push(Canary {
+            src: VertexId(src),
+            dst: VertexId(dst),
+            digest: r.u64("canary digest")?,
+        });
+    }
+
     if !r.is_exhausted() {
         return Err(SnapshotError::TrailingBytes(r.remaining() as u64));
     }
-    Ok(L2r::from_parts(
-        net,
-        region_graph,
-        learned,
-        transferred,
-        config,
-        stats,
-    ))
+    Ok(Snapshot {
+        dataset,
+        canaries,
+        model: L2r::from_parts(net, region_graph, learned, transferred, config, stats),
+    })
 }
 
 /// Serialises a fitted model into the framed snapshot byte stream
-/// (header + checksummed payload).  Deterministic: the same model always
-/// produces the same bytes.
-pub fn encode_model(model: &L2r) -> Vec<u8> {
-    let payload = encode_payload(model);
+/// (header + checksummed payload), stamping `dataset` and recording
+/// [`DEFAULT_CANARY_COUNT`] canary probes.  Deterministic: the same model
+/// and name always produce the same bytes.
+pub fn encode_snapshot(model: &L2r, dataset: &str) -> Vec<u8> {
+    encode_snapshot_with(
+        model,
+        dataset,
+        &compute_canaries(model, DEFAULT_CANARY_COUNT),
+    )
+}
+
+/// Serialises a fitted model with explicit canary probes (tests and chaos
+/// drills craft deliberately wrong ones to prove validation rejects them).
+pub fn encode_snapshot_with(model: &L2r, dataset: &str, canaries: &[Canary]) -> Vec<u8> {
+    let payload = encode_payload(model, dataset, canaries);
     let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
     out.extend_from_slice(&SNAPSHOT_MAGIC);
     out.push(SNAPSHOT_VERSION);
@@ -328,9 +485,17 @@ pub fn encode_model(model: &L2r) -> Vec<u8> {
     out
 }
 
-/// Decodes a framed snapshot byte stream back into a fitted model,
-/// validating the magic, version, length, checksum and every embedded id.
-pub fn decode_model(bytes: &[u8]) -> Result<L2r, SnapshotError> {
+/// Serialises a fitted model without a dataset stamp (the name is empty:
+/// such snapshots reload under any name).
+pub fn encode_model(model: &L2r) -> Vec<u8> {
+    encode_snapshot(model, "")
+}
+
+/// Validates the snapshot framing — magic, version, header, length and
+/// payload checksum — without decoding the payload.  This is what the
+/// model store runs over artifacts before trusting them (a bit flip
+/// anywhere in the file fails here), at a fraction of a full decode.
+pub fn verify_frame(bytes: &[u8]) -> Result<(), SnapshotError> {
     if bytes.len() < SNAPSHOT_MAGIC.len() || bytes[..SNAPSHOT_MAGIC.len()] != SNAPSHOT_MAGIC {
         return Err(SnapshotError::BadMagic);
     }
@@ -364,25 +529,51 @@ pub fn decode_model(bytes: &[u8]) -> Result<L2r, SnapshotError> {
             actual: actual_crc,
         });
     }
-    decode_payload(payload)
+    Ok(())
 }
 
-/// Writes a fitted model to `path`, returning the snapshot size in bytes.
-pub fn save_model(model: &L2r, path: &Path) -> Result<u64, SnapshotError> {
-    let bytes = encode_model(model);
+/// Decodes a framed snapshot byte stream — model plus provenance metadata —
+/// validating the magic, version, length, checksum and every embedded id.
+pub fn decode_snapshot(bytes: &[u8]) -> Result<Snapshot, SnapshotError> {
+    verify_frame(bytes)?;
+    decode_payload(&bytes[HEADER_LEN..])
+}
+
+/// Decodes a framed snapshot byte stream back into a fitted model,
+/// discarding the provenance metadata.
+pub fn decode_model(bytes: &[u8]) -> Result<L2r, SnapshotError> {
+    decode_snapshot(bytes).map(|s| s.model)
+}
+
+/// Writes a fitted model to `path` with a `dataset` stamp, returning the
+/// snapshot size in bytes.
+pub fn save_snapshot(model: &L2r, dataset: &str, path: &Path) -> Result<u64, SnapshotError> {
+    let bytes = encode_snapshot(model, dataset);
     if let Some(parent) = path.parent() {
         if !parent.as_os_str().is_empty() {
-            std::fs::create_dir_all(parent)?;
+            std::fs::create_dir_all(parent).map_err(|e| SnapshotError::io(parent, e))?;
         }
     }
-    std::fs::write(path, &bytes)?;
+    std::fs::write(path, &bytes).map_err(|e| SnapshotError::io(path, e))?;
     Ok(bytes.len() as u64)
+}
+
+/// Writes a fitted model to `path` without a dataset stamp, returning the
+/// snapshot size in bytes.
+pub fn save_model(model: &L2r, path: &Path) -> Result<u64, SnapshotError> {
+    save_snapshot(model, "", path)
+}
+
+/// Reads a snapshot — model plus provenance metadata — from `path` in a
+/// single read.
+pub fn load_snapshot(path: &Path) -> Result<Snapshot, SnapshotError> {
+    let bytes = std::fs::read(path).map_err(|e| SnapshotError::io(path, e))?;
+    decode_snapshot(&bytes)
 }
 
 /// Reads a fitted model from `path` in a single read.
 pub fn load_model(path: &Path) -> Result<L2r, SnapshotError> {
-    let bytes = std::fs::read(path)?;
-    decode_model(&bytes)
+    load_snapshot(path).map(|s| s.model)
 }
 
 #[cfg(test)]
@@ -491,6 +682,54 @@ mod tests {
         assert!(matches!(
             decode_model(&encode_model(&bad)),
             Err(SnapshotError::Codec(CodecError::IndexOutOfRange { .. }))
+        ));
+    }
+
+    #[test]
+    fn named_snapshot_roundtrips_dataset_and_canaries() {
+        let model = fitted();
+        let bytes = encode_snapshot(&model, "chengdu");
+        let snap = decode_snapshot(&bytes).unwrap();
+        assert_eq!(snap.dataset, "chengdu");
+        assert_eq!(snap.canaries.len(), DEFAULT_CANARY_COUNT);
+        // Replaying every canary against the decoded model reproduces the
+        // recorded digests — the property registry validation relies on.
+        for c in &snap.canaries {
+            assert_eq!(route_digest(&snap.model.route(c.src, c.dst)), c.digest);
+        }
+        // Determinism: same model + name → same bytes.
+        assert_eq!(encode_snapshot(&snap.model, "chengdu"), bytes);
+    }
+
+    #[test]
+    fn out_of_range_canary_vertices_error() {
+        let model = fitted();
+        let n = model.network().num_vertices() as u32;
+        let bad = [Canary {
+            src: VertexId(n + 3),
+            dst: VertexId(0),
+            digest: 7,
+        }];
+        assert!(matches!(
+            decode_snapshot(&encode_snapshot_with(&model, "x", &bad)),
+            Err(SnapshotError::Codec(CodecError::Invalid(_)))
+        ));
+    }
+
+    #[test]
+    fn verify_frame_accepts_exactly_what_decode_accepts() {
+        let model = fitted();
+        let bytes = encode_snapshot(&model, "d");
+        verify_frame(&bytes).unwrap();
+        let mut flipped = bytes.clone();
+        *flipped.last_mut().unwrap() ^= 0x40;
+        assert!(matches!(
+            verify_frame(&flipped),
+            Err(SnapshotError::ChecksumMismatch { .. })
+        ));
+        assert!(matches!(
+            verify_frame(&bytes[..bytes.len() - 1]),
+            Err(SnapshotError::Truncated { .. })
         ));
     }
 

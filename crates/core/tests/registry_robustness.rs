@@ -1,13 +1,15 @@
 //! Failure paths of [`ModelRegistry::reload`]: a reload from a missing,
-//! truncated, corrupt or stale-format `.l2r` file must leave the registered
-//! engine serving untouched and report the precise [`SnapshotError`] —
-//! mirroring the malformed-file corpus of `snapshot_robustness.rs` at the
-//! registry layer.
+//! truncated, corrupt or stale-format `.l2r` file — or one that decodes
+//! fine but fails semantic validation (wrong dataset stamp, canary digest
+//! mismatch) — must leave the registered engine serving untouched and
+//! report the precise [`RegistryError`], mirroring the malformed-file
+//! corpus of `snapshot_robustness.rs` at the registry layer.
 
 use std::sync::Arc;
 
 use l2r_core::{
-    encode_model, save_model, Engine, L2r, L2rConfig, ModelRegistry, QueryScratch, SnapshotError,
+    encode_model, encode_snapshot, encode_snapshot_with, save_model, save_snapshot, Canary, Engine,
+    L2r, L2rConfig, ModelRegistry, QueryScratch, RegistryError, SnapshotError,
 };
 use l2r_datagen::{generate_network, generate_workload, SyntheticNetworkConfig, WorkloadConfig};
 use l2r_road_network::VertexId;
@@ -53,7 +55,10 @@ fn reload_from_a_missing_file_keeps_the_old_engine() {
     let err = registry
         .reload("city", &temp_path("does-not-exist.l2r"))
         .unwrap_err();
-    assert!(matches!(err, SnapshotError::Io(_)), "{err}");
+    assert!(
+        matches!(err, RegistryError::Snapshot(SnapshotError::Io { .. })),
+        "{err}"
+    );
     assert_still_serving(&registry, &served);
 }
 
@@ -67,9 +72,11 @@ fn reload_from_truncated_files_keeps_the_old_engine_at_every_cut() {
         assert!(
             matches!(
                 err,
-                SnapshotError::BadMagic
-                    | SnapshotError::TruncatedHeader { .. }
-                    | SnapshotError::Truncated { .. }
+                RegistryError::Snapshot(
+                    SnapshotError::BadMagic
+                        | SnapshotError::TruncatedHeader { .. }
+                        | SnapshotError::Truncated { .. }
+                )
             ),
             "cut at {cut}: {err}"
         );
@@ -87,7 +94,11 @@ fn reload_from_a_stale_format_version_keeps_the_old_engine() {
     let err = registry.reload("city", &path).unwrap_err();
     std::fs::remove_file(&path).ok();
     assert!(
-        matches!(err, SnapshotError::UnsupportedVersion(v) if v == l2r_core::SNAPSHOT_VERSION + 1),
+        matches!(
+            err,
+            RegistryError::Snapshot(SnapshotError::UnsupportedVersion(v))
+                if v == l2r_core::SNAPSHOT_VERSION + 1
+        ),
         "{err}"
     );
     assert_still_serving(&registry, &served);
@@ -104,7 +115,7 @@ fn reload_from_corrupt_payloads_keeps_the_old_engine() {
     std::fs::write(&path, &wrong_magic).unwrap();
     assert!(matches!(
         registry.reload("city", &path).unwrap_err(),
-        SnapshotError::BadMagic
+        RegistryError::Snapshot(SnapshotError::BadMagic)
     ));
     assert_still_serving(&registry, &served);
 
@@ -117,7 +128,10 @@ fn reload_from_corrupt_payloads_keeps_the_old_engine() {
         std::fs::write(&path, &corrupt).unwrap();
         let err = registry.reload("city", &path).unwrap_err();
         assert!(
-            matches!(err, SnapshotError::ChecksumMismatch { .. }),
+            matches!(
+                err,
+                RegistryError::Snapshot(SnapshotError::ChecksumMismatch { .. })
+            ),
             "flip at {offset}: {err}"
         );
         assert_still_serving(&registry, &served);
@@ -151,7 +165,10 @@ fn successful_reload_swaps_and_failed_reload_after_it_keeps_the_replacement() {
     // A failed reload right after keeps the *replacement* (not the
     // original, not nothing).
     let err = registry.reload("city", &temp_path("gone.l2r")).unwrap_err();
-    assert!(matches!(err, SnapshotError::Io(_)));
+    assert!(matches!(
+        err,
+        RegistryError::Snapshot(SnapshotError::Io { .. })
+    ));
     let current = registry.get("city").unwrap();
     assert!(Arc::ptr_eq(&replacement, &current));
     assert_eq!(registry.generation("city"), Some(2));
@@ -173,7 +190,7 @@ fn engine_load_reports_the_same_errors_as_load_model() {
     // `Engine::load` is the serving entry point; its error surface must be
     // the snapshot layer's, not a panic.
     let err = Engine::load(&temp_path("nope.l2r")).unwrap_err();
-    assert!(matches!(err, SnapshotError::Io(_)));
+    assert!(matches!(err, SnapshotError::Io { .. }));
     let path = temp_path("engine-bad.l2r");
     std::fs::write(&path, b"definitely not a snapshot").unwrap();
     let err = Engine::load(&path).unwrap_err();
@@ -203,4 +220,106 @@ fn save_then_registry_reload_roundtrips_through_a_real_file() {
         }
     }
     assert!(answered > 0, "the loaded engine must answer queries");
+}
+
+#[test]
+fn io_errors_name_the_offending_path() {
+    let (registry, _, _) = registry_with_model();
+    let path = temp_path("which-file-was-it.l2r");
+    let err = registry.reload("city", &path).unwrap_err();
+    // Operator-facing reload messages must say *which* file failed.
+    assert!(err.to_string().contains("which-file-was-it.l2r"), "{err}");
+}
+
+#[test]
+fn reload_refuses_a_snapshot_stamped_for_another_dataset() {
+    let (registry, served, _) = registry_with_model();
+    let path = temp_path("other-dataset.l2r");
+    save_snapshot(&fitted(), "suburbs", &path).unwrap();
+    let err = registry.reload("city", &path).unwrap_err();
+    std::fs::remove_file(&path).ok();
+    assert!(
+        matches!(
+            &err,
+            RegistryError::DatasetMismatch { snapshot, requested }
+                if snapshot == "suburbs" && requested == "city"
+        ),
+        "{err}"
+    );
+    assert_still_serving(&registry, &served);
+}
+
+#[test]
+fn reload_accepts_a_snapshot_stamped_with_the_matching_dataset() {
+    let (registry, original, _) = registry_with_model();
+    let path = temp_path("matching-dataset.l2r");
+    save_snapshot(&fitted(), "city", &path).unwrap();
+    let replacement = registry.reload("city", &path).unwrap();
+    std::fs::remove_file(&path).ok();
+    assert!(!Arc::ptr_eq(&original, &replacement));
+    assert_eq!(registry.generation("city"), Some(2));
+}
+
+#[test]
+fn reload_rejects_a_snapshot_whose_canaries_mismatch() {
+    let (registry, served, _) = registry_with_model();
+    let model = fitted();
+    // Record a canary whose digest cannot match any real answer.
+    let poisoned = [Canary {
+        src: VertexId(0),
+        dst: VertexId(1),
+        digest: 0xDEAD_BEEF_DEAD_BEEF,
+    }];
+    let path = temp_path("poisoned-canary.l2r");
+    std::fs::write(&path, encode_snapshot_with(&model, "city", &poisoned)).unwrap();
+    let err = registry.reload("city", &path).unwrap_err();
+    std::fs::remove_file(&path).ok();
+    assert!(
+        matches!(
+            err,
+            RegistryError::CanaryMismatch {
+                src: 0,
+                dst: 1,
+                expected: 0xDEAD_BEEF_DEAD_BEEF,
+                ..
+            }
+        ),
+        "{err}"
+    );
+    assert_still_serving(&registry, &served);
+}
+
+#[test]
+fn reload_replays_recorded_canaries_against_the_compiled_engine() {
+    // The happy path of validation: genuine canaries recorded at save time
+    // replay cleanly on the compiled engine (free-route/engine equivalence).
+    let (registry, _, _) = registry_with_model();
+    let model = fitted();
+    let path = temp_path("genuine-canaries.l2r");
+    std::fs::write(&path, encode_snapshot(&model, "city")).unwrap();
+    registry.reload("city", &path).unwrap();
+    std::fs::remove_file(&path).ok();
+    assert_eq!(registry.generation("city"), Some(2));
+}
+
+#[test]
+fn rollback_after_reload_restores_the_original_engine() {
+    let (registry, original, bytes) = registry_with_model();
+    let path = temp_path("rollback-target.l2r");
+    std::fs::write(&path, &bytes).unwrap();
+    let replacement = registry.reload("city", &path).unwrap();
+    std::fs::remove_file(&path).ok();
+    assert!(!Arc::ptr_eq(&original, &replacement));
+
+    let (restored, generation) = registry.rollback("city").unwrap();
+    assert!(Arc::ptr_eq(&restored, &original));
+    assert_eq!(generation, 3);
+    assert!(Arc::ptr_eq(&registry.get("city").unwrap(), &original));
+
+    // The failed-validation path must NOT disturb the rollback target: a
+    // rejected reload retains nothing.
+    assert!(matches!(
+        registry.rollback("city"),
+        Err(RegistryError::NoPreviousEngine(_))
+    ));
 }

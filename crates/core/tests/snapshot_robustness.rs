@@ -115,7 +115,7 @@ fn trailing_bytes_are_rejected() {
 #[test]
 fn missing_file_is_an_io_error() {
     let path = temp_path("does-not-exist.l2r");
-    assert!(matches!(load_model(&path), Err(SnapshotError::Io(_))));
+    assert!(matches!(load_model(&path), Err(SnapshotError::Io { .. })));
 }
 
 #[test]

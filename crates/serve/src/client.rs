@@ -424,15 +424,63 @@ impl BinClient {
             .to_string())
     }
 
+    /// The server's counters as machine-readable `(key, value)` pairs —
+    /// the structured half of the binary `stats` response, appended after
+    /// the human-readable line (absent on pre-store servers ⇒ empty vec).
+    pub fn stats_fields(&mut self) -> io::Result<Vec<(String, u64)>> {
+        let mut out = Vec::new();
+        frame::encode_stats(&mut out);
+        self.send_raw(&out)?;
+        let payload = self.expect_ok("stats")?;
+        let mut r = Reader::new(&payload);
+        let decode = |e: l2r_road_network::codec::CodecError| bad_data(e.to_string());
+        r.str("stats line", MAX_FRAME_PAYLOAD).map_err(decode)?;
+        if r.is_exhausted() {
+            return Ok(Vec::new());
+        }
+        let n = r.u32("stats field count").map_err(decode)? as usize;
+        let mut fields = Vec::with_capacity(n);
+        for _ in 0..n {
+            let key = r.str("stats key", MAX_NAME).map_err(decode)?.to_string();
+            let value = r.u64("stats value").map_err(decode)?;
+            fields.push((key, value));
+        }
+        Ok(fields)
+    }
+
     /// Hot-reloads a dataset from a snapshot path; returns the new model
     /// generation.
     pub fn reload(&mut self, dataset: &str, path: &str) -> io::Result<u64> {
+        self.reload_spec(dataset, path, None)
+    }
+
+    /// Hot-reloads a dataset from a snapshot file or model-store directory
+    /// with an explicit store-generation spec (`"latest"` or a decimal
+    /// generation number); returns the new model generation.
+    pub fn reload_spec(
+        &mut self,
+        dataset: &str,
+        path: &str,
+        spec: Option<&str>,
+    ) -> io::Result<u64> {
         let mut out = Vec::new();
-        frame::encode_reload(&mut out, dataset, path);
+        frame::encode_reload_spec(&mut out, dataset, path, spec);
         self.send_raw(&out)?;
         let payload = self.expect_ok("reload")?;
         let mut r = Reader::new(&payload);
         r.u64("reload generation")
+            .map_err(|e| bad_data(e.to_string()))
+    }
+
+    /// Rolls a dataset back to its retained previous engine; returns the
+    /// new model generation.
+    pub fn rollback(&mut self, dataset: &str) -> io::Result<u64> {
+        let mut out = Vec::new();
+        frame::encode_rollback(&mut out, dataset);
+        self.send_raw(&out)?;
+        let payload = self.expect_ok("rollback")?;
+        let mut r = Reader::new(&payload);
+        r.u64("rollback generation")
             .map_err(|e| bad_data(e.to_string()))
     }
 

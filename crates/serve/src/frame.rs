@@ -64,10 +64,15 @@ pub enum Opcode {
     Info = 0x04,
     /// Server counters; empty payload.
     Stats = 0x05,
-    /// Hot-reload: `str dataset, str path`.
+    /// Hot-reload: `str dataset, str path` plus an optional trailing
+    /// `str spec` — `latest` or a decimal generation number — when `path`
+    /// is a model-store directory (omitted ⇒ file snapshot or newest
+    /// durable store generation).
     Reload = 0x06,
     /// Drain and stop the server; empty payload.
     Shutdown = 0x07,
+    /// Roll a dataset back to its retained previous engine: `str dataset`.
+    Rollback = 0x08,
 }
 
 impl Opcode {
@@ -81,6 +86,7 @@ impl Opcode {
             0x05 => Opcode::Stats,
             0x06 => Opcode::Reload,
             0x07 => Opcode::Shutdown,
+            0x08 => Opcode::Rollback,
             _ => return None,
         })
     }
@@ -373,10 +379,27 @@ pub fn encode_stats(out: &mut Vec<u8>) {
 
 /// Appends a `reload` request frame.
 pub fn encode_reload(out: &mut Vec<u8>, dataset: &str, path: &str) {
+    encode_reload_spec(out, dataset, path, None);
+}
+
+/// Appends a `reload` request frame with an explicit store-generation spec
+/// (`latest` or a decimal generation number; `None` ⇒ the field is omitted
+/// and stays byte-compatible with pre-store clients).
+pub fn encode_reload_spec(out: &mut Vec<u8>, dataset: &str, path: &str, spec: Option<&str>) {
     let mut w = Writer::new();
     w.str(dataset);
     w.str(path);
+    if let Some(spec) = spec {
+        w.str(spec);
+    }
     write_frame(out, Opcode::Reload as u8, w.as_slice());
+}
+
+/// Appends a `rollback` request frame.
+pub fn encode_rollback(out: &mut Vec<u8>, dataset: &str) {
+    let mut w = Writer::new();
+    w.str(dataset);
+    write_frame(out, Opcode::Rollback as u8, w.as_slice());
 }
 
 /// Appends a `shutdown` request frame.
@@ -502,6 +525,44 @@ mod tests {
                     r.u32("pair half").unwrap();
                 }
                 assert_eq!(r.u32("deadline_ms").unwrap(), 9);
+                assert!(r.is_exhausted());
+            }
+            other => panic!("expected a frame, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn reload_spec_is_optional_and_rollback_roundtrips() {
+        // The spec-less encoder stays byte-compatible with pre-store clients.
+        let mut bare = Vec::new();
+        encode_reload(&mut bare, "D1", "/models/d1");
+        let mut explicit_none = Vec::new();
+        encode_reload_spec(&mut explicit_none, "D1", "/models/d1", None);
+        assert_eq!(bare, explicit_none);
+
+        let mut out = Vec::new();
+        encode_reload_spec(&mut out, "D1", "/models/d1", Some("7"));
+        match parse_frame(&out) {
+            FrameParse::Frame { kind, payload, .. } => {
+                assert_eq!(kind, Opcode::Reload as u8);
+                let mut r = Reader::new(payload);
+                assert_eq!(r.str("dataset", MAX_NAME).unwrap(), "D1");
+                assert_eq!(r.str("path", MAX_PATH).unwrap(), "/models/d1");
+                assert!(!r.is_exhausted());
+                assert_eq!(r.str("spec", MAX_NAME).unwrap(), "7");
+                assert!(r.is_exhausted());
+            }
+            other => panic!("expected a frame, got {other:?}"),
+        }
+
+        let mut out = Vec::new();
+        encode_rollback(&mut out, "D1");
+        match parse_frame(&out) {
+            FrameParse::Frame { kind, payload, .. } => {
+                assert_eq!(kind, Opcode::Rollback as u8);
+                assert_eq!(Opcode::from_u8(kind), Some(Opcode::Rollback));
+                let mut r = Reader::new(payload);
+                assert_eq!(r.str("dataset", MAX_NAME).unwrap(), "D1");
                 assert!(r.is_exhausted());
             }
             other => panic!("expected a frame, got {other:?}"),

@@ -25,13 +25,25 @@
 //! | `route <dataset> <src> <dst> [<deadline_ms>]` | `OK <strategy> <n> <v0> … <vn-1>` \| `NOROUTE` \| `BUSY` \| `ERR deadline …` \| `ERR internal …` \| `ERR …` |
 //! | `route_batch <dataset> <s,d> [<s,d> …]` | `OK <total> <answered> <item> …` (item = `<strategy>:<n>` or `-`) |
 //! | `info <dataset>` | `OK dataset=… vertices=… edges=… regions=… connectors=… generation=…` |
-//! | `stats` | `OK uptime_ms=… connections=… queries=… answered=… errors=… reloads=… shed=… batches=… deadline_exceeded=… panics_caught=… idle_reaped=… write_stalls=… rejected=… respawned=… datasets=…` |
-//! | `reload <dataset> <path>` | `OK dataset=… generation=…` \| `ERR reload failed: …` |
+//! | `stats` | `OK uptime_ms=… connections=… queries=… answered=… errors=… reloads=… shed=… batches=… deadline_exceeded=… panics_caught=… idle_reaped=… write_stalls=… rejected=… respawned=… validation_failures=… rollbacks=… generations=… datasets=…` |
+//! | `reload <dataset> <path> [latest\|<gen>]` | `OK dataset=… generation=…` \| `ERR reload failed: …` |
+//! | `rollback <dataset>` | `OK dataset=… generation=…` \| `ERR rollback failed: …` |
 //! | `shutdown` | `OK bye` (server drains and exits) |
 //!
-//! A failed `reload` **keeps serving the old engine** — the registry swap
-//! is atomic and only happens after the snapshot decoded and compiled
-//! cleanly.  `BUSY` means the dataset's bounded admission queue
+//! `reload`'s `<path>` may be a `.l2r` snapshot file or a **model-store
+//! directory** (see `l2r_core::store`): a directory reloads the newest
+//! durable generation, and an explicit trailing `latest` or generation
+//! number pins the choice.  A failed `reload` — including a snapshot that
+//! fails validation (wrong dataset stamp, canary digest mismatch) —
+//! **keeps serving the old engine**; validation rejections additionally
+//! count in the `validation_failures` stat.  A successful swap retains the
+//! outgoing engine, and `rollback` restores it (bumping the generation —
+//! a rollback *is* a swap).  With
+//! [`ServerConfig::auto_rollback_window`] set, every swap also arms a
+//! post-swap probation window ([`health`]): an internal-error rate spike
+//! under real traffic rolls the dataset back automatically.  The registry
+//! swap is atomic and only happens after the snapshot decoded, compiled
+//! and validated cleanly.  `BUSY` means the dataset's bounded admission queue
 //! ([`queue`]) was full; the connection stays open and the request should
 //! be retried.  Both protocols report the same failure taxonomy: a route
 //! whose deadline expired answers `ERR deadline …` on the line protocol
@@ -84,6 +96,7 @@
 
 pub mod faults;
 pub mod frame;
+pub mod health;
 pub mod queue;
 
 mod client;
@@ -98,7 +111,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use l2r_core::{ModelRegistry, QueryScratch, RouteResult, ScratchPool};
+use l2r_core::{ModelRegistry, ModelStore, QueryScratch, RegistryError, RouteResult, ScratchPool};
 use l2r_road_network::VertexId;
 
 pub use client::{
@@ -106,6 +119,7 @@ pub use client::{
     DEFAULT_CLIENT_READ_TIMEOUT,
 };
 pub use faults::{FaultConfig, FaultCounters, FaultPlan};
+pub use health::{DatasetHealth, HealthMap};
 pub use load::{run_load, LoadConfig, LoadReport, Protocol};
 pub use queue::{DatasetQueue, DEFAULT_QUEUE_CAPACITY};
 pub use reactor::PARALLEL_BATCH_MIN;
@@ -168,6 +182,14 @@ pub struct ServerConfig {
     /// Hard bound on graceful drain: after `shutdown`, event loops finish
     /// admitted requests and flush replies for at most this long.
     pub drain_deadline: Duration,
+    /// Post-swap probation window (see [`health`]): after a successful
+    /// reload, this many route outcomes on the dataset are watched for an
+    /// internal-error spike before the swap is trusted.  `0` (the default)
+    /// disables automatic rollback entirely.
+    pub auto_rollback_window: u64,
+    /// Internal-error rate (per thousand outcomes of the probation window)
+    /// above which the server rolls the dataset back automatically.
+    pub auto_rollback_per_mille: u32,
     /// Deterministic fault-injection plan (tests and chaos benches only;
     /// `None` in production — every hook is then a cheap branch).
     pub faults: Option<Arc<FaultPlan>>,
@@ -186,6 +208,8 @@ impl Default for ServerConfig {
             write_stall_cap: 256 * 1024,
             max_connections: DEFAULT_MAX_CONNECTIONS,
             drain_deadline: Duration::from_secs(1),
+            auto_rollback_window: 0,
+            auto_rollback_per_mille: 200,
             faults: None,
         }
     }
@@ -213,6 +237,8 @@ pub struct ServerStats {
     pub(crate) write_stalls: AtomicU64,
     pub(crate) conns_rejected: AtomicU64,
     pub(crate) workers_respawned: AtomicU64,
+    pub(crate) validation_failures: AtomicU64,
+    pub(crate) rollbacks: AtomicU64,
 }
 
 impl ServerStats {
@@ -232,6 +258,8 @@ impl ServerStats {
             write_stalls: AtomicU64::new(0),
             conns_rejected: AtomicU64::new(0),
             workers_respawned: AtomicU64::new(0),
+            validation_failures: AtomicU64::new(0),
+            rollbacks: AtomicU64::new(0),
         }
     }
 
@@ -302,6 +330,19 @@ impl ServerStats {
     pub fn workers_respawned(&self) -> u64 {
         self.workers_respawned.load(Ordering::Relaxed)
     }
+
+    /// Reload attempts rejected by snapshot validation (wrong dataset
+    /// stamp or canary digest mismatch) — each one kept the old engine
+    /// serving.
+    pub fn validation_failures(&self) -> u64 {
+        self.validation_failures.load(Ordering::Relaxed)
+    }
+
+    /// Rollbacks performed — explicit `rollback` commands plus automatic
+    /// post-swap probation triggers.
+    pub fn rollbacks(&self) -> u64 {
+        self.rollbacks.load(Ordering::Relaxed)
+    }
 }
 
 /// Everything the event loops share: the model registry, the scratch pool,
@@ -312,6 +353,7 @@ pub struct ServerState {
     pub(crate) scratch: ScratchPool,
     pub(crate) stats: ServerStats,
     pub(crate) queues: queue::DatasetQueues,
+    pub(crate) health: HealthMap,
     pub(crate) shutdown: AtomicBool,
     /// Gauge of currently open connections across all event loops (the
     /// accept-time connection cap works against this; it must return to
@@ -332,6 +374,7 @@ impl ServerState {
             scratch: ScratchPool::new(),
             stats: ServerStats::new(),
             queues: queue::DatasetQueues::new(cfg.queue_capacity),
+            health: HealthMap::new(cfg.auto_rollback_window, cfg.auto_rollback_per_mille),
             shutdown: AtomicBool::new(false),
             open_conns: AtomicUsize::new(0),
         }
@@ -388,10 +431,12 @@ impl ServerState {
         } else {
             names.join(",")
         };
+        let generations = self.generations_field();
         format!(
             "uptime_ms={} connections={} queries={} answered={} errors={} reloads={} shed={} \
              batches={} deadline_exceeded={} panics_caught={} idle_reaped={} write_stalls={} \
-             rejected={} respawned={} datasets={datasets}",
+             rejected={} respawned={} validation_failures={} rollbacks={} \
+             generations={generations} datasets={datasets}",
             self.stats.started.elapsed().as_millis(),
             self.stats.connections(),
             self.stats.queries(),
@@ -406,7 +451,142 @@ impl ServerState {
             self.stats.write_stalls(),
             self.stats.conns_rejected(),
             self.stats.workers_respawned(),
+            self.stats.validation_failures(),
+            self.stats.rollbacks(),
         )
+    }
+
+    /// The `generations=` field of the stats line: `name:gen` per dataset,
+    /// comma-joined in sorted name order, or `-` with no datasets.
+    fn generations_field(&self) -> String {
+        let generations = self.registry.generations();
+        if generations.is_empty() {
+            return "-".to_string();
+        }
+        generations
+            .iter()
+            .map(|(name, generation)| format!("{name}:{generation}"))
+            .collect::<Vec<_>>()
+            .join(",")
+    }
+
+    /// Every server counter as machine-readable `(key, value)` pairs — the
+    /// structured half of the binary `stats` response, and the source the
+    /// ASCII line must agree with field-for-field (`uptime_ms` excepted:
+    /// the two are read at different instants).  Active registry
+    /// generations ride along as `generation.<dataset>` keys.
+    pub fn stats_fields(&self) -> Vec<(String, u64)> {
+        let mut fields: Vec<(String, u64)> = vec![
+            (
+                "uptime_ms".into(),
+                self.stats.started.elapsed().as_millis() as u64,
+            ),
+            ("connections".into(), self.stats.connections()),
+            ("queries".into(), self.stats.queries()),
+            ("answered".into(), self.stats.answered()),
+            ("errors".into(), self.stats.errors()),
+            ("reloads".into(), self.stats.reloads()),
+            ("shed".into(), self.stats.shed()),
+            ("batches".into(), self.stats.batches()),
+            ("deadline_exceeded".into(), self.stats.deadline_exceeded()),
+            ("panics_caught".into(), self.stats.panics_caught()),
+            ("idle_reaped".into(), self.stats.idle_reaped()),
+            ("write_stalls".into(), self.stats.write_stalls()),
+            ("rejected".into(), self.stats.conns_rejected()),
+            ("respawned".into(), self.stats.workers_respawned()),
+            (
+                "validation_failures".into(),
+                self.stats.validation_failures(),
+            ),
+            ("rollbacks".into(), self.stats.rollbacks()),
+        ];
+        for (name, generation) in self.registry.generations() {
+            fields.push((format!("generation.{name}"), generation));
+        }
+        fields
+    }
+
+    /// Rolls `dataset` back to its retained previous engine, counting the
+    /// event and disarming any pending probation (a manual rollback
+    /// supersedes the automatic one).  Returns the new registry generation.
+    pub fn rollback(&self, dataset: &str) -> Result<u64, String> {
+        match self.registry.rollback(dataset) {
+            Ok((_, generation)) => {
+                self.stats.rollbacks.fetch_add(1, Ordering::Relaxed);
+                self.health.disarm(dataset);
+                Ok(generation)
+            }
+            Err(e) => Err(format!("rollback failed: {e}")),
+        }
+    }
+
+    /// Fires a probation-triggered rollback.  Losing the race to a manual
+    /// `rollback` (the retained engine already consumed) is not an error —
+    /// the dataset is already back on the old engine.
+    pub(crate) fn trigger_auto_rollback(&self, health: &DatasetHealth) {
+        if self.registry.rollback(health.name()).is_ok() {
+            self.stats.rollbacks.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Performs one reload for either protocol and keeps the stats honest:
+/// `path` may be a `.l2r` snapshot file or a model-store directory, and
+/// `spec` (store reloads only) pins `latest` or an explicit generation
+/// number.  A successful swap counts `reloads` and arms post-swap
+/// probation; a validation rejection (dataset stamp or canary mismatch)
+/// counts `validation_failures`.  Returns the registry generation now
+/// serving, or the operator-facing error message.
+pub(crate) fn do_reload(
+    state: &ServerState,
+    dataset: &str,
+    path: &str,
+    spec: Option<&str>,
+) -> Result<u64, String> {
+    let target = Path::new(path);
+    let outcome = if spec.is_some() || target.is_dir() {
+        let generation = match spec {
+            None | Some("latest") => None,
+            Some(raw) => match raw.parse::<u64>() {
+                Ok(g) => Some(g),
+                Err(_) => {
+                    return Err(format!(
+                        "reload generation `{raw}` is neither `latest` nor a number"
+                    ))
+                }
+            },
+        };
+        ModelStore::open(target)
+            .map_err(RegistryError::from)
+            .and_then(|store| {
+                state
+                    .registry
+                    .reload_from_store(dataset, &store, generation)
+            })
+            .map(|_| ())
+    } else {
+        state.registry.reload(dataset, target).map(|_| ())
+    };
+    match outcome {
+        Ok(()) => {
+            state.stats.reloads.fetch_add(1, Ordering::Relaxed);
+            if state.registry.has_previous(dataset) {
+                state.health.arm(dataset);
+            }
+            Ok(state.registry.generation(dataset).unwrap_or(0))
+        }
+        Err(e) => {
+            if matches!(
+                e,
+                RegistryError::DatasetMismatch { .. } | RegistryError::CanaryMismatch { .. }
+            ) {
+                state
+                    .stats
+                    .validation_failures
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+            Err(format!("reload failed: {e}"))
+        }
     }
 }
 
@@ -619,12 +799,13 @@ pub fn respond_line(
         "info" => cmd_info(state, &mut parts),
         "stats" => format!("OK {}", state.stats_line()),
         "reload" => cmd_reload(state, &mut parts),
+        "rollback" => cmd_rollback(state, &mut parts),
         "shutdown" => return ("OK bye".to_string(), true),
         other => {
             state.stats.errors.fetch_add(1, Ordering::Relaxed);
             format!(
                 "ERR unknown command `{other}` \
-                 (expected ping|route|route_batch|info|stats|reload|shutdown)"
+                 (expected ping|route|route_batch|info|stats|reload|rollback|shutdown)"
             )
         }
     };
@@ -772,17 +953,27 @@ fn cmd_info<'a>(state: &ServerState, parts: &mut impl Iterator<Item = &'a str>) 
 
 fn cmd_reload<'a>(state: &ServerState, parts: &mut impl Iterator<Item = &'a str>) -> String {
     let (Some(dataset), Some(path)) = (parts.next(), parts.next()) else {
-        return err(state, "usage: reload <dataset> <path>".to_string());
+        return err(
+            state,
+            "usage: reload <dataset> <path> [latest|<generation>]".to_string(),
+        );
     };
-    match state.registry.reload(dataset, Path::new(path)) {
-        Ok(_) => {
-            state.stats.reloads.fetch_add(1, Ordering::Relaxed);
-            let generation = state.registry.generation(dataset).unwrap_or(0);
-            format!("OK dataset={dataset} generation={generation}")
-        }
+    let spec = parts.next();
+    match do_reload(state, dataset, path, spec) {
+        Ok(generation) => format!("OK dataset={dataset} generation={generation}"),
         // The registry kept the previous engine; tell the operator why the
         // swap did not happen.
-        Err(e) => err(state, format!("reload failed: {e}")),
+        Err(message) => err(state, message),
+    }
+}
+
+fn cmd_rollback<'a>(state: &ServerState, parts: &mut impl Iterator<Item = &'a str>) -> String {
+    let Some(dataset) = parts.next() else {
+        return err(state, "usage: rollback <dataset>".to_string());
+    };
+    match state.rollback(dataset) {
+        Ok(generation) => format!("OK dataset={dataset} generation={generation}"),
+        Err(message) => err(state, message),
     }
 }
 
@@ -873,13 +1064,15 @@ mod tests {
             "route_batch D1 0:1",
             "info nosuch",
             "reload D1",
+            "rollback",
+            "rollback nosuch",
             "frobnicate",
         ] {
             let (resp, shutdown) = respond_line(&state, &mut scratch, bad);
             assert!(resp.starts_with("ERR"), "`{bad}` -> {resp}");
             assert!(!shutdown);
         }
-        assert_eq!(state.stats().errors(), 10);
+        assert_eq!(state.stats().errors(), 12);
         assert_eq!(state.stats().queries(), 0);
     }
 

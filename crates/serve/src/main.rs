@@ -24,13 +24,18 @@ fn usage() -> ! {
         "usage:
   l2r-serve serve --listen <addr> [--workers N] --model NAME=PATH [--model NAME=PATH ...]
                   [--deadline-ms D] [--idle-timeout-ms I] [--max-connections C] [--drain-ms G]
+                  [--auto-rollback-window W] [--auto-rollback-per-mille P]
   l2r-serve load  --addr <addr> --dataset NAME [--protocol ascii|binary]
                   [--connections N] [--pipeline W] [--requests M-per-conn] [--seed S]
                   [--slow-every K] [--timeout-ms T]
   l2r-serve smoke --model NAME=PATH [--model NAME=PATH ...] [--sweep N-connections]
 
 Model snapshots are the versioned `.l2r` files written by
-`reproduce -- fit --snapshot <path>`."
+`reproduce -- fit --snapshot <path>`; a --model PATH that is a directory is
+opened as a crash-safe model store and its newest durable generation is
+served.  With --auto-rollback-window W > 0, the W route outcomes after a
+hot-swap are watched and the swap is rolled back automatically when the
+internal-error rate exceeds P per mille (default 200)."
     );
     std::process::exit(2);
 }
@@ -96,6 +101,13 @@ fn cmd_serve(mut args: impl Iterator<Item = String>) {
             "--drain-ms" => {
                 cfg.drain_deadline =
                     Duration::from_millis(parse_or_usage(args.next(), "--drain-ms"))
+            }
+            "--auto-rollback-window" => {
+                cfg.auto_rollback_window = parse_or_usage(args.next(), "--auto-rollback-window")
+            }
+            "--auto-rollback-per-mille" => {
+                cfg.auto_rollback_per_mille =
+                    parse_or_usage(args.next(), "--auto-rollback-per-mille")
             }
             "--model" => {
                 let spec: String = parse_or_usage(args.next(), "--model");

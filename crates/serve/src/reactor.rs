@@ -53,8 +53,11 @@ use l2r_road_network::VertexId;
 
 use crate::faults::FaultPlan;
 use crate::frame::{self, FrameParse, Opcode, Status, MAX_BATCH_PAIRS, MAX_NAME, MAX_PATH};
+use crate::health::DatasetHealth;
 use crate::queue::DatasetQueue;
-use crate::{format_route_response, panic_message, respond_line, ServerConfig, ServerState};
+use crate::{
+    do_reload, format_route_response, panic_message, respond_line, ServerConfig, ServerState,
+};
 
 /// Batches at or above this size execute through [`Engine::route_many`]
 /// (parallel fan-out); smaller ones run serially on the loop's pooled
@@ -323,6 +326,10 @@ struct BatchItem {
     /// When this request's budget runs out; checked again at execution and
     /// before the reply is filled.
     deadline: Instant,
+    /// The dataset's armed post-swap probation, if any: route outcomes are
+    /// recorded against it, and spending its error budget triggers an
+    /// automatic rollback (see [`crate::health`]).
+    health: Option<Arc<DatasetHealth>>,
 }
 
 /// The loop-wide batch of admitted route queries.
@@ -449,6 +456,18 @@ fn fill_outcome(
     }
 }
 
+/// Records one route outcome against a dataset's armed probation (if any)
+/// and fires the automatic rollback the moment the error budget is spent.
+/// Only internal errors (handler panics) count against the model —
+/// deadline expiries and shedding never reach this.
+fn record_health(state: &ServerState, health: &Option<Arc<DatasetHealth>>, internal_error: bool) {
+    if let Some(h) = health {
+        if h.record(internal_error) {
+            state.trigger_auto_rollback(h);
+        }
+    }
+}
+
 /// Runs one route under panic isolation, with fault hooks.  A handler
 /// panic costs exactly this request: the (possibly poisoned) scratch is
 /// discarded, `panics_caught` counts the catch, and the caller gets a
@@ -528,6 +547,7 @@ fn flush_batch(
                     match isolated_route(state, faults, &item.engine, scratch, item.src, item.dst) {
                         Ok(result) => {
                             executed += 1;
+                            record_health(state, &item.health, false);
                             if Instant::now() >= item.deadline {
                                 expired += 1;
                                 fill_outcome(conns, item, encode_deadline_exceeded);
@@ -539,6 +559,7 @@ fn flush_batch(
                             }
                         }
                         Err(message) => {
+                            record_health(state, &item.health, true);
                             fill_outcome(conns, item, |p| encode_route_error(p, &message));
                         }
                     }
@@ -573,6 +594,7 @@ fn flush_batch(
                 if f.inject_handler_panic() {
                     runnable[i] = false;
                     state.stats.panics_caught.fetch_add(1, Ordering::Relaxed);
+                    record_health(state, &item.health, true);
                     fill_outcome(conns, item, |p| {
                         encode_route_error(p, "internal: handler panicked: injected handler fault")
                     });
@@ -598,6 +620,7 @@ fn flush_batch(
                 Ok(results) => {
                     executed += pairs.len() as u64;
                     for (&i, result) in indices.iter().zip(results.iter()) {
+                        record_health(state, &items[i].health, false);
                         if Instant::now() >= items[i].deadline {
                             expired += 1;
                             fill_outcome(conns, &items[i], encode_deadline_exceeded);
@@ -614,6 +637,7 @@ fn flush_batch(
                     let message =
                         format!("internal: handler panicked: {}", panic_message(&payload));
                     for &i in indices {
+                        record_health(state, &items[i].health, true);
                         fill_outcome(conns, &items[i], |p| encode_route_error(p, &message));
                     }
                 }
@@ -676,6 +700,7 @@ fn enqueue_route(
         return;
     }
     let seq = conn.claim_slot();
+    let health = state.health.watch(dataset);
     batch.push(BatchItem {
         conn: ci,
         conn_id: conn.id,
@@ -685,6 +710,7 @@ fn enqueue_route(
         src,
         dst,
         deadline,
+        health,
     });
 }
 
@@ -888,8 +914,12 @@ fn handle_frame(
             let mut executed = 0u64;
             let mut body = Writer::new();
             let mut internal: Option<String> = None;
+            let health = state.health.watch(&dataset);
             for &(s, d) in &pairs {
-                match isolated_route(state, faults, &engine, scratch, VertexId(s), VertexId(d)) {
+                let outcome =
+                    isolated_route(state, faults, &engine, scratch, VertexId(s), VertexId(d));
+                record_health(state, &health, outcome.is_err());
+                match outcome {
                     Ok(Some(result)) => {
                         executed += 1;
                         answered += 1;
@@ -947,31 +977,55 @@ fn handle_frame(
             Err(e) => fail(conn, format!("bad info payload: {e}")),
         },
         Opcode::Stats => {
+            // The human-readable line first (back-compat), then the same
+            // counters as machine-readable pairs appended after it — old
+            // clients stop at the string, new ones read the pairs.
             let mut w = Writer::new();
             w.str(&state.stats_line());
+            let fields = state.stats_fields();
+            w.u32(fields.len() as u32);
+            for (key, value) in &fields {
+                w.str(key);
+                w.u64(*value);
+            }
             conn.push_response(binary_frame(Status::Ok, w.as_slice()));
         }
         Opcode::Reload => {
             let decoded = (|| {
                 let dataset = r.str("reload dataset", MAX_NAME)?.to_string();
                 let path = r.str("reload path", MAX_PATH)?.to_string();
-                Ok::<_, l2r_road_network::codec::CodecError>((dataset, path))
+                let spec = if r.is_exhausted() {
+                    None
+                } else {
+                    Some(r.str("reload spec", MAX_NAME)?.to_string())
+                };
+                Ok::<_, l2r_road_network::codec::CodecError>((dataset, path, spec))
             })();
             match decoded {
-                Ok((dataset, path)) => {
-                    match state.registry.reload(&dataset, std::path::Path::new(&path)) {
-                        Ok(_) => {
-                            state.stats.reloads.fetch_add(1, Ordering::Relaxed);
+                Ok((dataset, path, spec)) => {
+                    match do_reload(state, &dataset, &path, spec.as_deref()) {
+                        Ok(generation) => {
                             let mut w = Writer::new();
-                            w.u64(state.registry.generation(&dataset).unwrap_or(0));
+                            w.u64(generation);
                             conn.push_response(binary_frame(Status::Ok, w.as_slice()));
                         }
-                        Err(e) => fail(conn, format!("reload failed: {e}")),
+                        Err(message) => fail(conn, message),
                     }
                 }
                 Err(e) => fail(conn, format!("bad reload payload: {e}")),
             }
         }
+        Opcode::Rollback => match r.str("rollback dataset", MAX_NAME) {
+            Ok(dataset) => match state.rollback(dataset) {
+                Ok(generation) => {
+                    let mut w = Writer::new();
+                    w.u64(generation);
+                    conn.push_response(binary_frame(Status::Ok, w.as_slice()));
+                }
+                Err(message) => fail(conn, message),
+            },
+            Err(e) => fail(conn, format!("bad rollback payload: {e}")),
+        },
         Opcode::Shutdown => {
             conn.push_response(binary_frame(Status::Ok, &[]));
             return true;

@@ -9,22 +9,33 @@
 
 use std::path::PathBuf;
 
-use l2r_core::{Engine, ModelRegistry};
+use l2r_core::{Engine, ModelRegistry, ModelStore};
 use l2r_road_network::VertexId;
 
 use crate::client::{route_reply_to_line, BinClient, Client};
 use crate::load::{run_load, LoadConfig, Protocol};
 use crate::{format_route_response, Server};
 
-/// Builds a registry by loading each `name=path` model spec.
+/// Builds a registry by loading each `name=path` model spec.  A path that
+/// is a directory is opened as a model store and its newest durable
+/// generation is served; a file is loaded as a plain snapshot.
 pub fn registry_from_specs(specs: &[(String, PathBuf)]) -> Result<ModelRegistry, String> {
     if specs.is_empty() {
         return Err("no --model NAME=PATH specs given".to_string());
     }
     let registry = ModelRegistry::new();
     for (name, path) in specs {
-        let engine = Engine::load(path)
-            .map_err(|e| format!("failed to load `{name}` from {}: {e}", path.display()))?;
+        let engine = if path.is_dir() {
+            let store = ModelStore::open(path)
+                .map_err(|e| format!("failed to open store `{name}` at {}: {e}", path.display()))?;
+            let (_, snapshot) = store.load_latest().map_err(|e| {
+                format!("failed to load `{name}` from store {}: {e}", path.display())
+            })?;
+            snapshot.model.into_engine()
+        } else {
+            Engine::load(path)
+                .map_err(|e| format!("failed to load `{name}` from {}: {e}", path.display()))?
+        };
         registry.insert(name, engine);
     }
     Ok(registry)
