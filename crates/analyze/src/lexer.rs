@@ -1,0 +1,293 @@
+//! A hand-rolled, single-pass Rust *line* lexer.
+//!
+//! The engine does not need a full parse tree — every rule in
+//! [`crate::rules`] asks line-shaped questions ("does this line's *code*
+//! mention `partial_cmp`?", "is there a `SAFETY:` comment next to this
+//! `unsafe`?").  What it must never do is get those answers from text that
+//! is actually inside a string literal or a comment — a doc example
+//! containing `unsafe`, or `r#"…partial_cmp…"#` in a test fixture, must
+//! not fire a rule.  So the lexer walks the file once, character by
+//! character, and splits every line into
+//!
+//! * `code` — the line with comments removed and the *contents* of
+//!   string/char literals blanked (the delimiting quotes survive, so the
+//!   code shape stays recognisable), and
+//! * `comment` — the text of any `//`, `///`, `//!` or `/* … */` comment
+//!   that touches the line (block comments contribute to every line they
+//!   span).
+//!
+//! It understands the token shapes that trip naive scanners:
+//!
+//! * raw strings `r"…"`, `r#"…"#` (any hash depth), byte strings `b"…"`,
+//!   `br#"…"#` — including raw strings that *contain* `"` or `unsafe`;
+//! * raw identifiers (`r#match`) — not raw strings;
+//! * nested block comments (`/* outer /* inner */ still comment */`),
+//!   which Rust permits and many greps get wrong;
+//! * char literals vs. lifetimes (`'x'` vs. `'a`), including escapes;
+//! * brace depth, tracked over *code* only, so region-shaped rules
+//!   (`#[cfg(test)]` modules, FFI regions) can bracket spans of lines.
+
+/// One source line, split into its code and comment parts.
+#[derive(Debug, Clone, Default)]
+pub struct Line {
+    /// Code text: comments stripped, literal contents blanked.
+    pub code: String,
+    /// Comment text touching this line (line + block comments).
+    pub comment: String,
+    /// Brace depth (over code) at the start of the line.
+    pub depth_start: u32,
+    /// Brace depth (over code) at the end of the line.
+    pub depth_end: u32,
+    /// Inside a `#[cfg(test)]`-gated `mod` region.
+    pub in_test: bool,
+}
+
+/// Lexer mode between characters.
+enum Mode {
+    Code,
+    /// Inside `/* … */`; the payload is the nesting depth.
+    Block(u32),
+    /// Inside a `"…"` string (escapes honoured).
+    Str,
+    /// Inside an `r##"…"##` raw string; payload is the hash count.
+    RawStr(u32),
+}
+
+/// Splits `src` into lexed [`Line`]s and marks `#[cfg(test)]` mod regions.
+pub fn lex(src: &str) -> Vec<Line> {
+    let cs: Vec<char> = src.chars().collect();
+    let mut lines: Vec<Line> = Vec::new();
+    let mut cur = Line::default();
+    let mut depth: u32 = 0;
+    cur.depth_start = depth;
+    let mut mode = Mode::Code;
+    let mut i = 0usize;
+
+    // Closes the current line and starts the next one.
+    macro_rules! newline {
+        () => {{
+            cur.depth_end = depth;
+            lines.push(std::mem::take(&mut cur));
+            cur.depth_start = depth;
+        }};
+    }
+
+    while i < cs.len() {
+        let c = cs[i];
+        if c == '\n' {
+            newline!();
+            i += 1;
+            continue;
+        }
+        match mode {
+            Mode::Code => {
+                let next = cs.get(i + 1).copied();
+                if c == '/' && next == Some('/') {
+                    // Line comment: the rest of the line is comment text.
+                    let mut j = i + 2;
+                    // Doc-comment sigils are not part of the text.
+                    while matches!(cs.get(j), Some('/') | Some('!')) {
+                        j += 1;
+                    }
+                    while j < cs.len() && cs[j] != '\n' {
+                        cur.comment.push(cs[j]);
+                        j += 1;
+                    }
+                    i = j;
+                } else if c == '/' && next == Some('*') {
+                    mode = Mode::Block(1);
+                    i += 2;
+                } else if c == '"' {
+                    cur.code.push('"');
+                    mode = Mode::Str;
+                    i += 1;
+                } else if is_raw_string_start(&cs, i) {
+                    // r"…" / r#"…"# / br#"…"# — count the hashes.
+                    let mut j = i;
+                    while cs[j] != '"' {
+                        cur.code.push(cs[j]);
+                        j += 1;
+                    }
+                    let hashes = cs[i..j].iter().filter(|c| **c == '#').count() as u32;
+                    cur.code.push('"');
+                    mode = Mode::RawStr(hashes);
+                    i = j + 1;
+                } else if c == 'b' && next == Some('\'') {
+                    // Byte literal b'…'.
+                    cur.code.push('b');
+                    i += 1;
+                } else if c == '\'' {
+                    if let Some(end) = char_literal_end(&cs, i) {
+                        // Blank the contents, keep the quotes.
+                        cur.code.push('\'');
+                        cur.code.push('\'');
+                        i = end + 1;
+                    } else {
+                        // A lifetime; emit as code.
+                        cur.code.push('\'');
+                        i += 1;
+                    }
+                } else {
+                    if c == '{' {
+                        depth += 1;
+                    } else if c == '}' {
+                        depth = depth.saturating_sub(1);
+                    }
+                    cur.code.push(c);
+                    i += 1;
+                }
+            }
+            Mode::Block(d) => {
+                let next = cs.get(i + 1).copied();
+                if c == '/' && next == Some('*') {
+                    mode = Mode::Block(d + 1); // Rust block comments nest
+                    i += 2;
+                } else if c == '*' && next == Some('/') {
+                    mode = if d == 1 {
+                        Mode::Code
+                    } else {
+                        Mode::Block(d - 1)
+                    };
+                    i += 2;
+                } else {
+                    cur.comment.push(c);
+                    i += 1;
+                }
+            }
+            Mode::Str => {
+                if c == '\\' {
+                    i += 2; // skip the escaped character (blanked anyway)
+                } else if c == '"' {
+                    cur.code.push('"');
+                    mode = Mode::Code;
+                    i += 1;
+                } else {
+                    i += 1; // blank string contents
+                }
+            }
+            Mode::RawStr(hashes) => {
+                if c == '"' && closes_raw_string(&cs, i, hashes) {
+                    cur.code.push('"');
+                    for _ in 0..hashes {
+                        cur.code.push('#');
+                    }
+                    mode = Mode::Code;
+                    i += 1 + hashes as usize;
+                } else {
+                    i += 1; // blank raw-string contents
+                }
+            }
+        }
+    }
+    // Final line (files without a trailing newline still lex fully).
+    if !cur.code.is_empty() || !cur.comment.is_empty() {
+        newline!();
+    }
+
+    mark_test_regions(&mut lines);
+    lines
+}
+
+/// Is `cs[i..]` the start of a raw (byte) string literal — `r"`, `r#…#"`,
+/// `br"`, `br#…#"` — and not a raw identifier (`r#match`) or the tail of a
+/// longer identifier (`carr#…`)?
+fn is_raw_string_start(cs: &[char], i: usize) -> bool {
+    if i > 0 && is_ident_char(cs[i - 1]) {
+        return false; // …r is the tail of an identifier
+    }
+    let mut j = i;
+    if cs[j] == 'b' {
+        j += 1;
+    }
+    if cs.get(j) != Some(&'r') {
+        return false;
+    }
+    j += 1;
+    while cs.get(j) == Some(&'#') {
+        j += 1;
+    }
+    cs.get(j) == Some(&'"')
+}
+
+/// Does the `"` at `cs[i]` close a raw string opened with `hashes` hashes?
+fn closes_raw_string(cs: &[char], i: usize, hashes: u32) -> bool {
+    (1..=hashes as usize).all(|k| cs.get(i + k) == Some(&'#'))
+}
+
+/// If `cs[i]` (a `'`) opens a char literal, returns the index of its
+/// closing `'`; `None` means it is a lifetime.
+fn char_literal_end(cs: &[char], i: usize) -> Option<usize> {
+    match cs.get(i + 1)? {
+        '\\' => {
+            // Escaped char literal: scan for the closing quote.
+            let mut j = i + 2;
+            while j < cs.len() && j < i + 12 {
+                if cs[j] == '\\' {
+                    j += 2;
+                    continue;
+                }
+                if cs[j] == '\'' {
+                    return Some(j);
+                }
+                j += 1;
+            }
+            None
+        }
+        _ => {
+            // 'x' is a char literal; 'x anything-else is a lifetime.
+            if cs.get(i + 2) == Some(&'\'') {
+                Some(i + 2)
+            } else {
+                None
+            }
+        }
+    }
+}
+
+pub(crate) fn is_ident_char(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Marks every line inside a `#[cfg(test)] mod … { … }` region.
+///
+/// `#[cfg(test)]` on non-`mod` items (a lone `use`, a helper fn) does not
+/// open a region — only the conventional test module does.
+fn mark_test_regions(lines: &mut [Line]) {
+    let mut i = 0;
+    while i < lines.len() {
+        if !lines[i].code.contains("#[cfg(test)]") {
+            i += 1;
+            continue;
+        }
+        // The `mod` may share the attribute's line or follow within the
+        // next few lines (more attributes / comments in between).
+        let mut mod_line = None;
+        for (j, line) in lines.iter().enumerate().skip(i).take(5) {
+            let code = line.code.trim_start();
+            if code.contains("mod ") || code.starts_with("mod ") {
+                mod_line = Some(j);
+                break;
+            }
+        }
+        let Some(m) = mod_line else {
+            i += 1;
+            continue;
+        };
+        let base = lines[m].depth_start;
+        let mut entered = false;
+        let mut j = m;
+        while j < lines.len() {
+            lines[j].in_test = true;
+            if lines[j].depth_end > base {
+                entered = true; // the mod's `{` has been seen
+            }
+            // The region ends on the line whose closing brace returns the
+            // depth to the base.
+            if entered && lines[j].depth_end <= base {
+                break;
+            }
+            j += 1;
+        }
+        i = j + 1;
+    }
+}

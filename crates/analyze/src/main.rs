@@ -1,0 +1,72 @@
+//! CLI for the workspace lint engine.
+//!
+//! ```sh
+//! cargo run -p l2r-analyze -- check           # human report, exit 1 on violations
+//! cargo run -p l2r-analyze -- check --json    # BENCH-style JSON on stdout
+//! cargo run -p l2r-analyze -- rules           # list the shipped rules
+//! ```
+
+use l2r_analyze::{report, rules, Config};
+
+fn usage(error: &str) -> ! {
+    eprintln!(
+        "error: {error}
+
+usage: l2r-analyze <command> [flags]
+
+commands:
+  check          scan the workspace; exit 0 iff no unallowed findings
+  rules          list every rule with its description
+
+flags:
+  --json         emit the machine-readable report (check only)
+  --root <dir>   workspace root to scan (default: this build's workspace)"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut command: Option<String> = None;
+    let mut json = false;
+    let mut root = l2r_analyze::default_root();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--root" => match args.next() {
+                Some(dir) => root = dir.into(),
+                None => usage("--root requires a directory argument"),
+            },
+            other if other.starts_with("--") => usage(&format!("unknown flag `{other}`")),
+            other if command.is_none() => command = Some(other.to_string()),
+            other => usage(&format!("unexpected argument `{other}`")),
+        }
+    }
+    match command.as_deref() {
+        Some("rules") => {
+            for rule in rules::all_rules() {
+                println!("{:28} {}", rule.name(), rule.description());
+            }
+        }
+        Some("check") => {
+            let config = Config::for_root(&root);
+            let report = match l2r_analyze::run(&config) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("error: scanning {}: {e}", root.display());
+                    std::process::exit(2);
+                }
+            };
+            if json {
+                print!("{}", report::json(&report));
+            } else {
+                print!("{}", report::human(&report));
+            }
+            if !report.findings.is_empty() {
+                std::process::exit(1);
+            }
+        }
+        Some(other) => usage(&format!("unknown command `{other}`")),
+        None => usage("a command is required"),
+    }
+}

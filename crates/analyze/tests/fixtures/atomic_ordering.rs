@@ -1,0 +1,33 @@
+// Fixture: atomic-ordering-justified — firing (non-Relaxed without a
+// comment, Relaxed on a sync flag), justified, and waived sites.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+fn firing_non_relaxed(flag: &AtomicBool) -> bool {
+    flag.load(Ordering::Acquire)
+}
+
+fn firing_relaxed_sync_flag(stop: &AtomicBool) -> bool {
+    stop.load(Ordering::Relaxed)
+}
+
+fn justified(flag: &AtomicBool) -> bool {
+    // ordering: Acquire — fixture: pairs with a Release store elsewhere.
+    flag.load(Ordering::Acquire)
+}
+
+fn justified_inline(stop: &AtomicBool) -> bool {
+    stop.load(Ordering::Relaxed) // ordering: no data carried; join() syncs
+}
+
+fn waived(stop: &AtomicBool) -> bool {
+    // l2r: allow(atomic-ordering-justified) — fixture: deliberately waived
+    stop.load(Ordering::Relaxed)
+}
+
+fn plain_counter_is_fine(hits: &std::sync::atomic::AtomicU64) -> u64 {
+    hits.load(Ordering::Relaxed)
+}
+
+// A comment mentioning Ordering::Acquire must not count as justification,
+// and this comment alone must not fire anything.

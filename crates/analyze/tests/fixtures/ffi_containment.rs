@@ -1,0 +1,13 @@
+// Fixture: ffi-containment — an extern block outside the designated
+// region fires; one under an inline allow is waived.
+
+extern "C" {
+    fn firing_foreign_fn();
+}
+
+// l2r: allow(ffi-containment) — fixture: deliberately waived site
+extern "C" {
+    fn waived_foreign_fn();
+}
+
+const NOT_FFI: &str = "extern \"C\" inside a string literal must not fire";

@@ -1,0 +1,10 @@
+// Fixture: the same extern block is clean when it sits inside the marked
+// sys region — tests feed this under the designated reactor.rs path.
+
+// l2r: ffi-region begin
+extern "C" {
+    fn contained_foreign_fn();
+}
+// l2r: ffi-region end
+
+fn after_the_region() {}

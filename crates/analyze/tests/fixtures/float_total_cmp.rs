@@ -1,0 +1,15 @@
+// Fixture: one firing and one waived float-total-cmp site.  Not compiled —
+// the engine walk skips tests/fixtures/; tests feed it to analyze_source.
+
+fn firing(xs: &mut [f64]) {
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+}
+
+fn waived(xs: &mut [f64]) {
+    // l2r: allow(float-total-cmp) — fixture: deliberately waived site
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+}
+
+const IN_A_STRING: &str = "partial_cmp in a string literal must not fire";
+const IN_A_RAW_STRING: &str = r#"partial_cmp in a raw string must not fire"#;
+// partial_cmp in a comment must not fire either.

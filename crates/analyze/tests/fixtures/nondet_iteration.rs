@@ -1,0 +1,35 @@
+// Fixture: nondeterministic-iteration — tests feed this under a
+// deterministic-fit crate path (crates/core/src/...); firing and waived.
+
+use std::collections::HashMap;
+
+fn firing() -> f64 {
+    let m: HashMap<u32, f64> = HashMap::new();
+    let mut total = 0.0;
+    for v in m.values() {
+        total += v;
+    }
+    total
+}
+
+fn firing_for_loop() -> u64 {
+    let counts: HashMap<u32, u64> = HashMap::new();
+    let mut n = 0;
+    for (_k, v) in &counts {
+        n += v;
+    }
+    n
+}
+
+fn waived() -> Vec<u32> {
+    let m: HashMap<u32, f64> = HashMap::new();
+    // l2r: allow(nondeterministic-iteration) — fixture: collected then sorted below
+    let mut ks: Vec<u32> = m.keys().copied().collect();
+    ks.sort_unstable();
+    ks
+}
+
+fn sorted_vec_is_fine() -> u32 {
+    let v: Vec<u32> = vec![1, 2, 3];
+    v.iter().sum()
+}

@@ -1,0 +1,18 @@
+// Fixture: unsafe-needs-safety — firing, SAFETY-justified, and waived.
+
+fn firing(p: *const u8) -> u8 {
+    unsafe { *p }
+}
+
+fn justified(p: *const u8) -> u8 {
+    // SAFETY: fixture — the caller guarantees `p` points to a live byte.
+    unsafe { *p }
+}
+
+fn waived(p: *const u8) -> u8 {
+    // l2r: allow(unsafe-needs-safety) — fixture: deliberately waived site
+    unsafe { *p }
+}
+
+const DOC_EXAMPLE: &str = r#"this raw string contains unsafe { } and must not fire"#;
+/* a block comment mentioning unsafe must not fire */

@@ -1,0 +1,109 @@
+//! Lexer edge cases: the token shapes that trip naive grep-based linters.
+
+use l2r_analyze::lexer::lex;
+
+#[test]
+fn line_comments_are_split_from_code() {
+    let lines = lex("let x = 1; // trailing note\n");
+    assert_eq!(lines[0].code, "let x = 1; ");
+    assert_eq!(lines[0].comment, " trailing note");
+}
+
+#[test]
+fn string_contents_are_blanked_but_quotes_survive() {
+    let lines = lex("let s = \"unsafe { partial_cmp } // not a comment\";\n");
+    assert_eq!(lines[0].code, "let s = \"\";");
+    assert!(lines[0].comment.is_empty());
+}
+
+#[test]
+fn escaped_quotes_do_not_end_strings() {
+    let lines = lex("let s = \"a \\\" b\"; let t = 1;\n");
+    assert_eq!(lines[0].code, "let s = \"\"; let t = 1;");
+}
+
+#[test]
+fn raw_strings_containing_unsafe_are_blanked() {
+    let lines = lex("let s = r#\"unsafe { *p } \" still inside\"#; let x = 1;\n");
+    assert_eq!(lines[0].code, "let s = r#\"\"#; let x = 1;");
+    assert!(!lines[0].code.contains("unsafe"));
+}
+
+#[test]
+fn raw_string_hash_depth_is_honoured() {
+    // `"#` does not close an `r##"…"##` string; `"##` does.
+    let lines = lex("let s = r##\"has \"# inside\"##; let x = 1;\n");
+    assert_eq!(lines[0].code, "let s = r##\"\"##; let x = 1;");
+}
+
+#[test]
+fn byte_raw_strings_are_recognised() {
+    let lines = lex("let s = br#\"unsafe\"#;\n");
+    assert!(!lines[0].code.contains("unsafe"));
+}
+
+#[test]
+fn raw_identifiers_are_not_raw_strings() {
+    let lines = lex("let r#match = 1; let after = \"x\";\n");
+    assert_eq!(lines[0].code, "let r#match = 1; let after = \"\";");
+}
+
+#[test]
+fn nested_block_comments_stay_comments() {
+    let lines = lex("/* outer /* inner unsafe */ still comment */ let x = 1;\n");
+    assert_eq!(lines[0].code.trim(), "let x = 1;");
+    assert!(lines[0].comment.contains("inner unsafe"));
+}
+
+#[test]
+fn multiline_block_comments_touch_every_line() {
+    let lines = lex("/* one\ntwo unsafe\nthree */ let x = 1;\n");
+    assert!(lines[0].code.trim().is_empty());
+    assert!(lines[1].code.trim().is_empty());
+    assert!(lines[1].comment.contains("two unsafe"));
+    assert_eq!(lines[2].code.trim(), "let x = 1;");
+}
+
+#[test]
+fn char_literals_are_blanked_and_lifetimes_survive() {
+    let lines = lex("let c = '\"'; fn f<'a>(x: &'a str) {}\n");
+    assert_eq!(lines[0].code, "let c = ''; fn f<'a>(x: &'a str) {}");
+    let lines = lex("let c = '\\n'; let s = \"x\";\n");
+    assert_eq!(lines[0].code, "let c = ''; let s = \"\";");
+}
+
+#[test]
+fn brace_depth_is_tracked_over_code_only() {
+    let lines = lex("fn f() { // {not code\n    let s = \"}\";\n}\n");
+    assert_eq!(lines[0].depth_end, 1, "comment braces do not count");
+    assert_eq!(lines[1].depth_end, 1, "string braces do not count");
+    assert_eq!(lines[2].depth_end, 0);
+}
+
+#[test]
+fn cfg_test_modules_are_marked() {
+    let src = "\
+fn prod() {}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() {}
+}
+
+fn also_prod() {}
+";
+    let lines = lex(src);
+    assert!(!lines[0].in_test);
+    assert!(lines[3].in_test, "mod line is in the region");
+    assert!(lines[5].in_test, "body is in the region");
+    assert!(lines[6].in_test, "closing brace line is in the region");
+    assert!(!lines[8].in_test, "code after the module is not");
+}
+
+#[test]
+fn cfg_test_on_a_single_item_does_not_open_a_region() {
+    let src = "#[cfg(test)]\nuse std::fmt;\n\nfn prod() {}\n";
+    let lines = lex(src);
+    assert!(lines.iter().all(|l| !l.in_test));
+}

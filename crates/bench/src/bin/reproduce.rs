@@ -52,8 +52,8 @@ use l2r_eval::{
 /// historical behaviour of silently ignoring typos meant a misspelled
 /// experiment "passed" by doing nothing).
 const EXPERIMENTS: &[&str] = &[
-    "all", "fit", "table2", "table4", "fig6a", "fig6b", "fig9a", "fig9b", "fig10", "fig11",
-    "fig12", "fig13", "offline", "online", "serving", "recovery",
+    "all", "analyze", "fit", "table2", "table4", "fig6a", "fig6b", "fig9a", "fig9b", "fig10",
+    "fig11", "fig12", "fig13", "offline", "online", "serving", "recovery",
 ];
 
 fn usage(error: &str) -> ! {
@@ -114,6 +114,12 @@ fn main() {
         "learn-to-route reproduction — scale: {}\n",
         if full { "full" } else { "quick" }
     );
+
+    // Dataset-independent, so it runs before the expensive builds: a
+    // violation fails fast instead of after minutes of fitting.
+    if run("analyze") {
+        run_analyze();
+    }
 
     let sets = datasets(DatasetChoice::Both, scale);
     let mut offline_entries = Vec::new();
@@ -291,6 +297,42 @@ fn main() {
         if lifecycle_broken {
             std::process::exit(1);
         }
+    }
+}
+
+/// Static-analysis section: runs the `l2r-analyze` engine over the
+/// workspace, prints the human report, and writes the machine-readable one
+/// next to the other `BENCH_*.json` artifacts (`target/BENCH_analyze.json`,
+/// override with `L2R_BENCH_ANALYZE_JSON=<path>`).  Any unallowed violation
+/// fails the run — and thereby CI — like every other invariant here.
+fn run_analyze() {
+    println!("=== static analysis (l2r-analyze) ===\n");
+    let config = l2r_analyze::Config::for_root(l2r_analyze::default_root());
+    let report = match l2r_analyze::run(&config) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("ERROR: static-analysis scan failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    print!("{}", l2r_analyze::report::human(&report));
+    let path = std::env::var("L2R_BENCH_ANALYZE_JSON")
+        .unwrap_or_else(|_| "target/BENCH_analyze.json".to_string());
+    if let Some(parent) = std::path::Path::new(&path).parent() {
+        if !parent.as_os_str().is_empty() {
+            let _ = std::fs::create_dir_all(parent);
+        }
+    }
+    match std::fs::write(&path, l2r_analyze::report::json(&report)) {
+        Ok(()) => println!("wrote {path}\n"),
+        Err(e) => eprintln!("failed to write {path}: {e}"),
+    }
+    if !report.findings.is_empty() {
+        eprintln!(
+            "ERROR: {} static-analysis violation(s) — see the report above",
+            report.findings.len()
+        );
+        std::process::exit(1);
     }
 }
 

@@ -887,6 +887,9 @@ fn hammer_registry(
                     let mut latencies = Vec::new();
                     'outer: loop {
                         for (i, q) in queries.iter().enumerate() {
+                            // ordering: Relaxed — the flag carries no data;
+                            // workers only need to stop eventually, and the
+                            // scope join is the real synchronisation point.
                             if stop.load(Ordering::Relaxed) {
                                 break 'outer;
                             }
@@ -906,6 +909,7 @@ fn hammer_registry(
             })
             .collect();
         let reloads = control(&stop);
+        // ordering: Relaxed — see the worker-side load; join() synchronises.
         stop.store(true, Ordering::Relaxed);
         (
             handles

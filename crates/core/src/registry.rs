@@ -350,6 +350,7 @@ impl ModelRegistry {
 
     /// Registered dataset names, in registration-independent sorted order.
     pub fn names(&self) -> Vec<String> {
+        // l2r: allow(nondeterministic-iteration) — collected then sorted below
         let mut names: Vec<String> = self.read().live.keys().cloned().collect();
         names.sort();
         names

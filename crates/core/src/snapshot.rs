@@ -345,6 +345,7 @@ fn encode_payload(model: &L2r, dataset: &str, canaries: &[Canary]) -> Vec<u8> {
         model.learned_preferences().iter().collect();
     learned.sort_by_key(|(id, _)| **id);
     w.length(learned.len());
+    // l2r: allow(nondeterministic-iteration) — the Vec sorted above, not the map
     for (id, lp) in learned {
         w.u32(id.0);
         lp.encode(&mut w);
@@ -354,6 +355,7 @@ fn encode_payload(model: &L2r, dataset: &str, canaries: &[Canary]) -> Vec<u8> {
         model.transferred_preferences().iter().collect();
     transferred.sort_by_key(|(id, _)| **id);
     w.length(transferred.len());
+    // l2r: allow(nondeterministic-iteration) — the Vec sorted above, not the map
     for (id, pref) in transferred {
         w.u32(id.0);
         match pref {

@@ -544,6 +544,8 @@ impl FaultFs {
     /// Advances the mutating-op counter; returns the fault to inject at
     /// this op, if any.
     fn mutating(&self) -> io::Result<Option<FsFaultKind>> {
+        // ordering: Relaxed — the crash simulation is single-threaded per
+        // store; the flag only gates later ops on the same thread.
         if self.dead.load(Ordering::Relaxed) {
             return Err(Self::dead_err());
         }
@@ -557,6 +559,7 @@ impl FaultFs {
     }
 
     fn alive(&self) -> io::Result<()> {
+        // ordering: Relaxed — single-threaded crash simulation (see above).
         if self.dead.load(Ordering::Relaxed) {
             Err(Self::dead_err())
         } else {
@@ -565,6 +568,7 @@ impl FaultFs {
     }
 
     fn die(&self) -> io::Error {
+        // ordering: Relaxed — single-threaded crash simulation (see above).
         self.dead.store(true, Ordering::Relaxed);
         Self::dead_err()
     }

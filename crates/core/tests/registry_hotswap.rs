@@ -86,6 +86,8 @@ fn queries_during_hot_swaps_always_see_exactly_one_model() {
                     let (mut from_a, mut from_b, mut torn) = (0u64, 0u64, 0u64);
                     'outer: loop {
                         for (i, (s, d)) in queries.iter().enumerate() {
+                            // ordering: Relaxed — the flag carries no data;
+                            // workers stop eventually and join() synchronises.
                             if stop.load(Ordering::Relaxed) {
                                 break 'outer;
                             }
@@ -113,6 +115,7 @@ fn queries_during_hot_swaps_always_see_exactly_one_model() {
                 .expect("valid snapshot reloads");
             std::thread::sleep(std::time::Duration::from_millis(2));
         }
+        // ordering: Relaxed — see the worker-side load; join() synchronises.
         stop.store(true, Ordering::Relaxed);
         handles
             .into_iter()

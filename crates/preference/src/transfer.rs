@@ -86,6 +86,7 @@ pub fn transfer_preferences(
     // a target so that the experiments can hold out known labels.
     let mut ids: Vec<RegionEdgeId> = Vec::new();
     let target_set: std::collections::HashSet<RegionEdgeId> = targets.iter().copied().collect();
+    // l2r: allow(nondeterministic-iteration) — collected then sorted below
     for id in labeled.keys() {
         if !target_set.contains(id) {
             ids.push(*id);

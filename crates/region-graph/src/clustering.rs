@@ -83,6 +83,8 @@ impl Ord for HeapEntry {
 }
 
 impl PartialOrd for HeapEntry {
+    // l2r: allow(float-total-cmp) — trait-mandated shim; delegates to the
+    // total_cmp-based Ord above, so no NaN-unsafe comparison happens here.
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
         Some(self.cmp(other))
     }
@@ -155,6 +157,7 @@ pub fn bottom_up_clustering(tg: &TrajectoryGraph) -> Vec<Cluster> {
         // order (and through float summation the exact popularity values),
         // so it must be deterministic.
         let neighbors: Vec<usize> = {
+            // l2r: allow(nondeterministic-iteration) — collected then sorted below
             let mut v: Vec<usize> = adj[k].keys().copied().filter(|j| nodes[*j].alive).collect();
             v.sort_unstable();
             v

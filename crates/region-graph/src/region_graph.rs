@@ -310,8 +310,11 @@ impl RegionGraph {
             // Sort so B-edge ids are assigned deterministically (HashSet
             // iteration order varies between runs and would otherwise leak
             // into edge numbering and everything keyed on it downstream).
+            // l2r: allow(nondeterministic-iteration) — collected then sorted here;
+            // the loop below walks the sorted Vec, not the set
             let mut reached: Vec<RegionId> = reached.into_iter().collect();
             reached.sort_unstable();
+            // l2r: allow(nondeterministic-iteration) — sorted Vec shadows the set
             for rj in reached {
                 self.ensure_edge(ri, rj, RegionEdgeKind::BEdge);
             }

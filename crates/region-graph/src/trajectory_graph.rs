@@ -63,12 +63,20 @@ impl TrajectoryGraph {
         let mut vertex_popularity: HashMap<VertexId, f64> = HashMap::new();
         let mut adjacency: HashMap<VertexId, Vec<VertexId>> = HashMap::new();
         let mut total = 0.0;
-        for ((a, b), (s, _)) in &edges {
-            total += *s;
-            *vertex_popularity.entry(*a).or_default() += *s;
-            *vertex_popularity.entry(*b).or_default() += *s;
-            adjacency.entry(*a).or_default().push(*b);
-            adjacency.entry(*b).or_default().push(*a);
+        // Accumulate in sorted edge order: float `+=` is not associative,
+        // so summing in HashMap iteration order would make the popularity
+        // totals (and therefore the learned model) differ between two runs
+        // over the same input.  Sorting also fixes `neighbors()` order.
+        let mut by_edge: Vec<(UndirectedEdge, f64)> =
+            // l2r: allow(nondeterministic-iteration) — collected then sorted below
+            edges.iter().map(|(e, (s, _))| (*e, *s)).collect();
+        by_edge.sort_unstable_by_key(|x| x.0);
+        for ((a, b), s) in by_edge {
+            total += s;
+            *vertex_popularity.entry(a).or_default() += s;
+            *vertex_popularity.entry(b).or_default() += s;
+            adjacency.entry(a).or_default().push(b);
+            adjacency.entry(b).or_default().push(a);
         }
         TrajectoryGraph {
             edges,
@@ -88,8 +96,11 @@ impl TrajectoryGraph {
         self.edges.len()
     }
 
-    /// All traversed vertices.
+    /// All traversed vertices, in no particular order — callers that need
+    /// determinism sort (clustering collects and sorts the vertex list
+    /// before seeding).
     pub fn vertices(&self) -> impl Iterator<Item = VertexId> + '_ {
+        // l2r: allow(nondeterministic-iteration) — unordered by contract; see doc
         self.vertex_popularity.keys().copied()
     }
 
@@ -121,8 +132,11 @@ impl TrajectoryGraph {
         self.adjacency.get(&v).map(|v| v.as_slice()).unwrap_or(&[])
     }
 
-    /// All traversed undirected edges with popularity and road type.
+    /// All traversed undirected edges with popularity and road type, in no
+    /// particular order — callers that need determinism sort or insert into
+    /// keyed maps (clustering builds per-vertex adjacency maps from this).
     pub fn edges(&self) -> impl Iterator<Item = (UndirectedEdge, f64, RoadType)> + '_ {
+        // l2r: allow(nondeterministic-iteration) — unordered by contract; see doc
         self.edges.iter().map(|(e, (s, rt))| (*e, *s, *rt))
     }
 

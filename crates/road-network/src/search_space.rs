@@ -63,6 +63,8 @@ impl Ord for QueueEntry {
 }
 
 impl PartialOrd for QueueEntry {
+    // l2r: allow(float-total-cmp) — trait-mandated shim; delegates to the
+    // total_cmp-based Ord above, so no NaN-unsafe comparison happens here.
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
         Some(self.cmp(other))
     }

@@ -208,6 +208,9 @@ impl FaultPlan {
             return false;
         }
         self.worker_kills_injected
+            // ordering: AcqRel/Acquire — a budget, not a statistic: each
+            // claim must see every earlier claim or more loops could die
+            // than the configured kill count.
             .fetch_update(Ordering::AcqRel, Ordering::Acquire, |n| {
                 (n < self.cfg.worker_kills as u64).then_some(n + 1)
             })

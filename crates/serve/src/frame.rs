@@ -22,6 +22,10 @@
 //! Responses are delivered **in request order** (pipelining): clients may
 //! write any number of request frames before reading responses.
 
+// A request-path file: panics here are outages, not control flow (see the
+// `no-panic-hot-path` rule of l2r-analyze).  The clippy pair of that gate:
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
+
 use l2r_road_network::codec::{CodecError, Reader, Writer};
 
 /// Frame magic; the first byte (0xB1) is what protocol auto-detection keys
@@ -261,6 +265,14 @@ pub enum FrameParse<'a> {
     Bad(FrameError),
 }
 
+/// Reads the little-endian `u32` starting at byte `at`, or `None` if `buf`
+/// ends first — the parser's one primitive, so the request path has no
+/// panicking slice conversions.
+fn read_u32_le(buf: &[u8], at: usize) -> Option<u32> {
+    let bytes: [u8; 4] = buf.get(at..at.checked_add(4)?)?.try_into().ok()?;
+    Some(u32::from_le_bytes(bytes))
+}
+
 /// Scans the front of `buf` for one complete frame.
 pub fn parse_frame(buf: &[u8]) -> FrameParse<'_> {
     if buf.len() < FRAME_HEADER {
@@ -279,7 +291,12 @@ pub fn parse_frame(buf: &[u8]) -> FrameParse<'_> {
         return FrameParse::Bad(FrameError::BadMagic(m));
     }
     let kind = buf[4];
-    let len = u32::from_le_bytes(buf[5..9].try_into().expect("4-byte slice")) as usize;
+    // `buf.len() >= FRAME_HEADER` was checked above, so these reads only
+    // miss when the frame is still arriving.
+    let Some(len) = read_u32_le(buf, 5) else {
+        return FrameParse::Incomplete;
+    };
+    let len = len as usize;
     if len > MAX_FRAME_PAYLOAD {
         return FrameParse::Bad(FrameError::Oversized(len as u32));
     }
@@ -288,11 +305,9 @@ pub fn parse_frame(buf: &[u8]) -> FrameParse<'_> {
         return FrameParse::Incomplete;
     }
     let payload = &buf[FRAME_HEADER..FRAME_HEADER + len];
-    let wire = u32::from_le_bytes(
-        buf[FRAME_HEADER + len..total]
-            .try_into()
-            .expect("4-byte slice"),
-    );
+    let Some(wire) = read_u32_le(buf, FRAME_HEADER + len) else {
+        return FrameParse::Incomplete;
+    };
     let computed = frame_crc(kind, payload);
     if wire != computed {
         return FrameParse::Bad(FrameError::BadCrc { wire, computed });

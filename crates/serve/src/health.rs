@@ -20,7 +20,7 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, PoisonError, RwLock};
 
 /// Probation state of one dataset.
 #[derive(Debug)]
@@ -53,19 +53,27 @@ impl DatasetHealth {
     /// (Re)arms probation: counters reset, the next window of outcomes is
     /// judged.
     pub fn arm(&self) {
+        // ordering: Release ×3 — the counter resets must be visible before
+        // any recorder observes `armed == true`, or a stale count from the
+        // previous window could judge the new model.  The `armed` store is
+        // last: it publishes the reset counters.
         self.requests.store(0, Ordering::Release);
-        self.internal.store(0, Ordering::Release);
-        self.armed.store(true, Ordering::Release);
+        self.internal.store(0, Ordering::Release); // ordering: see above
+        self.armed.store(true, Ordering::Release); // ordering: publishes the resets
     }
 
     /// Disarms probation without judging (a manual rollback supersedes the
     /// automatic one).
     pub fn disarm(&self) {
+        // ordering: Release — pairs with the Acquire loads in record/armed;
+        // the one-shot contract needs the flag change globally published.
         self.armed.store(false, Ordering::Release);
     }
 
     /// Whether a probation window is currently being judged.
     pub fn armed(&self) -> bool {
+        // ordering: Acquire — pairs with arm's Release so a `true` here
+        // guarantees the reset counters are also visible.
         self.armed.load(Ordering::Acquire)
     }
 
@@ -75,22 +83,32 @@ impl DatasetHealth {
     /// dataset back.  A window that completes below the threshold disarms
     /// quietly (probation passed).
     pub fn record(&self, internal_error: bool) -> bool {
+        // ordering: Acquire — pairs with arm's Release: seeing `true` means
+        // the counter resets below are visible too.
         if !self.armed.load(Ordering::Acquire) {
             return false;
         }
+        // ordering: AcqRel on both counters — the window judgement reads
+        // `bad` against `seen`, so each recorder's increments must be
+        // ordered with every other's, not free-floating like a stats counter.
         let seen = self.requests.fetch_add(1, Ordering::AcqRel) + 1;
         let bad = if internal_error {
-            self.internal.fetch_add(1, Ordering::AcqRel) + 1
+            self.internal.fetch_add(1, Ordering::AcqRel) + 1 // ordering: see above
         } else {
+            // ordering: Acquire — observe at least every increment that
+            // happened-before this outcome was recorded.
             self.internal.load(Ordering::Acquire)
         };
         // Trigger as soon as the window's error budget is spent — waiting
         // for the window to complete would only serve more bad answers.
         if bad.saturating_mul(1000) > self.window.saturating_mul(self.per_mille as u64) {
-            // The swap makes the trigger one-shot under concurrency.
+            // ordering: AcqRel — the swap makes the trigger one-shot under
+            // concurrency: exactly one recorder reads `true` back.
             return self.armed.swap(false, Ordering::AcqRel);
         }
         if seen >= self.window {
+            // ordering: Release — quiet completion; pairs with the Acquire
+            // loads so no recorder keeps judging a finished window.
             self.armed.store(false, Ordering::Release);
         }
         false
@@ -124,15 +142,25 @@ impl HealthMap {
     }
 
     /// Arms probation for `dataset` (no-op when the feature is off).
+    ///
+    /// Lock poisoning is recovered, not propagated (see
+    /// [`crate::queue::DatasetQueues::get`]): the map's only writes insert
+    /// fully constructed values, so it is never half-updated, and the
+    /// self-healing server must outlive a panicking worker.
     pub fn arm(&self, dataset: &str) {
         if !self.enabled() {
             return;
         }
-        if let Some(h) = self.map.read().expect("health map lock").get(dataset) {
+        if let Some(h) = self
+            .map
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .get(dataset)
+        {
             h.arm();
             return;
         }
-        let mut map = self.map.write().expect("health map lock");
+        let mut map = self.map.write().unwrap_or_else(PoisonError::into_inner);
         map.entry(dataset.to_string())
             .or_insert_with(|| Arc::new(DatasetHealth::new(dataset, self.window, self.per_mille)))
             .arm();
@@ -140,7 +168,12 @@ impl HealthMap {
 
     /// Disarms `dataset`'s probation, if it has one.
     pub fn disarm(&self, dataset: &str) {
-        if let Some(h) = self.map.read().expect("health map lock").get(dataset) {
+        if let Some(h) = self
+            .map
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .get(dataset)
+        {
             h.disarm();
         }
     }
@@ -155,7 +188,7 @@ impl HealthMap {
         }
         self.map
             .read()
-            .expect("health map lock")
+            .unwrap_or_else(PoisonError::into_inner)
             .get(dataset)
             .filter(|h| h.armed())
             .cloned()

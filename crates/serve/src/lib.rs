@@ -409,16 +409,23 @@ impl ServerState {
     /// exactly zero after a drain — a non-zero value with no clients
     /// attached is a connection leak.
     pub fn open_connections(&self) -> usize {
+        // ordering: SeqCst — pairs with the OpenConns gauge updates in the
+        // event loops; drains spin on this reaching zero, so reads must be
+        // in the same total order as claims and releases.
         self.open_conns.load(Ordering::SeqCst)
     }
 
     /// Whether shutdown has been requested.
     pub fn shutdown_requested(&self) -> bool {
+        // ordering: SeqCst — the shutdown flag is the cross-loop stop
+        // signal; the rare read per loop iteration is worth the strongest
+        // ordering so no loop can keep accepting after the store.
         self.shutdown.load(Ordering::SeqCst)
     }
 
     /// Requests shutdown (event loops drain pending responses and exit).
     pub fn request_shutdown(&self) {
+        // ordering: SeqCst — pairs with shutdown_requested's loads.
         self.shutdown.store(true, Ordering::SeqCst);
     }
 

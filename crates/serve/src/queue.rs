@@ -11,9 +11,13 @@
 //! All counters are atomics: the event-loop threads update them
 //! concurrently with no other synchronisation.
 
+// A request-path file: panics here are outages, not control flow (see the
+// `no-panic-hot-path` rule of l2r-analyze).  The clippy pair of that gate:
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
+
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, PoisonError, RwLock};
 
 /// Default bound on admitted-but-unanswered route queries per dataset.
 pub const DEFAULT_QUEUE_CAPACITY: usize = 4096;
@@ -42,6 +46,9 @@ impl DatasetQueue {
     pub fn try_admit(&self, n: usize) -> bool {
         let admitted = self
             .depth
+            // ordering: AcqRel/Acquire — depth is the admission bound, not a
+            // statistic; a winning CAS must be visible to every other loop's
+            // next attempt or concurrent admits could overshoot capacity.
             .fetch_update(Ordering::AcqRel, Ordering::Acquire, |depth| {
                 if depth + n <= self.capacity {
                     Some(depth + n)
@@ -58,12 +65,16 @@ impl DatasetQueue {
 
     /// Releases `n` previously admitted queries after their batch executed.
     pub fn release(&self, n: usize) {
+        // ordering: AcqRel — pairs with try_admit's CAS so a freed slot is
+        // immediately claimable and never double-counted against the cap.
         self.depth.fetch_sub(n, Ordering::AcqRel);
         self.served.fetch_add(n as u64, Ordering::Relaxed);
     }
 
     /// Admitted-but-unanswered route queries right now.
     pub fn depth(&self) -> usize {
+        // ordering: Acquire — pairs with the AcqRel updates above so stats
+        // readers observe a depth no staler than the last release.
         self.depth.load(Ordering::Acquire)
     }
 
@@ -100,11 +111,21 @@ impl DatasetQueues {
     }
 
     /// The queue of `dataset`, created on first use.
+    ///
+    /// Lock poisoning is recovered, not propagated: the map's only writes
+    /// insert fully constructed `Arc<DatasetQueue>` values, so a panic in
+    /// some other loop can never leave it half-updated, and the self-healing
+    /// server (PR 7) must keep serving after a worker dies mid-request.
     pub fn get(&self, dataset: &str) -> Arc<DatasetQueue> {
-        if let Some(q) = self.map.read().expect("queue map lock").get(dataset) {
+        if let Some(q) = self
+            .map
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .get(dataset)
+        {
             return Arc::clone(q);
         }
-        let mut map = self.map.write().expect("queue map lock");
+        let mut map = self.map.write().unwrap_or_else(PoisonError::into_inner);
         Arc::clone(
             map.entry(dataset.to_string())
                 .or_insert_with(|| Arc::new(DatasetQueue::new(self.capacity))),
@@ -115,7 +136,7 @@ impl DatasetQueues {
     pub fn peek(&self, dataset: &str) -> Option<Arc<DatasetQueue>> {
         self.map
             .read()
-            .expect("queue map lock")
+            .unwrap_or_else(PoisonError::into_inner)
             .get(dataset)
             .cloned()
     }
@@ -124,7 +145,7 @@ impl DatasetQueues {
     pub fn total_shed(&self) -> u64 {
         self.map
             .read()
-            .expect("queue map lock")
+            .unwrap_or_else(PoisonError::into_inner)
             .values()
             .map(|q| q.shed())
             .sum()

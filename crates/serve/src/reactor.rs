@@ -37,6 +37,10 @@
 //! Queries that cannot win a slot in their dataset's bounded admission
 //! queue are answered `BUSY` immediately (see [`crate::queue`]).
 
+// A request-path file: panics here are outages, not control flow (see the
+// `no-panic-hot-path` rule of l2r-analyze).  The clippy pair of that gate:
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
+
 use std::collections::{HashMap, VecDeque};
 use std::io::{self, Read, Write};
 use std::net::{TcpListener, TcpStream};
@@ -85,6 +89,10 @@ const DEADLINE_FLUSH_SLACK: Duration = Duration::from_millis(5);
 
 // ---------------------------------------------------------------------------
 // poll(2) FFI (the workspace is dependency-free, so no libc crate)
+//
+// l2r: ffi-region begin — the only place in the workspace allowed to
+// declare foreign functions (enforced by the `ffi-containment` rule of
+// l2r-analyze); everything below is audited against the platform ABI.
 // ---------------------------------------------------------------------------
 
 const POLLIN: i16 = 0x001;
@@ -93,6 +101,9 @@ const POLLERR: i16 = 0x008;
 const POLLHUP: i16 = 0x010;
 const POLLNVAL: i16 = 0x020;
 
+/// Mirror of glibc's `struct pollfd` (`<bits/poll.h>`): three naturally
+/// aligned fields, no padding, so `#[repr(C)]` on exactly `i32`/`i16`/`i16`
+/// reproduces the kernel's layout bit for bit.
 #[repr(C)]
 #[derive(Clone, Copy)]
 struct PollFd {
@@ -101,6 +112,15 @@ struct PollFd {
     revents: i16,
 }
 
+// SAFETY: signatures transcribed from the platform ABI.  `poll(2)` is
+// `int poll(struct pollfd *fds, nfds_t nfds, int timeout)` where glibc
+// defines `typedef unsigned long int nfds_t;` (<sys/poll.h>) — 8 bytes on
+// LP64 Linux, exactly `std::ffi::c_ulong`, so passing `fds.len()` as
+// `c_ulong` cannot truncate.  `setsockopt(2)` is
+// `int setsockopt(int, int, int, const void *, socklen_t)` with
+// `socklen_t` = `u32`.  Both are async-signal-safe libc symbols with no
+// Rust-visible preconditions beyond pointer validity, which each call
+// site justifies.
 extern "C" {
     fn poll(fds: *mut PollFd, nfds: std::ffi::c_ulong, timeout: std::ffi::c_int) -> i32;
     fn setsockopt(
@@ -115,12 +135,18 @@ extern "C" {
 // Linux values (the poll constants above are equally platform-specific).
 const SOL_SOCKET: i32 = 1;
 const SO_SNDBUF: i32 = 7;
+// l2r: ffi-region end
 
 /// Shrinks a socket's kernel send buffer (best effort) — fault plans use
 /// this to make write-stall detection testable with kilobytes of backlog
 /// instead of the default multi-megabyte buffers.
 fn set_sndbuf(stream: &TcpStream, bytes: u32) {
     let v = bytes as i32;
+    // SAFETY: `stream` is a live socket owned by the caller, so its raw fd
+    // is valid for the duration of the call; `&v` points at a stack `i32`
+    // that outlives the call and `optlen` is exactly `size_of::<i32>()`,
+    // matching what SO_SNDBUF expects.  The kernel only reads through the
+    // pointer.  Failure is deliberately ignored (best effort).
     unsafe {
         setsockopt(
             stream.as_raw_fd(),
@@ -136,6 +162,11 @@ fn set_sndbuf(stream: &TcpStream, bytes: u32) {
 /// (the loop treats it as "nothing ready").
 fn poll_fds(fds: &mut [PollFd], timeout_ms: i32) -> io::Result<usize> {
     loop {
+        // SAFETY: `fds` is a live, exclusively borrowed slice, so the
+        // pointer is valid for `fds.len()` `PollFd`s (layout-verified
+        // `#[repr(C)]` above) for the whole call, and the kernel writes
+        // only `revents` within those bounds.  `len as c_ulong` is the
+        // exact `nfds_t` width (see the extern block's SAFETY note).
         let rc = unsafe { poll(fds.as_mut_ptr(), fds.len() as std::ffi::c_ulong, timeout_ms) };
         if rc >= 0 {
             return Ok(rc as usize);
@@ -234,8 +265,11 @@ impl Conn {
 
     /// Moves ready responses (in order) into the write buffer.
     fn drain_ready(&mut self) {
-        while matches!(self.pending.front(), Some(Some(_))) {
-            let bytes = self.pending.pop_front().flatten().expect("checked Some");
+        while let Some(slot) = self.pending.front_mut() {
+            // A `None` front is a response still being computed: stop —
+            // later ready slots must wait behind it for ordering.
+            let Some(bytes) = slot.take() else { break };
+            self.pending.pop_front();
             self.base_seq += 1;
             self.wbuf.extend_from_slice(&bytes);
         }
@@ -369,9 +403,13 @@ fn encode_route_result(protocol: Protocol, result: &Option<RouteResult>) -> Vec<
             let mut out = Vec::new();
             match result {
                 Some(r) => {
+                    #[allow(clippy::expect_used)]
                     let strategy = RouteStrategy::ALL
                         .iter()
                         .position(|s| *s == r.strategy)
+                        // l2r: allow(no-panic-hot-path) — `ALL` enumerates
+                        // every RouteStrategy variant, so the position
+                        // lookup cannot fail.
                         .expect("every strategy is in ALL")
                         as u8;
                     let mut w = Writer::new();
@@ -486,6 +524,8 @@ fn isolated_route(
                 std::thread::sleep(latency);
             }
             if f.inject_handler_panic() {
+                // l2r: allow(no-panic-hot-path) — fault injection: this
+                // panic exists to prove the catch_unwind isolation works.
                 panic!("injected handler fault");
             }
         }
@@ -923,9 +963,13 @@ fn handle_frame(
                     Ok(Some(result)) => {
                         executed += 1;
                         answered += 1;
+                        #[allow(clippy::expect_used)]
                         let strategy = RouteStrategy::ALL
                             .iter()
                             .position(|st| *st == result.strategy)
+                            // l2r: allow(no-panic-hot-path) — `ALL`
+                            // enumerates every RouteStrategy variant, so
+                            // the position lookup cannot fail.
                             .expect("every strategy is in ALL")
                             as u8;
                         body.u8(strategy);
@@ -1101,6 +1145,9 @@ fn process_conn(
                     break;
                 }
             },
+            // l2r: allow(no-panic-hot-path) — `detect_protocol` ran before
+            // this match and never leaves `Detecting` when bytes exist;
+            // even if violated, the per-request catch_unwind contains it.
             Protocol::Detecting => unreachable!("protocol detected above"),
         }
     }
@@ -1131,6 +1178,10 @@ impl<'a> OpenConns<'a> {
     fn try_add(&mut self, cap: usize) -> bool {
         let won = self
             .gauge
+            // ordering: SeqCst — the gauge is a cross-loop admission
+            // control read by drains and the connection cap; the cheap
+            // accept path keeps the strongest ordering so cap enforcement
+            // can never observe a stale count.
             .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| {
                 (n < cap).then_some(n + 1)
             })
@@ -1144,12 +1195,16 @@ impl<'a> OpenConns<'a> {
     fn remove(&mut self) {
         debug_assert!(self.owned > 0);
         self.owned -= 1;
+        // ordering: SeqCst — pairs with try_add; drains poll this gauge
+        // for zero, so releases must be globally ordered with claims.
         self.gauge.fetch_sub(1, Ordering::SeqCst);
     }
 }
 
 impl Drop for OpenConns<'_> {
     fn drop(&mut self) {
+        // ordering: SeqCst — pairs with try_add/remove; an unwinding loop
+        // must publish its released slots before the watchdog respawns it.
         self.gauge.fetch_sub(self.owned, Ordering::SeqCst);
     }
 }
@@ -1253,6 +1308,8 @@ pub(crate) fn event_loop(listener: TcpListener, state: &ServerState, cfg: &Serve
                         }
                         if let Some(f) = faults {
                             if f.inject_worker_kill() {
+                                // l2r: allow(no-panic-hot-path) — fault
+                                // injection: proves watchdog respawn works.
                                 panic!("injected worker kill");
                             }
                             if f.inject_conn_drop() {
