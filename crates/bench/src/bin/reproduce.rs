@@ -37,9 +37,10 @@
 
 use l2r_baselines::{Dom, ExternalRouter, FastestRouter, ShortestRouter, Trip};
 use l2r_bench::{
-    datasets, offline_bench_json, offline_report_for, online_bench_for, online_bench_json,
-    serving_bench_for, snapshot_path_for, DatasetChoice, OfflineBenchReport, OnlineBenchDataset,
-    OnlineBenchReport, ServingBenchDataset,
+    compile_bench_for, datasets, decode_bench_for, fit_determinism_check, offline_bench_json,
+    offline_report_for, online_bench_for, online_bench_json, peak_rss_bytes, serving_bench_for,
+    snapshot_path_for, transfer_sim_bench_for, DatasetChoice, OfflineBenchReport,
+    OnlineBenchDataset, OnlineBenchReport, ServingBenchDataset,
 };
 use l2r_eval::{
     build_test_queries, compare_methods, compare_with_external, fig6a, fig6b, fig9a, fig9b,
@@ -60,10 +61,12 @@ fn usage(error: &str) -> ! {
     eprintln!(
         "error: {error}
 
-usage: reproduce [--full] [--threads N] [--snapshot <path>] [experiment ...]
+usage: reproduce [--scale S] [--full] [--threads N] [--snapshot <path>] [experiment ...]
 
 flags:
-  --full             benchmark-scale datasets (default: quick)
+  --scale S          dataset scale: quick, full, xl (~100k vertices) or xxl
+                     (~500k vertices); xl/xxl run the D1 axis only (default: quick)
+  --full             shorthand for --scale full
   --threads N        pin the worker thread count (overrides L2R_THREADS)
   --snapshot <path>  per-dataset snapshot base path (fit writes, online/serving read)
 
@@ -76,12 +79,17 @@ experiments (default: all):
 
 fn main() {
     let mut full = false;
+    let mut scale_arg: Option<Scale> = None;
     let mut snapshot_base: Option<String> = None;
     let mut wanted: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--full" => full = true,
+            "--scale" => match args.next().as_deref().and_then(Scale::parse) {
+                Some(s) => scale_arg = Some(s),
+                None => usage("--scale requires one of: quick, full, xl, xxl"),
+            },
             "--snapshot" => match args.next() {
                 Some(path) => snapshot_base = Some(path),
                 None => usage("--snapshot requires a path argument"),
@@ -103,17 +111,16 @@ fn main() {
             }
         }
     }
-    let scale = if full { Scale::Full } else { Scale::Quick };
+    // `--scale` wins over the legacy `--full` shorthand when both appear.
+    let scale = scale_arg.unwrap_or(if full { Scale::Full } else { Scale::Quick });
+    let full = scale != Scale::Quick;
     let run_all = wanted.is_empty() || wanted.iter().any(|w| w == "all");
     let run = |name: &str| run_all || wanted.iter().any(|w| w == name);
     if wanted.iter().any(|w| w == "fit") && snapshot_base.is_none() {
         eprintln!("note: the `fit` experiment writes snapshots only with --snapshot <path>");
     }
 
-    println!(
-        "learn-to-route reproduction — scale: {}\n",
-        if full { "full" } else { "quick" }
-    );
+    println!("learn-to-route reproduction — scale: {}\n", scale.label());
 
     // Dataset-independent, so it runs before the expensive builds: a
     // violation fails fast instead of after minutes of fitting.
@@ -121,7 +128,15 @@ fn main() {
         run_analyze();
     }
 
-    let sets = datasets(DatasetChoice::Both, scale);
+    // The country-scale axis is exercised through D1 only: the XL/XXL
+    // presets are Denmark-derived, and one dataset keeps the wall time of a
+    // run that fits a 100k+-vertex network inside a benchmark budget.
+    let choice = if matches!(scale, Scale::Xl | Scale::Xxl) {
+        DatasetChoice::D1
+    } else {
+        DatasetChoice::Both
+    };
+    let sets = datasets(choice, scale);
     let mut offline_entries = Vec::new();
     let mut online_entries = Vec::new();
     let mut serving_entries: Vec<ServingBenchDataset> = Vec::new();
@@ -190,9 +205,46 @@ fn main() {
     }
 
     if !offline_entries.is_empty() {
+        let first = &sets[0];
+        // Scale-axis instrumentation, both measured on the first dataset:
+        // the naive-vs-bounded similarity comparison is cheap everywhere,
+        // but the determinism check refits the dataset, so the full scale —
+        // whose determinism the quick and xl axes already cover — skips it
+        // rather than double a multi-minute two-dataset run.
+        let transfer = transfer_sim_bench_for(first);
+        println!(
+            "## Transfer similarity ({}) — {} edges, {} pairs: naive {:.1} ms, radius-bounded {:.1} ms ({:.2}x), identical: {}\n",
+            first.spec.name,
+            transfer.edges,
+            transfer.pairs,
+            transfer.naive_ms,
+            transfer.bounded_ms,
+            transfer.speedup,
+            transfer.identical
+        );
+        let fit_determinism = if scale == Scale::Full {
+            None
+        } else {
+            let d = fit_determinism_check(first);
+            println!(
+                "## Fit determinism ({}) — {} threads vs {} threads: {}\n",
+                first.spec.name,
+                d.threads_a,
+                d.threads_b,
+                if d.identical {
+                    "bit-identical snapshots"
+                } else {
+                    "SNAPSHOTS DIVERGED"
+                }
+            );
+            Some(d)
+        };
         let report = OfflineBenchReport {
             scale,
             threads: l2r_par::max_threads(),
+            peak_rss_bytes: peak_rss_bytes(),
+            transfer: Some(transfer),
+            fit_determinism,
             datasets: offline_entries,
         };
         // Default under target/ so casual quick-scale runs do not clobber
@@ -208,12 +260,72 @@ fn main() {
             Ok(()) => println!("wrote {path}"),
             Err(e) => eprintln!("failed to write {path}: {e}"),
         }
+        // Correctness gates hold at every scale: the bounded similarity
+        // builder and a refit under a different thread count must both be
+        // bit-identical, or the whole offline report is untrustworthy.
+        if let Some(t) = &report.transfer {
+            if !t.identical {
+                eprintln!(
+                    "ERROR: the radius-bounded similarity builder diverged from \
+                     the naive scan — transferred preferences would change"
+                );
+                std::process::exit(1);
+            }
+            // The transfer speedup is algorithmic (pairs outside the
+            // distance radius skip the Jaccard entirely), so it is gated
+            // even on a single-core host — but only at country scale, where
+            // the similarity graph is big enough for the asymptotics to
+            // dominate the sort overhead.
+            if matches!(scale, Scale::Xl | Scale::Xxl) && t.speedup < 2.0 {
+                eprintln!(
+                    "ERROR: radius-bounded transfer is only {:.2}x faster than \
+                     the naive scan at scale {} (required: >= 2x)",
+                    t.speedup,
+                    scale.label()
+                );
+                std::process::exit(1);
+            }
+        }
+        if let Some(d) = &report.fit_determinism {
+            if !d.identical {
+                eprintln!(
+                    "ERROR: fitting with {} vs {} worker threads produced \
+                     different snapshots — the pipeline lost determinism",
+                    d.threads_a, d.threads_b
+                );
+                std::process::exit(1);
+            }
+        }
     }
 
     if !online_entries.is_empty() || !serving_entries.is_empty() {
+        let first = &sets[0];
+        let compile = compile_bench_for(first);
+        println!(
+            "## Engine compile ({}) — serial {:.1} ms vs {:.1} ms on {} thread(s) ({:.2}x)\n",
+            first.spec.name,
+            compile.serial_ms,
+            compile.parallel_ms,
+            compile.threads,
+            compile.speedup
+        );
+        let decode = decode_bench_for(first);
+        println!(
+            "## Snapshot decode ({}) — {:.1} KiB: serial {:.1} ms vs {:.1} ms on {} thread(s) ({:.2}x), identical: {}\n",
+            first.spec.name,
+            decode.bytes as f64 / 1024.0,
+            decode.serial_ms,
+            decode.parallel_ms,
+            decode.threads,
+            decode.speedup,
+            decode.identical
+        );
         let report = OnlineBenchReport {
             scale,
             threads: l2r_par::max_threads(),
+            peak_rss_bytes: peak_rss_bytes(),
+            compile: Some(compile),
+            decode: Some(decode),
             datasets: online_entries,
             serving: serving_entries,
         };
@@ -243,6 +355,50 @@ fn main() {
                 broken.join(", ")
             );
             std::process::exit(1);
+        }
+        // A parallel decode that does not round-trip to the exact snapshot
+        // bytes is corruption, whatever the scale or core count.
+        if let Some(d) = &report.decode {
+            if !d.identical {
+                eprintln!(
+                    "ERROR: the parallel snapshot decode did not round-trip to \
+                     the original bytes"
+                );
+                std::process::exit(1);
+            }
+        }
+        // The compile/decode *speedups* only materialise with real cores
+        // underneath, so they gate the run at country scale on >= 8 worker
+        // threads and are recorded (not enforced) everywhere else.
+        if matches!(scale, Scale::Xl | Scale::Xxl) {
+            if l2r_par::max_threads() >= 8 {
+                if let Some(c) = &report.compile {
+                    if c.speedup < 2.0 {
+                        eprintln!(
+                            "ERROR: parallel engine compile is only {:.2}x faster \
+                             than serial on {} threads (required: >= 2x)",
+                            c.speedup, c.threads
+                        );
+                        std::process::exit(1);
+                    }
+                }
+                if let Some(d) = &report.decode {
+                    if d.parallel_ms >= d.serial_ms {
+                        eprintln!(
+                            "ERROR: parallel snapshot decode ({:.1} ms) is not \
+                             faster than serial ({:.1} ms) on {} threads",
+                            d.parallel_ms, d.serial_ms, d.threads
+                        );
+                        std::process::exit(1);
+                    }
+                }
+            } else {
+                println!(
+                    "note: compile/decode parallel speedups recorded but not \
+                     gated on {} worker thread(s) (< 8)",
+                    l2r_par::max_threads()
+                );
+            }
         }
         // A hot-swap that failed even one query means the registry exposed a
         // half-swapped or missing model, and TCP `ERR` responses mean the

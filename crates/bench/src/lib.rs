@@ -14,9 +14,14 @@
 #![warn(missing_docs)]
 
 pub mod legacy;
+pub mod scaling;
 pub mod serving;
 
 pub use legacy::legacy_route;
+pub use scaling::{
+    compile_bench_for, decode_bench_for, fit_determinism_check, peak_rss_bytes,
+    transfer_sim_bench_for, CompileBench, DecodeBench, FitDeterminism, TransferSimBench,
+};
 pub use serving::{
     serving_bench_for, ConcurrencySweepPoint, HotSwapReport, ResilienceReport, ServingBenchDataset,
     ServingSweepPoint,
@@ -111,10 +116,18 @@ pub struct OfflineBenchDataset {
 /// The full offline benchmark report serialised to `BENCH_offline.json`.
 #[derive(Debug, Clone)]
 pub struct OfflineBenchReport {
-    /// `quick` or `full`.
+    /// Scale the report was measured at (`quick`/`full`/`xl`/`xxl`).
     pub scale: Scale,
     /// Worker thread count the run used (`L2R_THREADS` or hardware).
     pub threads: usize,
+    /// Peak resident set size of the run in bytes (Linux `VmHWM`; `None`
+    /// elsewhere).
+    pub peak_rss_bytes: Option<u64>,
+    /// Naive vs radius-bounded similarity-graph timing, measured on the
+    /// first dataset's fitted region graph.
+    pub transfer: Option<TransferSimBench>,
+    /// Cross-thread refit determinism check on the first dataset.
+    pub fit_determinism: Option<FitDeterminism>,
     /// One entry per dataset.
     pub datasets: Vec<OfflineBenchDataset>,
 }
@@ -147,15 +160,23 @@ pub fn offline_bench_json(report: &OfflineBenchReport) -> String {
     let mut out = String::new();
     out.push_str("{\n");
     out.push_str("  \"bench\": \"offline_pipeline\",\n");
-    out.push_str(&format!(
-        "  \"scale\": \"{}\",\n",
-        if report.scale == Scale::Full {
-            "full"
-        } else {
-            "quick"
-        }
-    ));
+    out.push_str(&format!("  \"scale\": \"{}\",\n", report.scale.label()));
     out.push_str(&format!("  \"threads\": {},\n", report.threads));
+    if let Some(rss) = report.peak_rss_bytes {
+        out.push_str(&format!("  \"peak_rss_bytes\": {rss},\n"));
+    }
+    if let Some(t) = &report.transfer {
+        out.push_str(&format!(
+            "  \"transfer_similarity\": {{ \"edges\": {}, \"pairs\": {}, \"naive_ms\": {:.3}, \"bounded_ms\": {:.3}, \"speedup\": {:.2}, \"identical\": {} }},\n",
+            t.edges, t.pairs, t.naive_ms, t.bounded_ms, t.speedup, t.identical
+        ));
+    }
+    if let Some(d) = &report.fit_determinism {
+        out.push_str(&format!(
+            "  \"fit_determinism\": {{ \"threads_a\": {}, \"threads_b\": {}, \"identical\": {} }},\n",
+            d.threads_a, d.threads_b, d.identical
+        ));
+    }
     out.push_str("  \"datasets\": [\n");
     for (i, ds) in report.datasets.iter().enumerate() {
         out.push_str("    {\n");
@@ -316,10 +337,17 @@ pub struct OnlineBenchDataset {
 /// The full online benchmark report serialised to `BENCH_online.json`.
 #[derive(Debug, Clone)]
 pub struct OnlineBenchReport {
-    /// `quick` or `full`.
+    /// Scale the report was measured at (`quick`/`full`/`xl`/`xxl`).
     pub scale: Scale,
     /// Worker thread count used by `route_many` (`L2R_THREADS` or hardware).
     pub threads: usize,
+    /// Peak resident set size of the run in bytes (Linux `VmHWM`; `None`
+    /// elsewhere).
+    pub peak_rss_bytes: Option<u64>,
+    /// Serial vs parallel `Engine` compile timing on the first dataset.
+    pub compile: Option<CompileBench>,
+    /// Serial vs parallel snapshot decode timing on the first dataset.
+    pub decode: Option<DecodeBench>,
     /// One entry per dataset.
     pub datasets: Vec<OnlineBenchDataset>,
     /// Multi-threaded serving section (`reproduce -- serving`): thread
@@ -540,15 +568,23 @@ pub fn online_bench_json(report: &OnlineBenchReport) -> String {
     let mut out = String::new();
     out.push_str("{\n");
     out.push_str("  \"bench\": \"online_serving\",\n");
-    out.push_str(&format!(
-        "  \"scale\": \"{}\",\n",
-        if report.scale == Scale::Full {
-            "full"
-        } else {
-            "quick"
-        }
-    ));
+    out.push_str(&format!("  \"scale\": \"{}\",\n", report.scale.label()));
     out.push_str(&format!("  \"threads\": {},\n", report.threads));
+    if let Some(rss) = report.peak_rss_bytes {
+        out.push_str(&format!("  \"peak_rss_bytes\": {rss},\n"));
+    }
+    if let Some(c) = &report.compile {
+        out.push_str(&format!(
+            "  \"engine_compile\": {{ \"threads\": {}, \"serial_ms\": {:.3}, \"parallel_ms\": {:.3}, \"speedup\": {:.2} }},\n",
+            c.threads, c.serial_ms, c.parallel_ms, c.speedup
+        ));
+    }
+    if let Some(d) = &report.decode {
+        out.push_str(&format!(
+            "  \"snapshot_decode\": {{ \"threads\": {}, \"bytes\": {}, \"serial_ms\": {:.3}, \"parallel_ms\": {:.3}, \"speedup\": {:.2}, \"identical\": {} }},\n",
+            d.threads, d.bytes, d.serial_ms, d.parallel_ms, d.speedup, d.identical
+        ));
+    }
     out.push_str("  \"datasets\": [\n");
     for (i, ds) in report.datasets.iter().enumerate() {
         out.push_str("    {\n");
@@ -810,11 +846,19 @@ mod tests {
         let report = OfflineBenchReport {
             scale: Scale::Quick,
             threads: l2r_par::max_threads(),
+            peak_rss_bytes: peak_rss_bytes(),
+            transfer: Some(transfer_sim_bench_for(ds)),
+            fit_determinism: None,
             datasets: vec![entry],
         };
         let json = offline_bench_json(&report);
         assert!(json.contains("\"bench\": \"offline_pipeline\""));
         assert!(json.contains("\"scale\": \"quick\""));
+        assert!(json.contains("\"transfer_similarity\""));
+        assert!(json.contains("\"identical\": true"));
+        if report.peak_rss_bytes.is_some() {
+            assert!(json.contains("\"peak_rss_bytes\""));
+        }
         assert!(json.contains("\"name\": \"D1\""));
         assert!(json.contains("\"preference_learning\""));
         assert!(json.contains("\"searches_per_sec\""));
@@ -855,11 +899,16 @@ mod tests {
         let report = OnlineBenchReport {
             scale: Scale::Quick,
             threads: l2r_par::max_threads(),
+            peak_rss_bytes: peak_rss_bytes(),
+            compile: Some(compile_bench_for(ds)),
+            decode: Some(decode_bench_for(ds)),
             datasets: vec![entry],
             serving: Vec::new(),
         };
         let json = online_bench_json(&report);
         assert!(json.contains("\"bench\": \"online_serving\""));
+        assert!(json.contains("\"engine_compile\""));
+        assert!(json.contains("\"snapshot_decode\""));
         assert!(json.contains("\"baseline_route_pre_pr\""));
         assert!(json.contains("\"free_route\""));
         assert!(json.contains("\"prepared\""));
@@ -988,6 +1037,9 @@ mod tests {
         let report = OnlineBenchReport {
             scale: Scale::Quick,
             threads: 4,
+            peak_rss_bytes: None,
+            compile: None,
+            decode: None,
             datasets: Vec::new(),
             serving: vec![entry],
         };
@@ -1132,6 +1184,9 @@ mod tests {
         let report = OnlineBenchReport {
             scale: Scale::Quick,
             threads: l2r_par::max_threads(),
+            peak_rss_bytes: None,
+            compile: None,
+            decode: None,
             datasets: vec![entry],
             serving: Vec::new(),
         };

@@ -176,22 +176,22 @@ impl Engine {
 
     /// Compiles an engine around an already-shared model without cloning the
     /// model data.
+    ///
+    /// The three compile stages — oriented-path resolution per region edge,
+    /// inner-path indexing per region, connector searches per region — are
+    /// each embarrassingly parallel and fan out across `L2R_THREADS` workers;
+    /// results are merged in index order, so the compiled engine is identical
+    /// to a single-threaded build.
     pub fn from_shared(model: Arc<L2r>) -> Engine {
         let net = model.network();
         let rg = model.region_graph();
-        let oriented: Vec<OrientedPaths> = rg
-            .edges()
-            .iter()
-            .map(|edge| OrientedPaths {
-                forward: best_oriented_path(net, rg, edge, edge.a, edge.b),
-                backward: best_oriented_path(net, rg, edge, edge.b, edge.a),
-            })
-            .collect();
-        let inner = rg
-            .regions()
-            .iter()
-            .map(|r| InnerPathIndex::build(rg.inner_paths(r.id)))
-            .collect();
+        let oriented: Vec<OrientedPaths> = l2r_par::par_map(rg.edges(), |_, edge| OrientedPaths {
+            forward: best_oriented_path(net, rg, edge, edge.a, edge.b),
+            backward: best_oriented_path(net, rg, edge, edge.b, edge.a),
+        });
+        let inner = l2r_par::par_map(rg.regions(), |_, r| {
+            InnerPathIndex::build(rg.inner_paths(r.id))
+        });
         let connectors = resolve_connectors(net, rg, &oriented);
         Engine {
             model,
@@ -664,41 +664,66 @@ fn resolve_connectors(
         }
     }
 
-    let n = net.num_vertices();
-    let mut connectors: HashMap<(VertexId, VertexId), Option<Path>> = HashMap::new();
-    let mut space = SearchSpace::new();
-    for region in rg.regions() {
-        let r = region.id.idx();
+    for r in 0..nr {
         out_targets[r].sort_unstable();
         out_targets[r].dedup();
         entry_anchors[r].sort_unstable();
         entry_anchors[r].dedup();
-        // Head connectors: every region vertex reaches every out-target.
-        if !out_targets[r].is_empty() {
-            for &v in &region.vertices {
-                if v.idx() >= n {
-                    continue;
-                }
-                space.dijkstra_to_many(net, v, &out_targets[r], |e| e.cost(CostType::TravelTime));
-                for &t in &out_targets[r] {
-                    if t != v {
-                        connectors.insert((v, t), space.path_to(t));
+    }
+
+    // The searches for different regions are independent (every connector key
+    // starts at a vertex of its region, and regions partition the vertices),
+    // so they fan out across workers — one reusable `SearchSpace` per worker.
+    // Each region returns its head inserts and tail inserts separately; the
+    // serial merge below replays them in region order with the exact
+    // `insert` / `or_insert` semantics of a single-threaded build, so the
+    // resulting map is identical.
+    let n = net.num_vertices();
+    type ConnectorEntry = ((VertexId, VertexId), Option<Path>);
+    let per_region: Vec<(Vec<ConnectorEntry>, Vec<ConnectorEntry>)> =
+        l2r_par::par_map_init(rg.regions(), SearchSpace::new, |space, _, region| {
+            let r = region.id.idx();
+            let mut heads: Vec<ConnectorEntry> = Vec::new();
+            let mut tails: Vec<ConnectorEntry> = Vec::new();
+            // Head connectors: every region vertex reaches every out-target.
+            if !out_targets[r].is_empty() {
+                for &v in &region.vertices {
+                    if v.idx() >= n {
+                        continue;
+                    }
+                    space.dijkstra_to_many(net, v, &out_targets[r], |e| {
+                        e.cost(CostType::TravelTime)
+                    });
+                    for &t in &out_targets[r] {
+                        if t != v {
+                            heads.push(((v, t), space.path_to(t)));
+                        }
                     }
                 }
             }
-        }
-        // Tail / next-hop connectors: every entry anchor reaches every
-        // region vertex.
-        for &a in &entry_anchors[r] {
-            if a.idx() >= n {
-                continue;
-            }
-            space.dijkstra_to_many(net, a, &region.vertices, |e| e.cost(CostType::TravelTime));
-            for &t in &region.vertices {
-                if t != a {
-                    connectors.entry((a, t)).or_insert_with(|| space.path_to(t));
+            // Tail / next-hop connectors: every entry anchor reaches every
+            // region vertex.
+            for &a in &entry_anchors[r] {
+                if a.idx() >= n {
+                    continue;
+                }
+                space.dijkstra_to_many(net, a, &region.vertices, |e| e.cost(CostType::TravelTime));
+                for &t in &region.vertices {
+                    if t != a {
+                        tails.push(((a, t), space.path_to(t)));
+                    }
                 }
             }
+            (heads, tails)
+        });
+
+    let mut connectors: HashMap<(VertexId, VertexId), Option<Path>> = HashMap::new();
+    for (heads, tails) in per_region {
+        for (key, path) in heads {
+            connectors.insert(key, path);
+        }
+        for (key, path) in tails {
+            connectors.entry(key).or_insert(path);
         }
     }
     connectors

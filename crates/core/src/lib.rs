@@ -67,10 +67,10 @@ pub use region_routing::{find_region_path, RegionPath, RegionSearchSpace};
 pub use registry::{ModelRegistry, PooledScratch, RegistryError, ScratchPool};
 pub use router::{region_coverage, route, RegionCoverage, RouteResult, RouteStrategy};
 pub use snapshot::{
-    compute_canaries, decode_model, decode_snapshot, encode_model, encode_snapshot,
-    encode_snapshot_with, load_model, load_snapshot, route_digest, save_model, save_snapshot,
-    verify_frame, Canary, Snapshot, SnapshotError, DEFAULT_CANARY_COUNT, SNAPSHOT_MAGIC,
-    SNAPSHOT_VERSION,
+    compute_canaries, decode_model, decode_snapshot, encode_model, encode_model_structural,
+    encode_snapshot, encode_snapshot_with, load_model, load_snapshot, route_digest, save_model,
+    save_snapshot, verify_frame, Canary, Snapshot, SnapshotError, DEFAULT_CANARY_COUNT,
+    SNAPSHOT_MAGIC, SNAPSHOT_VERSION,
 };
 pub use store::{
     decode_manifest, encode_manifest, FaultFs, FsFaultConfig, FsFaultKind, Manifest, ManifestEntry,

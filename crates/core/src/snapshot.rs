@@ -36,8 +36,10 @@
 //! freshly compiled engine before a hot-swap commits
 //! ([`crate::ModelRegistry`]'s validation stage).
 //!
-//! Loading performs a single file read, decodes into preallocated vectors,
-//! and validates every embedded id against the counts stored in the same
+//! Loading performs a single file read, decodes into preallocated vectors
+//! (the fixed-stride network tables decode in parallel chunks across
+//! `L2R_THREADS` workers, bit-identically to a serial decode), and
+//! validates every embedded id against the counts stored in the same
 //! payload — a corrupt or truncated file produces a [`SnapshotError`],
 //! never a panic.  Encoding is deterministic (hash maps are written in
 //! sorted key order and canaries are derived from a fixed probe schedule),
@@ -49,7 +51,9 @@ use std::path::{Path, PathBuf};
 
 use l2r_preference::{LearnedPreference, Preference};
 use l2r_region_graph::{decode_region_graph, RegionEdgeId, RegionGraph};
-use l2r_road_network::{CodecError, Decode, Encode, Reader, RoadNetwork, VertexId, Writer};
+use l2r_road_network::{
+    decode_network_parallel, CodecError, Decode, Encode, Reader, VertexId, Writer,
+};
 
 use crate::config::L2rConfig;
 use crate::pipeline::{L2r, OfflineStats};
@@ -387,7 +391,11 @@ fn encode_payload(model: &L2r, dataset: &str, canaries: &[Canary]) -> Vec<u8> {
 fn decode_payload(payload: &[u8]) -> Result<Snapshot, SnapshotError> {
     let mut r = Reader::new(payload);
     let dataset = r.str("dataset name", MAX_DATASET_NAME)?.to_string();
-    let net = RoadNetwork::decode(&mut r)?;
+    // The network tables dominate the payload at country scale; their
+    // fixed-stride wire format lets the decode fan out across `L2R_THREADS`
+    // workers with bit-identical results (and identical errors — truncated
+    // tables fall back to the serial decoder).
+    let net = decode_network_parallel(&mut r)?;
     let region_graph: RegionGraph = decode_region_graph(&mut r, &net)?;
     let num_edges = region_graph.num_edges();
 
@@ -491,6 +499,34 @@ pub fn encode_snapshot_with(model: &L2r, dataset: &str, canaries: &[Canary]) -> 
 /// such snapshots reload under any name).
 pub fn encode_model(model: &L2r) -> Vec<u8> {
     encode_snapshot(model, "")
+}
+
+/// Serialises a fitted model with its wall-clock stage durations zeroed.
+///
+/// Snapshots carry the fit's per-stage timings as provenance, so two fits of
+/// the same data never encode identically through [`encode_model`] even when
+/// the learned model is the same.  This variant strips exactly that timing
+/// provenance (the structural stats — counts, null rate, apply statistics —
+/// are kept), making the bytes comparable across fits: it is what the
+/// cross-thread determinism check of the reproduce harness diffs.
+pub fn encode_model_structural(model: &L2r) -> Vec<u8> {
+    let stats = OfflineStats {
+        clustering_time: std::time::Duration::ZERO,
+        region_graph_time: std::time::Duration::ZERO,
+        learning_time: std::time::Duration::ZERO,
+        transfer_time: std::time::Duration::ZERO,
+        apply_time: std::time::Duration::ZERO,
+        ..model.stats().clone()
+    };
+    let stripped = L2r::from_parts(
+        model.network().clone(),
+        model.region_graph().clone(),
+        model.learned_preferences().clone(),
+        model.transferred_preferences().clone(),
+        model.config().clone(),
+        stats,
+    );
+    encode_model(&stripped)
 }
 
 /// Validates the snapshot framing — magic, version, header, length and

@@ -74,3 +74,36 @@ fn parallel_fit_is_bit_identical_to_serial_fit() {
     assert_eq!(serial.stats().apply, parallel.stats().apply);
     assert_eq!(serial.stats().null_rate, parallel.stats().null_rate);
 }
+
+/// Country-scale determinism smoke: the same fit on the XL-smoke network at
+/// 1, 4 and 8 worker threads must encode to bit-identical structural
+/// snapshots (per-stage wall times excluded — they are timing provenance,
+/// not model state).  Ignored by default because it fits a multi-district
+/// network three times; the CI `xl-smoke` job runs it with `--ignored`.
+/// Uses `set_thread_override` (an atomic) rather than `L2R_THREADS` so it
+/// cannot race the env mutation of the test above if both are selected.
+#[test]
+#[ignore = "country-scale smoke; run explicitly with --ignored (CI xl-smoke job)"]
+fn xl_fit_is_bit_identical_across_1_4_and_8_threads() {
+    let syn = generate_network(&SyntheticNetworkConfig::xl_smoke());
+    let wl = generate_workload(&syn, &WorkloadConfig::xl_like(400));
+    let (train, _) = wl.temporal_split(0.8);
+    let mut encodings: Vec<(usize, Vec<u8>)> = Vec::new();
+    for threads in [1usize, 4, 8] {
+        l2r_par::set_thread_override(Some(threads));
+        let model = L2r::fit(&syn.net, &train, L2rConfig::default()).expect("fit");
+        encodings.push((threads, l2r_core::encode_model_structural(&model)));
+    }
+    l2r_par::set_thread_override(None);
+    assert!(
+        !encodings[0].1.is_empty(),
+        "structural snapshot must not be empty"
+    );
+    let first = &encodings[0].1;
+    for (threads, bytes) in &encodings[1..] {
+        assert_eq!(
+            bytes, first,
+            "fit at {threads} threads diverged from the single-threaded fit"
+        );
+    }
+}

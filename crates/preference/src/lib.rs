@@ -32,4 +32,7 @@ pub use model::{Preference, NUM_FEATURES};
 pub use re_sim::{build_descriptors, RegionEdgeDescriptor};
 pub use solver::{conjugate_gradient, jacobi, solve, SolveResult, SolverKind};
 pub use sparse::SparseMatrix;
-pub use transfer::{transfer_preferences, TransferConfig, TransferResult};
+pub use transfer::{
+    build_similarity_rows, build_similarity_rows_naive, transfer_preferences, TransferConfig,
+    TransferResult,
+};

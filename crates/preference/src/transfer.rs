@@ -70,6 +70,100 @@ pub struct TransferResult {
     pub solver_iterations: usize,
 }
 
+/// The exact distance-ratio similarity `RegionEdgeDescriptor::similarity`
+/// computes for a pair of centroid distances (same branches, same float ops).
+fn distance_sim(a: f64, b: f64) -> f64 {
+    let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+    if hi <= 0.0 {
+        1.0
+    } else {
+        (lo / hi).clamp(0.0, 1.0)
+    }
+}
+
+/// Builds the thresholded similarity graph naively: for each row `i`, every
+/// column `j > i` is tested against `amr`.  `O(n²)` similarity evaluations.
+///
+/// Kept public (next to the radius-bounded [`build_similarity_rows`]) so the
+/// bench harness can measure the speedup of the bounded construction on the
+/// descriptors of a real fitted model.
+pub fn build_similarity_rows_naive(
+    descriptors: &[RegionEdgeDescriptor],
+    amr: f64,
+) -> Vec<Vec<(usize, f64)>> {
+    let n = descriptors.len();
+    let row_indices: Vec<usize> = (0..n).collect();
+    l2r_par::par_map(&row_indices, |_, &i| {
+        let mut row = Vec::new();
+        for j in (i + 1)..n {
+            let s = descriptors[i].normalized_similarity(&descriptors[j]);
+            if s >= amr {
+                row.push((j, s));
+            }
+        }
+        row
+    })
+}
+
+/// Radius-bounded construction of the thresholded similarity graph.
+///
+/// `normalizedSim = (distSim + funcSim) / 2` with `funcSim ≤ 1`, so a pair
+/// can only reach `amr` while `(distSim + 1) / 2 ≥ amr`.  Sorting the edges
+/// by centroid distance makes `distSim = lo/hi` monotonically non-increasing
+/// along each scan, so the scan stops at the first candidate outside that
+/// bound instead of touching all `n` columns.  The bound reuses the exact
+/// float expression `similarity` evaluates and rounding is monotone, so no
+/// qualifying pair is ever skipped: the rows returned are bit-identical to
+/// [`build_similarity_rows_naive`] (pairs are redistributed back to
+/// original-index rows and sorted).  For `amr ≤ 0.5` the bound is vacuous
+/// and the scan degenerates to the naive full scan.
+pub fn build_similarity_rows(
+    descriptors: &[RegionEdgeDescriptor],
+    amr: f64,
+) -> Vec<Vec<(usize, f64)>> {
+    let n = descriptors.len();
+    // Sort by centroid distance; ties break on the original index so the
+    // order (and thus the parallel work split) is deterministic.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_unstable_by(|&a, &b| {
+        descriptors[a]
+            .dis_m
+            .total_cmp(&descriptors[b].dis_m)
+            .then(a.cmp(&b))
+    });
+    let positions: Vec<usize> = (0..n).collect();
+    let scans: Vec<Vec<(usize, usize, f64)>> = l2r_par::par_map(&positions, |_, &p| {
+        let i = order[p];
+        let di = &descriptors[i];
+        let mut found = Vec::new();
+        for &j in &order[p + 1..] {
+            let dj = &descriptors[j];
+            // Even a perfect functionality match cannot reach `amr` once the
+            // distance ratio drops below 2·amr − 1; later candidates are at
+            // least as far, so their ratio is no better.
+            if (distance_sim(di.dis_m, dj.dis_m) + 1.0) / 2.0 < amr {
+                break;
+            }
+            let s = di.normalized_similarity(dj);
+            if s >= amr {
+                let (a, b) = if i < j { (i, j) } else { (j, i) };
+                found.push((a, b, s));
+            }
+        }
+        found
+    });
+    // Redistribute into rows keyed by the smaller original index, sorted by
+    // column, to match the naive row layout exactly.
+    let mut rows: Vec<Vec<(usize, f64)>> = vec![Vec::new(); n];
+    for (a, b, s) in scans.into_iter().flatten() {
+        rows[a].push((b, s));
+    }
+    for row in &mut rows {
+        row.sort_unstable_by_key(|&(j, _)| j);
+    }
+    rows
+}
+
 /// Transfers preferences from labelled edges to `targets`.
 ///
 /// * `labeled` — learned preferences of T-edges (the training data).
@@ -117,20 +211,11 @@ pub fn transfer_preferences(
     // Descriptors and the thresholded similarity (adjacency) matrix M.  Both
     // are embarrassingly parallel: descriptors per edge, similarities per
     // row; the rows are merged into M serially in row order so the matrix is
-    // identical to a serial construction.
+    // identical to a serial construction.  The rows come from the
+    // radius-bounded builder, which is bit-identical to the naive scan.
     let descriptors: Vec<RegionEdgeDescriptor> =
         l2r_par::par_map(&ids, |_, id| RegionEdgeDescriptor::build(rg, rg.edge(*id)));
-    let row_indices: Vec<usize> = (0..n).collect();
-    let rows: Vec<Vec<(usize, f64)>> = l2r_par::par_map(&row_indices, |_, &i| {
-        let mut row = Vec::new();
-        for j in (i + 1)..n {
-            let s = descriptors[i].normalized_similarity(&descriptors[j]);
-            if s >= config.amr {
-                row.push((j, s));
-            }
-        }
-        row
-    });
+    let rows = build_similarity_rows(&descriptors, config.amr);
     let mut m = SparseMatrix::zeros(n);
     let mut similarity_edges = 0usize;
     for (i, row) in rows.iter().enumerate() {
@@ -341,6 +426,21 @@ mod tests {
         );
         assert!(strict.similarity_edges <= loose.similarity_edges);
         assert!(strict.null_rate >= loose.null_rate);
+    }
+
+    #[test]
+    fn radius_bounded_rows_match_the_naive_scan_on_a_real_graph() {
+        let rg = build_region_graph();
+        let edges: Vec<&l2r_region_graph::RegionEdge> = rg.edges().iter().collect();
+        let descriptors = crate::re_sim::build_descriptors(&rg, &edges);
+        assert!(descriptors.len() > 10, "need a non-trivial graph");
+        // Spans the Figure 9(b) range plus the vacuous-bound regime (≤ 0.5)
+        // and a threshold no pair can reach.
+        for amr in [0.0, 0.3, 0.5, 0.7, 0.9, 0.95, 1.1] {
+            let naive = build_similarity_rows_naive(&descriptors, amr);
+            let bounded = build_similarity_rows(&descriptors, amr);
+            assert_eq!(naive, bounded, "rows diverged at amr = {amr}");
+        }
     }
 
     #[test]

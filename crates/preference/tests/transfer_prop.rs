@@ -1,0 +1,85 @@
+//! Property tests for the radius-bounded similarity-graph construction: on
+//! arbitrary descriptor sets and thresholds, the early-terminating builder
+//! must return exactly the rows of the naive O(n²) scan — bit-identical
+//! similarity values included — so the transferred preference vectors can
+//! never change when the bounded builder is used.
+
+use std::collections::HashSet;
+
+use proptest::prelude::*;
+
+use l2r_preference::{build_similarity_rows, build_similarity_rows_naive, RegionEdgeDescriptor};
+use l2r_road_network::RoadType;
+
+const TYPES: [RoadType; 4] = [
+    RoadType::Motorway,
+    RoadType::Primary,
+    RoadType::Tertiary,
+    RoadType::Residential,
+];
+
+/// Builds a descriptor from a quantised distance and a 4-bit functionality
+/// mask, normalising pairs exactly like `RegionEdgeDescriptor::build`.
+fn descriptor(dis_m: f64, mask: u8) -> RegionEdgeDescriptor {
+    let mut function_pairs = HashSet::new();
+    for (i, &ta) in TYPES.iter().enumerate() {
+        if mask & (1 << i) == 0 {
+            continue;
+        }
+        for (j, &tb) in TYPES.iter().enumerate().skip(i) {
+            if mask & (1 << j) == 0 {
+                continue;
+            }
+            let (a, b) = if ta.index() <= tb.index() {
+                (ta, tb)
+            } else {
+                (tb, ta)
+            };
+            function_pairs.insert((a, b));
+        }
+    }
+    RegionEdgeDescriptor {
+        dis_m,
+        function_pairs,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Quantised distances force ties and zero distances; `amr` sweeps past
+    /// both ends of the valid range (including the vacuous-bound regime
+    /// below 0.5 and an unreachable threshold above 1).
+    #[test]
+    fn bounded_rows_equal_naive_rows_with_ties(
+        raw in proptest::collection::vec((0u32..25, 0u8..16), 0..60),
+        amr_pct in 0u32..111,
+    ) {
+        let descriptors: Vec<RegionEdgeDescriptor> = raw
+            .iter()
+            .map(|&(d, m)| descriptor(f64::from(d) * 713.0, m))
+            .collect();
+        let amr = f64::from(amr_pct) / 100.0;
+        prop_assert_eq!(
+            build_similarity_rows_naive(&descriptors, amr),
+            build_similarity_rows(&descriptors, amr)
+        );
+    }
+
+    /// Continuous distances (no ties) with thresholds around the paper's
+    /// Figure 9(b) range.
+    #[test]
+    fn bounded_rows_equal_naive_rows_continuous(
+        raw in proptest::collection::vec((0.0f64..80_000.0, 0u8..16), 0..60),
+        amr in 0.45f64..1.0,
+    ) {
+        let descriptors: Vec<RegionEdgeDescriptor> = raw
+            .iter()
+            .map(|&(d, m)| descriptor(d, m))
+            .collect();
+        prop_assert_eq!(
+            build_similarity_rows_naive(&descriptors, amr),
+            build_similarity_rows(&descriptors, amr)
+        );
+    }
+}

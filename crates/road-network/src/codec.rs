@@ -480,6 +480,12 @@ pub fn decode_vertex(r: &mut Reader<'_>, num_vertices: usize) -> Result<VertexId
     Ok(VertexId(r.index("vertex id", num_vertices)?))
 }
 
+/// Wire size of one vertex record (two `f64` coordinates).
+pub const VERTEX_WIRE_BYTES: usize = 16;
+
+/// Wire size of one edge record (`from` + `to` + three weights + road type).
+pub const EDGE_WIRE_BYTES: usize = 33;
+
 impl Encode for RoadNetwork {
     fn encode(&self, w: &mut Writer) {
         // Vertex and edge ids equal their table index, so only the payload
@@ -529,6 +535,116 @@ impl Decode for RoadNetwork {
         }
         Ok(RoadNetwork::from_parts(vertices, edges))
     }
+}
+
+/// Splits `0..len` into contiguous chunks sized for [`l2r_par`] workers.
+fn decode_chunks(len: usize) -> Vec<(usize, usize)> {
+    // Below this many elements the spawn overhead outweighs the decode work.
+    const MIN_CHUNK: usize = 8_192;
+    let pieces = l2r_par::max_threads() * 4;
+    let chunk = len.div_ceil(pieces.max(1)).max(MIN_CHUNK);
+    let mut out = Vec::new();
+    let mut start = 0;
+    while start < len {
+        let n = chunk.min(len - start);
+        out.push((start, n));
+        start += n;
+    }
+    out
+}
+
+/// Merges per-chunk decode results in chunk order, so on malformed input the
+/// error of the lowest-indexed failing chunk is reported — deterministic
+/// regardless of thread scheduling.
+fn merge_chunks<T>(
+    len: usize,
+    chunks: Vec<Result<Vec<T>, CodecError>>,
+) -> Result<Vec<T>, CodecError> {
+    let mut out = Vec::with_capacity(len);
+    for chunk in chunks {
+        out.extend(chunk?);
+    }
+    Ok(out)
+}
+
+/// Decodes a road network from the exact wire form of
+/// [`RoadNetwork::decode`], fanning the fixed-stride vertex and edge tables
+/// across [`l2r_par`] workers.
+///
+/// Vertex records are 16 bytes and edge records 33 bytes on the wire, so the
+/// tables can be sliced into independent chunks without a format change; the
+/// per-record validation is byte-for-byte the same as the serial decoder and
+/// the decoded network is identical (ids are positional).  Small tables fall
+/// back to the serial path, as does a table that is truncated (so the serial
+/// decoder's precise error surfaces).  The reader is left positioned exactly
+/// where the serial decoder would leave it.
+pub fn decode_network_parallel(r: &mut Reader<'_>) -> Result<RoadNetwork, CodecError> {
+    // Peek the counts without consuming: on any shortfall, replay serially
+    // from the saved position for identical error reporting.
+    let table_start = r.pos;
+    let num_vertices = r.length("vertex count", VERTEX_WIRE_BYTES)?;
+    let vertex_bytes = num_vertices * VERTEX_WIRE_BYTES;
+    if r.remaining() < vertex_bytes {
+        r.pos = table_start;
+        return RoadNetwork::decode(r);
+    }
+    let vertex_table = &r.buf[r.pos..r.pos + vertex_bytes];
+    r.pos += vertex_bytes;
+    let num_edges = r.length("edge count", EDGE_WIRE_BYTES)?;
+    let edge_bytes = num_edges * EDGE_WIRE_BYTES;
+    if r.remaining() < edge_bytes {
+        r.pos = table_start;
+        return RoadNetwork::decode(r);
+    }
+    let edge_table = &r.buf[r.pos..r.pos + edge_bytes];
+    r.pos += edge_bytes;
+
+    let vertex_chunks = decode_chunks(num_vertices);
+    let vertices = merge_chunks(
+        num_vertices,
+        l2r_par::par_map(&vertex_chunks, |_, &(start, len)| {
+            let mut rr = Reader::new(
+                &vertex_table[start * VERTEX_WIRE_BYTES..(start + len) * VERTEX_WIRE_BYTES],
+            );
+            let mut out = Vec::with_capacity(len);
+            for i in 0..len {
+                out.push(Vertex {
+                    id: VertexId((start + i) as u32),
+                    point: Point::decode(&mut rr)?,
+                });
+            }
+            Ok(out)
+        }),
+    )?;
+
+    let edge_chunks = decode_chunks(num_edges);
+    let edges = merge_chunks(
+        num_edges,
+        l2r_par::par_map(&edge_chunks, |_, &(start, len)| {
+            let mut rr =
+                Reader::new(&edge_table[start * EDGE_WIRE_BYTES..(start + len) * EDGE_WIRE_BYTES]);
+            let mut out = Vec::with_capacity(len);
+            for i in 0..len {
+                let from = decode_vertex(&mut rr, num_vertices)?;
+                let to = decode_vertex(&mut rr, num_vertices)?;
+                let weights = EdgeWeights::decode(&mut rr)?;
+                let road_type = RoadType::decode(&mut rr)?;
+                if from == to {
+                    return Err(CodecError::Invalid("self-loop edge"));
+                }
+                out.push(Edge {
+                    id: EdgeId((start + i) as u32),
+                    from,
+                    to,
+                    weights,
+                    road_type,
+                });
+            }
+            Ok(out)
+        }),
+    )?;
+
+    Ok(RoadNetwork::from_parts(vertices, edges))
 }
 
 #[cfg(test)]
@@ -699,6 +815,101 @@ mod tests {
         let mut w2 = Writer::new();
         decoded.encode(&mut w2);
         assert_eq!(w2.into_vec(), bytes);
+    }
+
+    #[test]
+    fn parallel_network_decode_matches_serial_bit_for_bit() {
+        // Large enough that the chunked path actually splits the tables
+        // when more than one worker is available.
+        let mut b = RoadNetworkBuilder::new();
+        let side = 110usize; // 12,100 vertices, ~48k directed edges
+        for y in 0..side {
+            for x in 0..side {
+                b.add_vertex(Point::new(x as f64 * 90.0, y as f64 * 90.0));
+            }
+        }
+        for y in 0..side {
+            for x in 0..side {
+                let v = VertexId((y * side + x) as u32);
+                if x + 1 < side {
+                    b.add_two_way(v, VertexId((y * side + x + 1) as u32), RoadType::Tertiary)
+                        .unwrap();
+                }
+                if y + 1 < side {
+                    b.add_two_way(v, VertexId(((y + 1) * side + x) as u32), RoadType::Primary)
+                        .unwrap();
+                }
+            }
+        }
+        let net = b.build();
+        let mut w = Writer::new();
+        net.encode(&mut w);
+        w.u64(0xFEED_FACE); // trailing data the decoder must not consume
+        let bytes = w.into_vec();
+
+        let mut serial_r = Reader::new(&bytes);
+        let serial = RoadNetwork::decode(&mut serial_r).unwrap();
+        let mut parallel_r = Reader::new(&bytes);
+        let parallel = decode_network_parallel(&mut parallel_r).unwrap();
+
+        // Both decoders consume exactly the same bytes.
+        assert_eq!(serial_r.remaining(), parallel_r.remaining());
+        assert_eq!(parallel_r.u64("trailer").unwrap(), 0xFEED_FACE);
+
+        assert_eq!(serial.num_vertices(), parallel.num_vertices());
+        assert_eq!(serial.num_edges(), parallel.num_edges());
+        for (a, b) in serial.vertices().iter().zip(parallel.vertices()) {
+            assert_eq!(a, b);
+        }
+        for (a, b) in serial.edges().iter().zip(parallel.edges()) {
+            assert_eq!(a, b);
+        }
+        // Re-encoding reproduces the original bytes (minus the trailer).
+        let mut w2 = Writer::new();
+        parallel.encode(&mut w2);
+        assert_eq!(w2.as_slice(), &bytes[..bytes.len() - 8]);
+    }
+
+    #[test]
+    fn parallel_network_decode_rejects_malformed_input() {
+        let net = sample_net();
+        let mut w = Writer::new();
+        net.encode(&mut w);
+        let bytes = w.into_vec();
+        // Truncations fall back to the serial decoder and must error.
+        for cut in [0, 3, bytes.len() / 2, bytes.len() - 1] {
+            assert!(
+                decode_network_parallel(&mut Reader::new(&bytes[..cut])).is_err(),
+                "truncation at {cut} must error"
+            );
+        }
+        // An out-of-range endpoint is rejected just like the serial path.
+        let mut w = Writer::new();
+        w.length(2);
+        Point::new(0.0, 0.0).encode(&mut w);
+        Point::new(10.0, 0.0).encode(&mut w);
+        w.length(1);
+        w.u32(5); // from: out of range
+        w.u32(1);
+        EdgeWeights::derive(10.0, RoadType::Primary).encode(&mut w);
+        RoadType::Primary.encode(&mut w);
+        let bytes = w.into_vec();
+        assert!(matches!(
+            decode_network_parallel(&mut Reader::new(&bytes)),
+            Err(CodecError::IndexOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn wire_stride_constants_match_the_encoder() {
+        let net = sample_net();
+        let mut w = Writer::new();
+        net.encode(&mut w);
+        // 8-byte vertex count + vertices + 8-byte edge count + edges.
+        assert_eq!(
+            w.len(),
+            16 + net.num_vertices() * VERTEX_WIRE_BYTES + net.num_edges() * EDGE_WIRE_BYTES
+        );
     }
 
     #[test]

@@ -38,7 +38,10 @@ pub mod skyline;
 pub mod spatial;
 pub mod weights;
 
-pub use codec::{decode_path, decode_vertex, CodecError, Decode, Encode, Reader, Writer};
+pub use codec::{
+    decode_network_parallel, decode_path, decode_vertex, CodecError, Decode, Encode, Reader,
+    Writer, EDGE_WIRE_BYTES, VERTEX_WIRE_BYTES,
+};
 pub use constrained::preference_constrained_path;
 pub use dijkstra::{
     dijkstra, fastest_path, fastest_path_with_settle_order, lowest_cost_path, most_economic_path,
@@ -56,7 +59,7 @@ pub use similarity::{
 };
 pub use skyline::{skyline_paths, CostVector, SkylinePath};
 pub use spatial::{
-    centroid, convex_hull, diameter, point_segment_distance, polygon_area, BoundingBox, GridIndex,
-    Point,
+    centroid, convex_hull, density_cell_size, diameter, point_segment_distance, polygon_area,
+    BoundingBox, GridIndex, Point,
 };
 pub use weights::{CostType, EdgeWeights};

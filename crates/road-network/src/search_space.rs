@@ -33,6 +33,14 @@ static SEARCHES: AtomicU64 = AtomicU64::new(0);
 /// Number of Dijkstra searches started since process start (all variants,
 /// all threads, monotone).  Sample before and after a workload to compute a
 /// searches/second throughput figure.
+///
+/// Overflow audit (XL workloads push search counts orders of magnitude
+/// higher than the original tiers): this counter is a `u64`, so even at
+/// 10⁸ searches/second it would take thousands of years to wrap — wrap
+/// handling is deliberately omitted.  The per-[`SearchSpace`] `generation`
+/// stamp is a `u32` and *can* realistically wrap on a long-lived space
+/// (2³² searches); [`SearchSpace`] handles that with a hard stamp reset at
+/// the boundary, tested by `generation_wrap_hard_resets_stamps`.
 pub fn searches_performed() -> u64 {
     SEARCHES.load(AtomicOrdering::Relaxed)
 }
@@ -631,6 +639,49 @@ mod tests {
             |_| true,
         );
         assert_eq!(space.generation(), g0 + 2);
+    }
+
+    #[test]
+    fn generation_wrap_hard_resets_stamps() {
+        let net = two_route_network();
+        let mut space = SearchSpace::new();
+        space.dijkstra(&net, VertexId(0), Some(VertexId(3)), |e| {
+            e.cost(CostType::Distance)
+        });
+        let path_before_wrap = space.path_to(VertexId(3)).unwrap();
+
+        // Jump the counter to just below the wrap boundary instead of running
+        // 2^32 searches; the tests module sees the private field.
+        space.generation = u32::MAX - 1;
+        space.dijkstra(&net, VertexId(1), Some(VertexId(2)), |e| {
+            e.cost(CostType::Distance)
+        });
+        assert_eq!(space.generation(), u32::MAX);
+        assert!(space.cost_to(VertexId(2)).is_some());
+
+        // The next search crosses the wrap: stamps are hard-reset and the
+        // generation restarts at 1, so slots stamped `u32::MAX` a moment ago
+        // can never alias the new generation.
+        space.dijkstra(&net, VertexId(0), Some(VertexId(3)), |e| {
+            e.cost(CostType::Distance)
+        });
+        assert_eq!(space.generation(), 1);
+        assert_eq!(space.path_to(VertexId(3)).unwrap(), path_before_wrap);
+
+        // A post-wrap search on a smaller network leaves high slots untouched;
+        // they must read as unreached despite their pre-wrap stamps.
+        let mut b = RoadNetworkBuilder::new();
+        let v0 = b.add_vertex(Point::new(0.0, 0.0));
+        let v1 = b.add_vertex(Point::new(100.0, 0.0));
+        b.add_two_way(v0, v1, RoadType::Primary).unwrap();
+        let small = b.build();
+        let mut wrapped = SearchSpace::new();
+        wrapped.dijkstra(&net, VertexId(0), None, |e| e.cost(CostType::Distance));
+        wrapped.generation = u32::MAX;
+        wrapped.dijkstra(&small, VertexId(0), None, |e| e.cost(CostType::Distance));
+        assert_eq!(wrapped.generation(), 1);
+        assert!(wrapped.cost_to(VertexId(1)).is_some());
+        assert!(wrapped.cost_to(VertexId(3)).is_none(), "stale slot aliased");
     }
 
     #[test]

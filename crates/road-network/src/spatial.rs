@@ -198,6 +198,26 @@ pub fn centroid(points: &[Point]) -> Point {
     Point::new(x / points.len() as f64, y / points.len() as f64)
 }
 
+/// The cell size (metres) [`GridIndex::with_target_occupancy`] uses: sized so
+/// a cell holds about `target_per_cell` items when `num_items` are spread
+/// over `bbox` (`cell ≈ sqrt(area · target / n)`), clamped to [1 m, 50 km]
+/// and to at most ~4M cells as a memory guard.  Exposed separately so callers
+/// that also have a query-radius constraint (e.g. map matching) can combine
+/// both bounds before building the grid.
+pub fn density_cell_size(bbox: BoundingBox, num_items: usize, target_per_cell: f64) -> f64 {
+    const MAX_CELLS: f64 = 4_000_000.0;
+    let area = bbox.width() * bbox.height();
+    let target = target_per_cell.max(0.25);
+    if num_items == 0 || area <= 0.0 {
+        // Degenerate extent or nothing to index: one cell is enough.
+        bbox.width().max(bbox.height()).max(1.0)
+    } else {
+        let wanted = (area * target / num_items as f64).sqrt();
+        let floor_by_memory = (area / MAX_CELLS).sqrt();
+        wanted.max(floor_by_memory).clamp(1.0, 50_000.0)
+    }
+}
+
 /// A uniform grid over a bounding box used to answer "items near a point"
 /// queries.  It stores item ids (`u32`) in cells; the caller decides what the
 /// ids refer to (vertices, edges, GPS samples, …).
@@ -224,6 +244,36 @@ impl GridIndex {
             rows,
             cells: vec![Vec::new(); cols * rows],
         }
+    }
+
+    /// Creates an empty grid covering `bbox` with a cell size derived from
+    /// item density instead of a fixed constant: the grid is sized so a cell
+    /// holds about `target_per_cell` items when `num_items` are spread over
+    /// the box, i.e. `cell ≈ sqrt(area · target / n)`.
+    ///
+    /// Fixed cell sizes stop working once networks span two orders of
+    /// magnitude of |V|: a 50 m cell over a country-scale box allocates
+    /// hundreds of millions of empty cells, while a 1 km cell over a town
+    /// puts every vertex in one bucket and queries degrade to linear scans.
+    /// Deriving the size from density keeps expected candidate-list lengths
+    /// O(`target_per_cell`) at any scale.  The cell size is clamped to
+    /// [1 m, 50 km] and the grid to at most ~4M cells as a memory guard.
+    pub fn with_target_occupancy(
+        bbox: BoundingBox,
+        num_items: usize,
+        target_per_cell: f64,
+    ) -> Self {
+        GridIndex::new(bbox, density_cell_size(bbox, num_items, target_per_cell))
+    }
+
+    /// Side length of a grid cell, in metres.
+    pub fn cell_size(&self) -> f64 {
+        self.cell_size
+    }
+
+    /// Total number of cells allocated (`cols × rows`).
+    pub fn num_cells(&self) -> usize {
+        self.cols * self.rows
     }
 
     fn cell_of(&self, p: &Point) -> (usize, usize) {
@@ -390,6 +440,43 @@ mod tests {
         // Large radius finds everything.
         let all = grid.query(&Point::new(500.0, 500.0), 2000.0);
         assert!(all.contains(&1) && all.contains(&2));
+    }
+
+    #[test]
+    fn density_derived_grid_keeps_occupancy_bounded_across_scales() {
+        // The same constructor must produce sane grids for a town and for a
+        // country-scale box: cell count tracks item count, not extent.
+        for (extent_m, n_items) in [(10_000.0, 1_000usize), (400_000.0, 500_000usize)] {
+            let bbox = BoundingBox {
+                min: Point::new(0.0, 0.0),
+                max: Point::new(extent_m, extent_m),
+            };
+            let grid = GridIndex::with_target_occupancy(bbox, n_items, 4.0);
+            let cells = grid.num_cells() as f64;
+            // Expected occupancy within a small factor of the target.
+            let occupancy = n_items as f64 / cells;
+            assert!(
+                (1.0..=16.0).contains(&occupancy),
+                "extent={extent_m} items={n_items}: occupancy {occupancy} out of range \
+                 ({cells} cells, cell {} m)",
+                grid.cell_size()
+            );
+            assert!(grid.num_cells() <= 4_100_000, "memory guard violated");
+        }
+    }
+
+    #[test]
+    fn density_derived_grid_handles_degenerate_inputs() {
+        let empty_box = BoundingBox::empty();
+        let g = GridIndex::with_target_occupancy(empty_box, 100, 4.0);
+        assert!(g.num_cells() >= 1);
+        let point_box = BoundingBox {
+            min: Point::new(5.0, 5.0),
+            max: Point::new(5.0, 5.0),
+        };
+        let mut g = GridIndex::with_target_occupancy(point_box, 0, 4.0);
+        g.insert(1, &Point::new(5.0, 5.0));
+        assert!(g.query(&Point::new(5.0, 5.0), 1.0).contains(&1));
     }
 
     #[test]

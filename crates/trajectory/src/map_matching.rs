@@ -54,8 +54,16 @@ pub struct MapMatcher<'a> {
 
 impl<'a> MapMatcher<'a> {
     /// Builds a matcher (and its spatial index) for `net`.
+    ///
+    /// The index cell size is derived from vertex density (so candidate
+    /// lists stay short on dense, country-scale networks) but never drops
+    /// below half the candidate radius (so a query touches O(1) cells).
+    /// Candidates are exact-filtered by radius afterwards, so the cell size
+    /// affects only performance, never matching output.
     pub fn new(net: &'a RoadNetwork, config: MapMatcherConfig) -> Self {
-        let cell = (config.candidate_radius_m * 2.0).max(50.0);
+        let density =
+            l2r_road_network::density_cell_size(net.bounding_box(), net.num_vertices(), 4.0);
+        let cell = density.max((config.candidate_radius_m / 2.0).max(25.0));
         MapMatcher {
             net,
             config,
